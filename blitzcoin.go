@@ -1,0 +1,285 @@
+// Package blitzcoin is a Go reproduction of "BlitzCoin: Fully Decentralized
+// Hardware Power Management for Accelerator-Rich SoCs" (ISCA 2024).
+//
+// BlitzCoin manages the power budget of a many-accelerator system-on-chip
+// without any central controller: each tile holds an integer number of
+// power units ("coins") and repeatedly performs pairwise exchanges with its
+// mesh neighbors that equalize every tile's has/max ratio while conserving
+// the total pool. The budget therefore diffuses to the target allocation
+// with a response time that scales as O(sqrt(N)) instead of the O(N) of
+// centralized controllers, enabling SoCs with hundreds of accelerators.
+//
+// The package exposes three layers:
+//
+//   - SimulateExchange runs the coin-exchange algorithm itself on a
+//     simulated 2D-mesh NoC (the paper's Sec. III experiments);
+//   - RunSoC runs full-system simulations: accelerator tiles with
+//     power/frequency characterizations and UVFR regulators executing
+//     workload DAGs under BlitzCoin or one of the baseline controllers
+//     (Secs. V-VI);
+//   - FitScaling / ScalingModel project response times and maximum
+//     supported SoC sizes analytically (Sec. V-E, Fig. 21).
+//
+// Everything is deterministic for a given Seed. All times are reported in
+// NoC cycles (800 MHz, 1.25 ns) and microseconds.
+package blitzcoin
+
+import (
+	"fmt"
+
+	"blitzcoin/internal/coin"
+	"blitzcoin/internal/mesh"
+	"blitzcoin/internal/rng"
+	"blitzcoin/internal/scaling"
+	"blitzcoin/internal/sim"
+)
+
+// ExchangeMode selects the exchange technique of Sec. III-B.
+type ExchangeMode string
+
+// Exchange techniques.
+const (
+	OneWay  ExchangeMode = "1-way" // pairwise, round-robin (the preferred embodiment)
+	FourWay ExchangeMode = "4-way" // all four neighbors at once
+)
+
+// InitDistribution selects the initial coin placement of an exchange
+// simulation.
+type InitDistribution string
+
+// Initial distributions.
+const (
+	// InitRandom scatters the pool uniformly at random across tiles.
+	InitRandom InitDistribution = "random"
+	// InitUniform draws each tile's coins uniformly in [0, max]: per-tile
+	// local imbalance.
+	InitUniform InitDistribution = "uniform"
+	// InitHotspot concentrates the pool in one corner region: the
+	// long-range transport case whose convergence shows the O(sqrt(N))
+	// scaling.
+	InitHotspot InitDistribution = "hotspot"
+)
+
+// ExchangeOptions configures SimulateExchange. The zero value is completed
+// with the defaults noted per field.
+type ExchangeOptions struct {
+	// Dim is the mesh dimension d; the SoC has N = Dim*Dim tiles.
+	// Default 8.
+	Dim int
+	// Torus enables wrap-around neighbors (Sec. III-D). Default as given.
+	Torus bool
+	// Mode selects 1-way or 4-way exchange. Default OneWay.
+	Mode ExchangeMode
+	// DynamicTiming enables the exponential back-off / acceleration of
+	// exchange intervals.
+	DynamicTiming bool
+	// RandomPairing enables intermittent exchanges with non-neighbors,
+	// which eliminates deadlocks (Sec. III-E). Default as given; the
+	// paper's experiments enable it.
+	RandomPairing bool
+	// RandomPairingEvery is the pairing cadence in exchanges; the paper
+	// found once every 16 exchanges sufficient. Default 16.
+	RandomPairingEvery int
+	// Threshold is the convergence criterion on the mean per-tile error
+	// Err. Default 1.5 (Fig. 3).
+	Threshold float64
+	// Init selects the initial coin placement. Default InitHotspot.
+	Init InitDistribution
+	// AccelTypes is the number of distinct accelerator types (Fig. 8);
+	// 1 means homogeneous. Default 1.
+	AccelTypes int
+	// TargetPerTile is the mean per-tile coin target. Default 32.
+	TargetPerTile int64
+	// CoinsPerTile is the mean per-tile pool share. Default
+	// TargetPerTile/2.
+	CoinsPerTile int64
+	// ThermalCap, when positive, enables the hotspot guard of Sec. III-B:
+	// no tile accepts coins that would push its own count plus its
+	// neighbors' observed counts above the cap.
+	ThermalCap int64
+	// Seed drives all randomness. Runs with equal options and seed are
+	// identical.
+	Seed uint64
+}
+
+// ExchangeResult reports one exchange simulation.
+type ExchangeResult struct {
+	// Converged reports whether Err crossed the threshold.
+	Converged bool
+	// ConvergenceCycles and ConvergenceMicros time the first crossing.
+	ConvergenceCycles uint64
+	ConvergenceMicros float64
+	// PacketsToConvergence counts NoC packets up to the crossing.
+	PacketsToConvergence uint64
+	// StartErr and FinalErr are the mean per-tile errors at the start and
+	// end of the run; WorstTileErr is the largest residual per-tile error.
+	StartErr, FinalErr, WorstTileErr float64
+	// TotalPackets and Exchanges count all activity during the run.
+	TotalPackets, Exchanges uint64
+	// ThermalRejects counts exchanges clamped by the hotspot guard.
+	ThermalRejects uint64
+	// CoinsConserved confirms the pool total was preserved exactly.
+	CoinsConserved bool
+}
+
+// SimulateExchange runs the BlitzCoin coin-exchange algorithm on a
+// simulated 2D-mesh NoC and reports its convergence behavior. It panics on
+// invalid options (negative dimensions, unknown mode).
+func SimulateExchange(o ExchangeOptions) ExchangeResult {
+	if o.Dim == 0 {
+		o.Dim = 8
+	}
+	if o.Dim < 2 {
+		panic(fmt.Sprintf("blitzcoin: mesh dimension %d too small", o.Dim))
+	}
+	if o.Mode == "" {
+		o.Mode = OneWay
+	}
+	if o.Threshold == 0 {
+		o.Threshold = 1.5
+	}
+	if o.Init == "" {
+		o.Init = InitHotspot
+	}
+	if o.AccelTypes == 0 {
+		o.AccelTypes = 1
+	}
+	if o.TargetPerTile == 0 {
+		o.TargetPerTile = 32
+	}
+	if o.CoinsPerTile == 0 {
+		o.CoinsPerTile = o.TargetPerTile / 2
+	}
+
+	cfg := coin.Config{
+		Mesh:               mesh.Square(o.Dim, o.Torus),
+		RefreshInterval:    32,
+		DynamicTiming:      o.DynamicTiming,
+		RandomPairing:      o.RandomPairing,
+		RandomPairingEvery: o.RandomPairingEvery,
+		Threshold:          o.Threshold,
+		ThermalCap:         o.ThermalCap,
+		StopAtConvergence:  true,
+	}
+	switch o.Mode {
+	case OneWay:
+		cfg.Mode = coin.OneWay
+	case FourWay:
+		cfg.Mode = coin.FourWay
+	default:
+		panic(fmt.Sprintf("blitzcoin: unknown exchange mode %q", o.Mode))
+	}
+
+	src := rng.New(o.Seed)
+	n := cfg.Mesh.N()
+	var maxes []int64
+	if o.AccelTypes > 1 {
+		maxes = coin.HeterogeneousMaxes(src, n, o.AccelTypes, o.TargetPerTile/int64(o.AccelTypes)+1)
+	} else {
+		maxes = coin.UniformMaxes(n, o.TargetPerTile)
+	}
+	pool := int64(n) * o.CoinsPerTile
+	var a coin.Assignment
+	switch o.Init {
+	case InitRandom:
+		a = coin.RandomAssignment(src, maxes, pool)
+	case InitUniform:
+		a = coin.UniformRandomAssignment(src, maxes)
+	case InitHotspot:
+		a = coin.HotspotAssignment(src, maxes, pool)
+	default:
+		panic(fmt.Sprintf("blitzcoin: unknown init distribution %q", o.Init))
+	}
+
+	e := coin.NewEmulator(cfg, src)
+	e.Init(a)
+	res := e.Run()
+	return ExchangeResult{
+		Converged:            res.Converged,
+		ConvergenceCycles:    res.ConvergenceCycles,
+		ConvergenceMicros:    res.ConvergenceMicros(),
+		PacketsToConvergence: res.PacketsToConvergence,
+		StartErr:             res.StartErr,
+		FinalErr:             res.FinalErr,
+		WorstTileErr:         res.WorstTileErr,
+		TotalPackets:         res.TotalPackets,
+		Exchanges:            res.Exchanges,
+		ThermalRejects:       e.ThermalRejects(),
+		CoinsConserved:       res.CoinsStart == res.CoinsEnd,
+	}
+}
+
+// ScalingModel is a fitted response-time law T(N) for one PM scheme
+// (Sec. V-E).
+type ScalingModel struct {
+	// Name is the scheme ("BC", "BC-C", "C-RR", "TS", "PT", "SW").
+	Name string
+	// Law is "O(N)" or "O(sqrt(N))".
+	Law string
+	// TauMicros is the fitted scaling constant.
+	TauMicros float64
+}
+
+// Response returns the projected response time in microseconds for an
+// N-accelerator SoC.
+func (m ScalingModel) Response(n float64) float64 {
+	return m.toInternal().Response(n)
+}
+
+// NMax returns the largest supported accelerator count for a workload phase
+// duration of twMicros (Eqs. 5.1-5.3).
+func (m ScalingModel) NMax(twMicros float64) float64 {
+	return m.toInternal().NMax(twMicros)
+}
+
+// OverheadFraction returns the share of wall-clock time spent in power
+// management at (n, twMicros); above 1 the scheme cannot keep up.
+func (m ScalingModel) OverheadFraction(n, twMicros float64) float64 {
+	return m.toInternal().OverheadFraction(n, twMicros)
+}
+
+func (m ScalingModel) toInternal() scaling.Model {
+	law := scaling.Linear
+	if m.Law == scaling.Sqrt.String() {
+		law = scaling.Sqrt
+	}
+	return scaling.Model{Name: m.Name, Law: law, Tau: m.TauMicros}
+}
+
+// PaperScalingModels returns the models with the paper's fitted constants
+// (Sec. VI-D: tau_BC = 0.20 us, tau_BCC = 0.66 us, tau_CRR = 0.96 us,
+// tau_TS = 0.22 us).
+func PaperScalingModels() []ScalingModel {
+	var out []ScalingModel
+	for _, name := range []string{"BC", "BC-C", "C-RR", "TS", "PT", "SW"} {
+		m := scaling.PaperModels()[name]
+		out = append(out, ScalingModel{Name: m.Name, Law: m.Law.String(), TauMicros: m.Tau})
+	}
+	return out
+}
+
+// FitScaling fits a response-time law through measured (N, microseconds)
+// points; law must be "O(N)" or "O(sqrt(N))".
+func FitScaling(name, law string, ns, responsesUs []float64) ScalingModel {
+	if len(ns) != len(responsesUs) || len(ns) == 0 {
+		panic("blitzcoin: FitScaling needs matching non-empty slices")
+	}
+	var l scaling.Law
+	switch law {
+	case "O(N)":
+		l = scaling.Linear
+	case "O(sqrt(N))":
+		l = scaling.Sqrt
+	default:
+		panic(fmt.Sprintf("blitzcoin: unknown law %q", law))
+	}
+	pts := make([]scaling.Point, len(ns))
+	for i := range ns {
+		pts[i] = scaling.Point{N: ns[i], Response: responsesUs[i]}
+	}
+	m := scaling.Fit(name, l, pts)
+	return ScalingModel{Name: m.Name, Law: m.Law.String(), TauMicros: m.Tau}
+}
+
+// CyclesToMicros converts NoC cycles (800 MHz) to microseconds.
+func CyclesToMicros(c uint64) float64 { return sim.CyclesToMicros(c) }

@@ -1,0 +1,93 @@
+// Command blitzsim runs the algorithm-level coin-exchange experiments of
+// Sec. III: the 1-way vs 4-way comparison (Fig. 3), the BlitzCoin vs
+// TokenSmart comparison (Fig. 4), the dynamic-timing ablation (Fig. 6), the
+// random-pairing residual-error histograms (Fig. 7), and the heterogeneity
+// sweep (Fig. 8).
+//
+// Usage:
+//
+//	blitzsim -fig 3 [-trials 100] [-seed 1] [-dmax 20]
+//	blitzsim -fig 7 [-trials 1000]
+//	blitzsim -fig all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"blitzcoin/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 3, 4, 6, 7, 8, or all")
+	trials := flag.Int("trials", 0, "Monte Carlo trials per point (default: figure-specific)")
+	seed := flag.Uint64("seed", 1, "base random seed")
+	dmax := flag.Int("dmax", 20, "largest mesh dimension d (N = d*d)")
+	flag.Parse()
+
+	dims := []int{}
+	for d := 4; d <= *dmax; d += 4 {
+		dims = append(dims, d)
+	}
+	pick := func(def int) int {
+		if *trials > 0 {
+			return *trials
+		}
+		return def
+	}
+
+	run := map[string]func(){
+		"3": func() {
+			fmt.Println("# Fig. 3 — 1-way vs 4-way: packets and cycles to convergence (Err < 1.5)")
+			for _, r := range experiments.Fig03(dims, pick(100), *seed) {
+				fmt.Println(r)
+			}
+		},
+		"4": func() {
+			fmt.Println("# Fig. 4 — BlitzCoin vs TokenSmart convergence time")
+			for _, r := range experiments.Fig04(dims, pick(100), *seed) {
+				fmt.Println(r)
+			}
+		},
+		"6": func() {
+			fmt.Println("# Fig. 6 — conventional vs dynamic-timing 1-way exchange (Err < 1.0)")
+			for _, r := range experiments.Fig06(dims, pick(100), *seed) {
+				fmt.Println(r)
+			}
+		},
+		"7": func() {
+			fmt.Println("# Fig. 7 — worst-case residual error with/without random pairing")
+			for _, r := range experiments.Fig07([]int{100, 400}, pick(1000), *seed) {
+				fmt.Println(r)
+				fmt.Print(r.Hist)
+			}
+		},
+		"8": func() {
+			fmt.Println("# Fig. 8 — convergence time vs heterogeneity (accType) and size")
+			for _, r := range experiments.Fig08(dims, []int{1, 2, 4, 8}, pick(50), *seed) {
+				fmt.Println(r)
+			}
+		},
+		"contention": func() {
+			fmt.Println("# Extension — convergence under background plane-5 traffic")
+			for _, r := range experiments.ContentionStudy(12, []int{0, 20, 50, 100, 200}, pick(10), *seed) {
+				fmt.Println(r)
+			}
+		},
+	}
+
+	if *fig == "all" {
+		for _, k := range []string{"3", "4", "6", "7", "8", "contention"} {
+			run[k]()
+			fmt.Println()
+		}
+		return
+	}
+	f, ok := run[*fig]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "blitzsim: unknown figure %q (want 3, 4, 6, 7, 8, contention, all)\n", *fig)
+		os.Exit(2)
+	}
+	f()
+}

@@ -1,0 +1,203 @@
+// Command export regenerates every experiment and writes its data as CSV
+// files into one directory, mirroring the artifact's "CSV data with
+// post-processing scripts for figure generation" workflow. Plot with the
+// tool of your choice.
+//
+// Usage:
+//
+//	export -outdir data/ [-seed 1] [-trials 50]
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"blitzcoin/internal/experiments"
+)
+
+func main() {
+	outdir := flag.String("outdir", "data", "output directory")
+	seed := flag.Uint64("seed", 1, "random seed")
+	trials := flag.Int("trials", 50, "Monte Carlo trials for the emulator sweeps")
+	flag.Parse()
+
+	if err := os.MkdirAll(*outdir, 0o755); err != nil {
+		fatal(err)
+	}
+
+	dims := []int{4, 8, 12, 16, 20}
+
+	writeCSV(*outdir, "fig03_exchange_modes.csv",
+		[]string{"mode", "d", "N", "cycles_mean", "cycles_p95", "packets_mean"},
+		func(emit func(...string)) {
+			for _, r := range experiments.Fig03(dims, *trials, *seed) {
+				emit(r.Label, itoa(r.D), itoa(r.N),
+					ftoa(r.MeanCycles), ftoa(r.P95Cycles), ftoa(r.MeanPackets))
+			}
+		})
+
+	writeCSV(*outdir, "fig04_bc_vs_tokensmart.csv",
+		[]string{"scheme", "d", "N", "cycles_mean", "cycles_p95", "cycles_max"},
+		func(emit func(...string)) {
+			for _, r := range experiments.Fig04(dims, *trials, *seed) {
+				emit(r.Label, itoa(r.D), itoa(r.N),
+					ftoa(r.MeanCycles), ftoa(r.P95Cycles), ftoa(r.MaxCycles))
+			}
+		})
+
+	writeCSV(*outdir, "fig06_dynamic_timing.csv",
+		[]string{"variant", "d", "N", "cycles_mean", "packets_mean"},
+		func(emit func(...string)) {
+			for _, r := range experiments.Fig06(dims, *trials, *seed) {
+				emit(r.Label, itoa(r.D), itoa(r.N), ftoa(r.MeanCycles), ftoa(r.MeanPackets))
+			}
+		})
+
+	writeCSV(*outdir, "fig07_residual_error.csv",
+		[]string{"N", "random_pairing", "bucket_center", "count"},
+		func(emit func(...string)) {
+			for _, r := range experiments.Fig07([]int{100, 400}, *trials, *seed) {
+				for i, c := range r.Hist.Counts {
+					if c == 0 {
+						continue
+					}
+					emit(itoa(r.N), fmt.Sprint(r.RandomPairing),
+						ftoa(r.Hist.BucketCenter(i)), itoa(c))
+				}
+			}
+		})
+
+	writeCSV(*outdir, "fig08_heterogeneity.csv",
+		[]string{"acc_types", "d", "N", "cycles_mean", "start_error"},
+		func(emit func(...string)) {
+			for _, r := range experiments.Fig08(dims, []int{1, 2, 4, 8}, *trials, *seed) {
+				emit(r.Label, itoa(r.D), itoa(r.N), ftoa(r.MeanCycles), ftoa(r.MeanStartErr))
+			}
+		})
+
+	writeCSV(*outdir, "fig13_power_curves.csv",
+		[]string{"accel", "V", "F_MHz", "P_mW"},
+		func(emit func(...string)) {
+			for _, p := range experiments.Fig13() {
+				emit(p.Accel, ftoa(p.V), ftoa(p.FMHz), ftoa(p.PmW))
+			}
+		})
+
+	// Fig. 16 power traces: one file per run.
+	experiments.Fig16(*seed, func(name string) io.Writer {
+		f, err := os.Create(filepath.Join(*outdir, name))
+		if err != nil {
+			fatal(err)
+		}
+		return f
+	})
+
+	writeCSV(*outdir, "fig17_soc3x3.csv", socHeader(), socRows(experiments.Fig17(*seed)))
+	writeCSV(*outdir, "fig18_soc4x4.csv", socHeader(), socRows(experiments.Fig18(*seed)))
+
+	writeCSV(*outdir, "fig19_silicon.csv",
+		[]string{"accelerators", "exec_us", "utilization_pct", "gain_vs_static_pct", "resp_us"},
+		func(emit func(...string)) {
+			for _, r := range experiments.Fig19(200, *seed) {
+				emit(itoa(r.Accelerators), ftoa(r.ExecUs), ftoa(r.UtilizationPct),
+					ftoa(r.ThroughputGainPct), ftoa(r.MeanResponseUs))
+			}
+		})
+
+	// Fig. 20: the coin-count trace across the end-of-NVDLA transition.
+	rec, resp := experiments.Fig20Trace(200, *seed)
+	f, err := os.Create(filepath.Join(*outdir, "fig20_coin_trace.csv"))
+	if err != nil {
+		fatal(err)
+	}
+	if err := rec.WriteCSV(f); err != nil {
+		fatal(err)
+	}
+	f.Close()
+	fmt.Printf("fig20 transition response: %.2f us\n", float64(resp)/800)
+
+	// Fig. 21: fitted models and projections.
+	models := experiments.FitScalingModels(*seed)
+	writeCSV(*outdir, "fig21_scaling.csv",
+		[]string{"scheme", "law", "tau_us", "nmax_0p2ms", "nmax_1ms", "nmax_7ms", "nmax_10ms", "overhead_pct_n100_10ms"},
+		func(emit func(...string)) {
+			for _, name := range []string{"BC", "BC-C", "C-RR", "TS", "PT"} {
+				m, ok := models[name]
+				if !ok {
+					continue
+				}
+				emit(name, m.Law.String(), ftoa(m.Tau),
+					ftoa(m.NMax(200)), ftoa(m.NMax(1000)), ftoa(m.NMax(7000)), ftoa(m.NMax(10000)),
+					ftoa(100*m.OverheadFraction(100, 10000)))
+			}
+		})
+
+	writeCSV(*outdir, "table1_comparison.csv",
+		[]string{"strategy", "reference", "control", "allocation", "levels", "resp_us_n13", "scaling"},
+		func(emit func(...string)) {
+			for _, r := range experiments.Table1(*seed) {
+				emit(r.Strategy, r.Reference, r.Control, r.Allocation,
+					itoa(r.Levels), ftoa(r.ResponseUs), r.Scaling)
+			}
+		})
+
+	writeCSV(*outdir, "ap_vs_rp.csv",
+		[]string{"budget_mw", "ap_exec_us", "rp_exec_us", "rp_gain_pct"},
+		func(emit func(...string)) {
+			for _, r := range experiments.APvsRP([]float64{60, 80, 100, 120}, *seed) {
+				emit(ftoa(r.BudgetMW), ftoa(r.APExecUs), ftoa(r.RPExecUs), ftoa(r.RPImprovementPct))
+			}
+		})
+
+	fmt.Printf("wrote experiment data to %s\n", *outdir)
+}
+
+func socHeader() []string {
+	return []string{"soc", "scheme", "budget_mw", "workload", "exec_us", "resp_mean_us", "resp_max_us", "utilization_pct"}
+}
+
+func socRows(rows []experiments.SoCRow) func(emit func(...string)) {
+	return func(emit func(...string)) {
+		for _, r := range rows {
+			emit(r.SoC, r.Scheme, ftoa(r.BudgetMW), r.Workload,
+				ftoa(r.Res.ExecMicros()), ftoa(r.Res.MeanResponseMicros()),
+				ftoa(r.Res.MaxResponseMicros()), ftoa(r.Res.UtilizationPct()))
+		}
+	}
+}
+
+func writeCSV(dir, name string, header []string, fill func(emit func(...string))) {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		fatal(err)
+	}
+	fill(func(fields ...string) {
+		if err := w.Write(fields); err != nil {
+			fatal(err)
+		}
+	})
+	w.Flush()
+	if err := w.Error(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  %s\n", name)
+}
+
+func itoa(v int) string { return strconv.Itoa(v) }
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "export: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,89 @@
+// Command scaling runs the analytical extension to larger SoCs: the
+// motivation trends of Fig. 1, the Nmax and PM-overhead projections of
+// Fig. 21 (with scaling constants fitted from this repository's own
+// measured SoC responses, as the paper fits its constants from its SoCs),
+// and the cross-design comparison of Table I.
+//
+// Usage:
+//
+//	scaling -fig 1
+//	scaling -fig 21 [-paper]   # -paper uses the paper's tau constants
+//	scaling -table 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"blitzcoin/internal/experiments"
+	"blitzcoin/internal/scaling"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure: 1 or 21")
+	table := flag.String("table", "", "table: 1")
+	usePaper := flag.Bool("paper", false, "use the paper's fitted tau constants instead of refitting")
+	seed := flag.Uint64("seed", 1, "random seed for the fitting runs")
+	flag.Parse()
+
+	switch {
+	case *fig == "1":
+		fmt.Println("# Fig. 1 — response time vs activity-change interval Tw/N")
+		fmt.Println("scheme   N     T(N) us    Tw(ms)  Tw/N us  supported")
+		for _, r := range experiments.Fig01(
+			[]float64{5, 10, 20, 50, 100, 200, 500, 1000},
+			[]float64{1, 5, 20}) {
+			fmt.Printf("%-6s %5.0f %9.2f %8.0f %9.2f  %v\n",
+				r.Scheme, r.N, r.ResponseUs, r.TwMs, r.IntervalUs, r.Supported)
+		}
+	case *fig == "21":
+		var models map[string]scaling.Model
+		if *usePaper {
+			models = scaling.PaperModels()
+			fmt.Println("# Fig. 21 — using the paper's tau constants")
+		} else {
+			fmt.Println("# Fig. 21 — fitting tau from this repo's measured SoC responses...")
+			models = experiments.FitScalingModels(*seed)
+		}
+		names := make([]string, 0, len(models))
+		for n := range models {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Println("fitted models:")
+		for _, n := range names {
+			m := models[n]
+			fmt.Printf("  %-5s %-11s tau=%.3f us\n", m.Name, m.Law, m.Tau)
+		}
+		fmt.Println("\nNmax by workload phase duration (left panel):")
+		fmt.Println("scheme  Tw=0.2ms  Tw=1ms  Tw=7ms  Tw=10ms")
+		for _, n := range []string{"BC", "BC-C", "C-RR", "TS", "PT"} {
+			m, ok := models[n]
+			if !ok {
+				continue
+			}
+			fmt.Printf("%-6s %9.0f %7.0f %7.0f %8.0f\n", n,
+				m.NMax(200), m.NMax(1000), m.NMax(7000), m.NMax(10000))
+		}
+		fmt.Println("\nPM-time fraction at Tw=10ms (right panel):")
+		fmt.Println("scheme   N=10   N=100   N=400  N=1000")
+		for _, n := range []string{"BC", "BC-C", "C-RR", "TS", "PT"} {
+			m, ok := models[n]
+			if !ok {
+				continue
+			}
+			f := func(x float64) float64 { return 100 * m.OverheadFraction(x, 10000) }
+			fmt.Printf("%-6s %5.1f%% %6.1f%% %6.1f%% %6.1f%%\n", n, f(10), f(100), f(400), f(1000))
+		}
+	case *table == "1":
+		fmt.Println("# Table I — implemented state-of-the-art designs (response measured at N=13)")
+		for _, r := range experiments.Table1(*seed) {
+			fmt.Println(r)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "scaling: pass -fig 1, -fig 21, or -table 1")
+		os.Exit(2)
+	}
+}

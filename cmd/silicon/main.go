@@ -1,0 +1,85 @@
+// Command silicon runs the silicon-prototype proxy experiments of
+// Sec. VI-C on the simulated 6x6 SoC with its 10-tile PM cluster: budget
+// utilization and throughput versus static allocation for the 7/5/4/3-
+// accelerator workloads (Fig. 19), and the coin-exchange response to the
+// end-of-NVDLA activity transition (Fig. 20).
+//
+// Usage:
+//
+//	silicon -fig 19 [-budget 200] [-seed 1]
+//	silicon -fig 20
+//	silicon -fig all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"blitzcoin/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "experiment: 19, 20, nopm, or all")
+	budget := flag.Float64("budget", 200, "PM-cluster power budget in mW")
+	seed := flag.Uint64("seed", 1, "random seed")
+	trace := flag.String("trace", "", "CSV path for the Fig. 20 coin-count trace (optional)")
+	flag.Parse()
+
+	run := map[string]func(){
+		"19": func() {
+			fmt.Println("# Fig. 19 — silicon proxy: utilization and throughput vs static allocation")
+			for _, r := range experiments.Fig19(*budget, *seed) {
+				fmt.Println(r)
+			}
+			fmt.Println("\n# Fig. 19 (bottom left) — coin allocation before/after convergence")
+			for _, r := range experiments.Fig19Coins(*budget, *seed) {
+				fmt.Println(r)
+			}
+		},
+		"20": func() {
+			fmt.Println("# Fig. 20 — response to activity transitions, 7-accelerator workload")
+			for _, r := range experiments.Fig20(*budget, *seed) {
+				fmt.Println(r)
+			}
+			rec, resp := experiments.Fig20Trace(*budget, *seed)
+			fmt.Printf("\n# Fig. 20 — coin counts across the end-of-NVDLA transition (response %.2f us)\n",
+				float64(resp)/800)
+			if *trace != "" {
+				f, err := os.Create(*trace)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "silicon: %v\n", err)
+					os.Exit(1)
+				}
+				defer f.Close()
+				if err := rec.WriteCSV(f); err != nil {
+					fmt.Fprintf(os.Stderr, "silicon: %v\n", err)
+					os.Exit(1)
+				}
+				fmt.Printf("(coin trace written to %s)\n", *trace)
+			} else {
+				for _, name := range rec.Names() {
+					fmt.Printf("  %-14s final=%2.0f coins\n", name, rec.Series(name).Last())
+				}
+			}
+		},
+		"nopm": func() {
+			fmt.Println("# Sec. VI-C — PM overhead: BlitzCoin vs the No-PM baseline tile")
+			fmt.Println(experiments.NoPMOverhead(*seed))
+		},
+	}
+
+	if *fig == "all" {
+		for _, k := range []string{"19", "20", "nopm"} {
+			run[k]()
+			fmt.Println()
+		}
+		return
+	}
+	f, ok := run[*fig]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "silicon: unknown experiment %q (want 19, 20, nopm, all)\n", *fig)
+		os.Exit(2)
+	}
+	f()
+}

@@ -1,0 +1,96 @@
+// Command socsim runs the full-SoC evaluation of Secs. V-VI: accelerator
+// power/frequency characterization (Fig. 13), power traces (Fig. 16),
+// execution and response times on the 3x3 and 4x4 SoCs (Figs. 17-18), and
+// the AP-vs-RP allocation-strategy comparison (Sec. VI-A).
+//
+// Usage:
+//
+//	socsim -fig 17 [-seed 1]
+//	socsim -fig 16 -outdir traces/    # writes per-run CSV power traces
+//	socsim -fig all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"blitzcoin/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "experiment: 13, 16, 17, 18, ap-rp, or all")
+	seed := flag.Uint64("seed", 1, "random seed")
+	outdir := flag.String("outdir", "", "directory for Fig. 16 CSV power traces (optional)")
+	flag.Parse()
+
+	csvSink := func(name string) io.Writer {
+		if *outdir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "socsim: %v\n", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(filepath.Join(*outdir, name))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "socsim: %v\n", err)
+			os.Exit(1)
+		}
+		// The process exit flushes; runs are short-lived.
+		return f
+	}
+
+	run := map[string]func(){
+		"13": func() {
+			fmt.Println("# Fig. 13 — accelerator power/frequency characterization")
+			fmt.Println("accel   V      F(MHz)   P(mW)")
+			for _, p := range experiments.Fig13() {
+				fmt.Printf("%-7s %.2f %8.1f %8.2f\n", p.Accel, p.V, p.FMHz, p.PmW)
+			}
+		},
+		"16": func() {
+			fmt.Println("# Fig. 16 — 3x3 power traces (WL-Par @120mW, WL-Dep @60mW)")
+			for _, r := range experiments.Fig16(*seed, csvSink) {
+				fmt.Println(r)
+			}
+			if *outdir != "" {
+				fmt.Printf("(CSV traces written to %s)\n", *outdir)
+			}
+		},
+		"17": func() {
+			fmt.Println("# Fig. 17 — 3x3 SoC: execution and response time, BC vs BC-C vs C-RR")
+			for _, r := range experiments.Fig17(*seed) {
+				fmt.Println(r)
+			}
+		},
+		"18": func() {
+			fmt.Println("# Fig. 18 — 4x4 SoC: execution and response time, BC vs BC-C vs C-RR")
+			for _, r := range experiments.Fig18(*seed) {
+				fmt.Println(r)
+			}
+		},
+		"ap-rp": func() {
+			fmt.Println("# Sec. VI-A — Absolute vs Relative Proportional allocation (3x3, BC)")
+			for _, r := range experiments.APvsRP([]float64{60, 80, 100, 120}, *seed) {
+				fmt.Println(r)
+			}
+		},
+	}
+
+	if *fig == "all" {
+		for _, k := range []string{"13", "16", "17", "18", "ap-rp"} {
+			run[k]()
+			fmt.Println()
+		}
+		return
+	}
+	f, ok := run[*fig]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "socsim: unknown experiment %q (want 13, 16, 17, 18, ap-rp, all)\n", *fig)
+		os.Exit(2)
+	}
+	f()
+}

@@ -1,0 +1,179 @@
+package blitzcoin
+
+import (
+	"fmt"
+
+	"blitzcoin/internal/mesh"
+	"blitzcoin/internal/rng"
+	"blitzcoin/internal/soc"
+	"blitzcoin/internal/workload"
+)
+
+// TileSpec places one tile on a custom SoC grid. Kind is one of "cpu",
+// "mem", "io", "spm", "accel", or "accel-nopm"; Accel names the
+// accelerator type for the accel kinds (FFT, Viterbi, NVDLA, GEMM, Conv2D,
+// Vision).
+type TileSpec struct {
+	Kind  string
+	Accel string
+}
+
+// TaskSpec is one task of a custom workload DAG. Deps index earlier tasks.
+type TaskSpec struct {
+	Name       string
+	Accel      string
+	WorkCycles float64
+	Deps       []int
+}
+
+// CustomSoCOptions describes a user-defined platform and workload: lay out
+// any WxH grid of tiles, supply any DAG over the modeled accelerators, and
+// run it under any of the implemented PM schemes. This is the
+// build-your-own entry point a downstream user starts from when their SoC
+// is not one of the paper's three.
+type CustomSoCOptions struct {
+	Name string
+	// W, H are the grid dimensions; Tiles lists W*H tile placements in
+	// row-major order.
+	W, H  int
+	Tiles []TileSpec
+	// Torus enables wrap-around neighbor semantics (the paper's choice).
+	Torus bool
+
+	BudgetMW float64
+	Scheme   Scheme
+	// AbsoluteProportional selects AP allocation; default is RP.
+	AbsoluteProportional bool
+
+	// Tasks defines the workload; Repeat chains frames (default 1).
+	Tasks  []TaskSpec
+	Repeat int
+
+	Seed uint64
+}
+
+// RunCustomSoC assembles and runs the described platform. Errors report
+// invalid layouts or workloads; simulation itself is deterministic for the
+// given seed.
+func RunCustomSoC(o CustomSoCOptions) (SoCResult, error) {
+	if o.W <= 0 || o.H <= 0 {
+		return SoCResult{}, fmt.Errorf("blitzcoin: invalid grid %dx%d", o.W, o.H)
+	}
+	if len(o.Tiles) != o.W*o.H {
+		return SoCResult{}, fmt.Errorf("blitzcoin: %d tiles for a %dx%d grid", len(o.Tiles), o.W, o.H)
+	}
+	if o.Name == "" {
+		o.Name = fmt.Sprintf("custom-%dx%d", o.W, o.H)
+	}
+	if o.Scheme == "" {
+		o.Scheme = BC
+	}
+	if o.Repeat == 0 {
+		o.Repeat = 1
+	}
+
+	tiles := make([]soc.TileConfig, len(o.Tiles))
+	for i, ts := range o.Tiles {
+		switch ts.Kind {
+		case "cpu":
+			tiles[i] = soc.TileConfig{Kind: soc.TileCPU}
+		case "mem":
+			tiles[i] = soc.TileConfig{Kind: soc.TileMem}
+		case "io":
+			tiles[i] = soc.TileConfig{Kind: soc.TileIO}
+		case "spm":
+			tiles[i] = soc.TileConfig{Kind: soc.TileSPM}
+		case "accel":
+			tiles[i] = soc.TileConfig{Kind: soc.TileAccel, Accel: ts.Accel}
+		case "accel-nopm":
+			tiles[i] = soc.TileConfig{Kind: soc.TileAccelNoPM, Accel: ts.Accel}
+		case "", "empty":
+			tiles[i] = soc.TileConfig{Kind: soc.TileEmpty}
+		default:
+			return SoCResult{}, fmt.Errorf("blitzcoin: tile %d has unknown kind %q", i, ts.Kind)
+		}
+	}
+
+	cfg := soc.Config{
+		Name:     o.Name,
+		Mesh:     mesh.New(o.W, o.H, o.Torus),
+		Tiles:    tiles,
+		BudgetMW: o.BudgetMW,
+		Scheme:   lookupScheme(o.Scheme),
+		Strategy: soc.RelativeProportional,
+		Seed:     o.Seed,
+	}
+	if o.AbsoluteProportional {
+		cfg.Strategy = soc.AbsoluteProportional
+	}
+	if err := cfg.Validate(); err != nil {
+		return SoCResult{}, err
+	}
+
+	if len(o.Tasks) == 0 {
+		return SoCResult{}, fmt.Errorf("blitzcoin: custom SoC needs at least one task")
+	}
+	g := &workload.Graph{Name: o.Name + "-workload"}
+	for i, t := range o.Tasks {
+		name := t.Name
+		if name == "" {
+			name = fmt.Sprintf("task-%d", i)
+		}
+		g.Tasks = append(g.Tasks, workload.Task{
+			ID: i, Name: name, Accel: t.Accel, WorkCycles: t.WorkCycles,
+			Deps: append([]int(nil), t.Deps...),
+		})
+	}
+	if err := g.Validate(); err != nil {
+		return SoCResult{}, err
+	}
+	if o.Repeat > 1 {
+		g = workload.Repeat(g, o.Repeat)
+	}
+	for _, task := range g.Tasks {
+		found := false
+		for _, tc := range tiles {
+			if tc.Kind == soc.TileAccel && tc.Accel == task.Accel {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return SoCResult{}, fmt.Errorf("blitzcoin: workload needs accelerator %q, absent from the layout", task.Accel)
+		}
+	}
+
+	res := soc.New(cfg).Run(g)
+	return SoCResult{
+		SoC:                  res.SoC,
+		Scheme:               res.Scheme,
+		Strategy:             res.Strategy,
+		Workload:             res.Workload,
+		Completed:            res.Completed,
+		ExecMicros:           res.ExecMicros(),
+		MeanResponseMicros:   res.MeanResponseMicros(),
+		MedianResponseMicros: res.MedianResponseMicros(),
+		MaxResponseMicros:    res.MaxResponseMicros(),
+		ResponsesRecorded:    len(res.Responses),
+		AvgPowerMW:           res.AvgPowerMW,
+		PeakPowerMW:          res.PeakPowerMW,
+		BudgetMW:             res.BudgetMW,
+		UtilizationPct:       res.UtilizationPct(),
+		ActivityChanges:      res.ActivityChanges,
+		res:                  res,
+	}, nil
+}
+
+// RandomWorkload generates a seeded random DAG over the given accelerator
+// types, for stress-testing custom platforms.
+func RandomWorkload(seed uint64, n int, accels []string, minWork, maxWork float64, maxDeps int) []TaskSpec {
+	g := workload.RandomDAG(rng.New(seed), n, accels, minWork, maxWork, maxDeps)
+	out := make([]TaskSpec, len(g.Tasks))
+	for i, t := range g.Tasks {
+		out[i] = TaskSpec{
+			Name: t.Name, Accel: t.Accel, WorkCycles: t.WorkCycles,
+			Deps: append([]int(nil), t.Deps...),
+		}
+	}
+	return out
+}

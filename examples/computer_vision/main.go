@@ -1,0 +1,62 @@
+// Computer-vision scenario: the paper's 4x4 SoC with 13 accelerator tiles
+// (4 Vision preprocessors, 4 Conv2D feature extractors, 5 GEMM classifiers)
+// running the night-vision/denoise/classify pipeline.
+//
+// The example shows the effect of the power budget (450 vs 900 mW — 33% vs
+// 66% of combined max power) and of the allocation strategy (Absolute vs
+// Relative Proportional) on BlitzCoin's throughput.
+//
+// Run with:
+//
+//	go run ./examples/computer_vision
+package main
+
+import (
+	"fmt"
+
+	"blitzcoin"
+)
+
+func main() {
+	fmt.Println("4x4 computer-vision SoC, BlitzCoin, 3 frames")
+	fmt.Println()
+
+	fmt.Println("-- budget sensitivity (WL-Par, RP allocation) --")
+	for _, budget := range []float64{450, 900} {
+		r := blitzcoin.RunSoC(blitzcoin.SoCOptions{
+			SoC:      "4x4",
+			Scheme:   blitzcoin.BC,
+			BudgetMW: budget,
+			Workload: blitzcoin.CVParallel,
+			Seed:     11,
+		})
+		fmt.Printf("budget %4.0f mW: exec=%8.1f us  avg power=%6.1f mW  util=%5.1f%%\n",
+			budget, r.ExecMicros, r.AvgPowerMW, r.UtilizationPct)
+	}
+
+	fmt.Println("\n-- allocation strategy (WL-Dep, 450 mW) --")
+	for _, ap := range []bool{false, true} {
+		r := blitzcoin.RunSoC(blitzcoin.SoCOptions{
+			SoC:                  "4x4",
+			Scheme:               blitzcoin.BC,
+			BudgetMW:             450,
+			Workload:             blitzcoin.CVDependent,
+			AbsoluteProportional: ap,
+			Seed:                 11,
+		})
+		fmt.Printf("%-2s: exec=%8.1f us\n", r.Strategy, r.ExecMicros)
+	}
+
+	fmt.Println("\n-- scheme comparison (WL-Par, 450 mW) --")
+	for _, scheme := range []blitzcoin.Scheme{blitzcoin.BC, blitzcoin.BCC, blitzcoin.CRR} {
+		r := blitzcoin.RunSoC(blitzcoin.SoCOptions{
+			SoC:      "4x4",
+			Scheme:   scheme,
+			BudgetMW: 450,
+			Workload: blitzcoin.CVParallel,
+			Seed:     11,
+		})
+		fmt.Printf("%-5s exec=%8.1f us  resp(median)=%5.2f us\n",
+			r.Scheme, r.ExecMicros, r.MedianResponseMicros)
+	}
+}

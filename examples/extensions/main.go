@@ -1,0 +1,70 @@
+// Extensions: the three features the paper sketches beyond the core
+// deployment — the thermal hotspot guard (Sec. III-B), the CPU power proxy
+// that would extend BlitzCoin to processor tiles (Sec. IV-C), and the UVFR
+// vs conventional-actuator contrast under supply droop (Sec. II-C, Fig. 9).
+//
+// Run with:
+//
+//	go run ./examples/extensions
+package main
+
+import (
+	"fmt"
+
+	"blitzcoin"
+)
+
+func main() {
+	// 1. Thermal hotspot guard: the same hotspot-initialized exchange with
+	// and without a neighborhood coin cap. The guard bounds any 5-tile
+	// neighborhood's allocation; convergence still happens.
+	fmt.Println("== Thermal hotspot guard (Sec. III-B) ==")
+	for _, cap := range []int64{0, 60} {
+		res := blitzcoin.SimulateExchange(blitzcoin.ExchangeOptions{
+			Dim: 8, Torus: true, RandomPairing: true,
+			Init: blitzcoin.InitHotspot, TargetPerTile: 16, CoinsPerTile: 8,
+			ThermalCap: cap, Seed: 7,
+		})
+		label := "uncapped"
+		if cap > 0 {
+			label = fmt.Sprintf("cap=%d coins/neighborhood", cap)
+		}
+		fmt.Printf("%-28s converged=%v in %d cycles, %d exchanges clamped\n",
+			label, res.Converged, res.ConvergenceCycles, res.ThermalRejects)
+	}
+
+	// 2. CPU power proxy: activity counters drive a dynamic coin target,
+	// so the core's claim on the budget tracks what it actually runs.
+	fmt.Println("\n== CPU power proxy (Sec. IV-C) ==")
+	var lastTarget int64
+	proxy := blitzcoin.NewCPUPowerProxy(1.5, func(coins int64) { lastTarget = coins })
+	phases := []struct {
+		name string
+		w    blitzcoin.CPUActivityWindow
+	}{
+		{"compute-bound", blitzcoin.CPUActivityWindow{
+			Cycles: 100000, Instr: 200000, MemOps: 25000, FPOps: 25000, BranchMiss: 1000}},
+		{"memory-stalled", blitzcoin.CPUActivityWindow{
+			Cycles: 100000, Instr: 20000, MemOps: 15000}},
+		{"idle-spin", blitzcoin.CPUActivityWindow{
+			Cycles: 100000, Instr: 2000}},
+	}
+	for _, ph := range phases {
+		// A few windows let the EWMA settle on the phase.
+		for i := 0; i < 8; i++ {
+			proxy.Sample(ph.w, 800)
+		}
+		fmt.Printf("%-15s estimate=%6.1f mW -> coin target %2d\n",
+			ph.name, proxy.EstimateMW(), lastTarget)
+	}
+
+	// 3. UVFR vs conventional actuation under a supply droop.
+	fmt.Println("\n== UVFR vs conventional dual-loop under droop (Fig. 9) ==")
+	for _, droop := range []float64{0.03, 0.08} {
+		c := blitzcoin.CompareDroop(700, droop)
+		fmt.Printf("droop %2.0f mV: UVFR clock %.0f -> %.0f MHz (stretches, always safe); "+
+			"conventional violated=%v; guardband costs %.1f%% power always\n",
+			droop*1000, c.UVFRFreqBeforeMHz, c.UVFRFreqDuringMHz,
+			c.ConventionalViolated, c.GuardbandPowerPenaltyPct)
+	}
+}

@@ -1,0 +1,67 @@
+// Large-SoC scaling: run the coin exchange on meshes from 16 to 400 tiles
+// to demonstrate the O(sqrt(N)) convergence scaling, then project how many
+// accelerators each power-management scheme can support as workload phases
+// shorten (the Fig. 1 / Fig. 21 story).
+//
+// Run with:
+//
+//	go run ./examples/largesoc
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"blitzcoin"
+)
+
+func main() {
+	fmt.Println("== Convergence scaling: coin exchange from a hotspot ==")
+	fmt.Printf("%4s %6s %12s %12s %14s\n", "d", "N", "cycles", "us", "cycles/sqrt(N)")
+
+	var ns, times []float64
+	for _, d := range []int{4, 8, 12, 16, 20} {
+		var cycles float64
+		const trials = 10
+		for s := uint64(0); s < trials; s++ {
+			r := blitzcoin.SimulateExchange(blitzcoin.ExchangeOptions{
+				Dim:           d,
+				Torus:         true,
+				RandomPairing: true,
+				Init:          blitzcoin.InitHotspot,
+				Seed:          1000*uint64(d) + s,
+			})
+			if !r.Converged {
+				panic("run did not converge")
+			}
+			cycles += float64(r.ConvergenceCycles)
+		}
+		cycles /= trials
+		n := float64(d * d)
+		fmt.Printf("%4d %6.0f %12.0f %12.2f %14.1f\n",
+			d, n, cycles, cycles/800, cycles/math.Sqrt(n))
+		ns = append(ns, n)
+		times = append(times, cycles/800)
+	}
+
+	// Fit our own tau_BC from the sweep and project, exactly as Sec. V-E
+	// fits its constants from measured SoCs.
+	bc := blitzcoin.FitScaling("BC", "O(sqrt(N))", ns, times)
+	fmt.Printf("\nfitted tau_BC = %.3f us (paper: 0.20 us)\n", bc.TauMicros)
+
+	fmt.Println("\n== Maximum supported accelerators (Eq. 5.3) ==")
+	fmt.Printf("%10s %10s %12s\n", "Tw", "Nmax(BC)", "Nmax(C-RR)")
+	var crr blitzcoin.ScalingModel
+	for _, m := range blitzcoin.PaperScalingModels() {
+		if m.Name == "C-RR" {
+			crr = m
+		}
+	}
+	for _, twMs := range []float64{0.2, 1, 5, 7, 20, 50} {
+		fmt.Printf("%8.1fms %10.0f %12.0f\n",
+			twMs, bc.NMax(twMs*1000), crr.NMax(twMs*1000))
+	}
+
+	fmt.Println("\nBlitzCoin keeps up with millisecond-scale workload churn at N in the")
+	fmt.Println("hundreds, where centralized controllers saturate below N = 50.")
+}

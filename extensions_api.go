@@ -1,0 +1,93 @@
+package blitzcoin
+
+import (
+	"blitzcoin/internal/cpuproxy"
+	"blitzcoin/internal/uvfr"
+)
+
+// CPUActivityWindow is one sampling window of CPU activity counters, the
+// input to the power-proxy extension (Sec. IV-C via Floyd [18] and
+// Huang [75]).
+type CPUActivityWindow struct {
+	Cycles     uint64
+	Instr      uint64
+	MemOps     uint64
+	FPOps      uint64
+	BranchMiss uint64
+}
+
+// CPUPowerProxy derives a CPU tile's BlitzCoin coin target from observed
+// activity: a mostly-idle core stops hoarding budget that accelerators
+// could use, and a busy core claims what its workload actually draws.
+type CPUPowerProxy struct {
+	mgr *cpuproxy.Manager
+}
+
+// NewCPUPowerProxy builds a proxy-driven manager for a CVA6-class core at
+// the given coin value (mW per coin). The onTarget callback receives each
+// new coin target; wire it to the exchange fabric (or inspect it directly).
+func NewCPUPowerProxy(mWPerCoin float64, onTarget func(coins int64)) *CPUPowerProxy {
+	return &CPUPowerProxy{mgr: &cpuproxy.Manager{
+		Proxy:           cpuproxy.NewProxy(cpuproxy.DefaultWeights(), 0.3),
+		Curve:           cpuproxy.NewDynamicCurve(cpuproxy.CVA6(), 0.12),
+		MWPerCoin:       mWPerCoin,
+		HysteresisCoins: 2,
+		SetMax:          onTarget,
+	}}
+}
+
+// Sample folds one counter window at the given clock and returns the coin
+// target the core should request.
+func (p *CPUPowerProxy) Sample(w CPUActivityWindow, fMHz float64) int64 {
+	return p.mgr.Sample(cpuproxy.Counters{
+		Cycles: w.Cycles, Instr: w.Instr, MemOps: w.MemOps,
+		FPOps: w.FPOps, BranchMiss: w.BranchMiss,
+	}, fMHz)
+}
+
+// EstimateMW returns the smoothed power estimate of the last samples.
+func (p *CPUPowerProxy) EstimateMW() float64 { return p.mgr.Proxy.EstimateMW() }
+
+// DroopComparison contrasts the UVFR against a conventional dual-loop
+// actuator under the same transient supply droop (Sec. II-C, Fig. 9): the
+// UVFR's critical-path-replica clock stretches and stays safe by
+// construction; the conventional PLL holds frequency and relies on a static
+// voltage guardband, which the droop can breach — and which costs dynamic
+// power all the time.
+type DroopComparison struct {
+	// UVFRFreqBeforeMHz and UVFRFreqDuringMHz show the clock stretching.
+	UVFRFreqBeforeMHz float64
+	UVFRFreqDuringMHz float64
+	// ConventionalViolated reports whether the droop breached the
+	// conventional design's guardband (a potential timing failure).
+	ConventionalViolated bool
+	// GuardbandPowerPenaltyPct is the steady-state dynamic-power overhead
+	// the conventional guardband costs; the UVFR's equivalent is zero.
+	GuardbandPowerPenaltyPct float64
+}
+
+// CompareDroop runs both actuators to a settled operating point at
+// fTargetMHz, injects a droop of droopV volts, and reports the contrast.
+// It panics on non-positive targets or negative droop.
+func CompareDroop(fTargetMHz, droopV float64) DroopComparison {
+	if fTargetMHz <= 0 {
+		panic("blitzcoin: non-positive frequency target")
+	}
+	reg := uvfr.NewRegulator(uvfr.DefaultConfig(800, 0.5, 1.0))
+	reg.SetTargetMHz(fTargetMHz)
+	reg.SettleCycles(2000)
+	before := reg.FreqMHz()
+	reg.InjectDroop(droopV)
+	during := reg.FreqMHz()
+
+	conv := uvfr.NewConventional(800, 0.5, 1.0, 0.05)
+	conv.SetTargetMHz(fTargetMHz)
+	conv.InjectDroop(droopV)
+
+	return DroopComparison{
+		UVFRFreqBeforeMHz:        before,
+		UVFRFreqDuringMHz:        during,
+		ConventionalViolated:     conv.TimingViolated(),
+		GuardbandPowerPenaltyPct: 100 * conv.GuardbandPowerPenalty(),
+	}
+}

@@ -1,0 +1,74 @@
+package blitzcoin
+
+import "testing"
+
+func TestThermalCapThroughPublicAPI(t *testing.T) {
+	capped := SimulateExchange(ExchangeOptions{
+		Dim: 8, Torus: true, RandomPairing: true, Init: InitHotspot,
+		TargetPerTile: 16, CoinsPerTile: 8, ThermalCap: 50, Seed: 3,
+	})
+	if !capped.CoinsConserved {
+		t.Fatal("thermal cap broke conservation")
+	}
+	if capped.ThermalRejects == 0 {
+		t.Fatal("tight cap on a hotspot recorded no clamps")
+	}
+	free := SimulateExchange(ExchangeOptions{
+		Dim: 8, Torus: true, RandomPairing: true, Init: InitHotspot,
+		TargetPerTile: 16, CoinsPerTile: 8, Seed: 3,
+	})
+	if free.ThermalRejects != 0 {
+		t.Fatal("uncapped run recorded clamps")
+	}
+}
+
+func TestCPUPowerProxyTracksActivity(t *testing.T) {
+	var targets []int64
+	p := NewCPUPowerProxy(1.5, func(c int64) { targets = append(targets, c) })
+	busy := CPUActivityWindow{Cycles: 100000, Instr: 200000, MemOps: 25000, FPOps: 25000}
+	idle := CPUActivityWindow{Cycles: 100000, Instr: 2000}
+	var busyTarget, idleTarget int64
+	for i := 0; i < 10; i++ {
+		busyTarget = p.Sample(busy, 800)
+	}
+	for i := 0; i < 10; i++ {
+		idleTarget = p.Sample(idle, 800)
+	}
+	if idleTarget >= busyTarget {
+		t.Fatalf("idle target %d not below busy %d", idleTarget, busyTarget)
+	}
+	if len(targets) == 0 {
+		t.Fatal("no targets pushed")
+	}
+	if p.EstimateMW() <= 0 {
+		t.Fatal("no power estimate")
+	}
+}
+
+func TestCompareDroopContrast(t *testing.T) {
+	// Small droop: both survive, UVFR clock stretches.
+	small := CompareDroop(700, 0.03)
+	if small.UVFRFreqDuringMHz >= small.UVFRFreqBeforeMHz {
+		t.Fatal("UVFR clock did not stretch")
+	}
+	if small.ConventionalViolated {
+		t.Fatal("30mV droop should sit inside the 50mV guardband")
+	}
+	// Large droop: conventional breaks, UVFR still just slows.
+	large := CompareDroop(700, 0.08)
+	if !large.ConventionalViolated {
+		t.Fatal("80mV droop should breach the guardband")
+	}
+	if large.GuardbandPowerPenaltyPct <= 0 {
+		t.Fatal("guardband penalty missing")
+	}
+}
+
+func TestCompareDroopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad target did not panic")
+		}
+	}()
+	CompareDroop(0, 0.05)
+}

@@ -1,0 +1,161 @@
+package coin
+
+import (
+	"fmt"
+
+	"blitzcoin/internal/rng"
+)
+
+// Assignment is an initial condition for an emulator run: per-tile targets
+// and per-tile starting coin counts.
+type Assignment struct {
+	Max []int64
+	Has []int64
+}
+
+// TotalCoins returns the (conserved) coin pool size.
+func (a Assignment) TotalCoins() int64 {
+	var t int64
+	for _, h := range a.Has {
+		t += h
+	}
+	return t
+}
+
+// TotalMax returns the sum of targets.
+func (a Assignment) TotalMax() int64 {
+	var t int64
+	for _, m := range a.Max {
+		t += m
+	}
+	return t
+}
+
+// validate panics on malformed assignments.
+func (a Assignment) validate(n int) {
+	if len(a.Max) != n || len(a.Has) != n {
+		panic(fmt.Sprintf("coin: assignment size %d/%d, mesh has %d tiles",
+			len(a.Max), len(a.Has), n))
+	}
+	for i := range a.Max {
+		if a.Max[i] < 0 || a.Has[i] < 0 {
+			panic("coin: negative initial max/has")
+		}
+	}
+}
+
+// UniformMaxes returns n equal targets, the Absolute Proportional (AP)
+// allocation strategy where every tile is assigned the same power target.
+func UniformMaxes(n int, max int64) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = max
+	}
+	return out
+}
+
+// HeterogeneousMaxes assigns each of n tiles one of accTypes distinct target
+// levels, modeling SoCs with increasing degrees of heterogeneity (Fig. 8:
+// accType 1 is fully homogeneous; larger values mean more accelerator
+// types). Type k (0-based) gets target base*(k+1); tiles are assigned types
+// round-robin and then shuffled so type placement is random, as in the
+// paper's Monte Carlo runs.
+func HeterogeneousMaxes(src *rng.Source, n, accTypes int, base int64) []int64 {
+	if accTypes <= 0 || accTypes > n {
+		panic(fmt.Sprintf("coin: accTypes %d out of range for %d tiles", accTypes, n))
+	}
+	if base <= 0 {
+		panic("coin: base target must be positive")
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = base * int64(i%accTypes+1)
+	}
+	src.Shuffle(n, func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// RandomAssignment distributes totalCoins uniformly at random across the n
+// tiles (each coin lands on an independently chosen tile), modeling the
+// random initializations of the Monte Carlo experiments. The targets are
+// taken as given.
+func RandomAssignment(src *rng.Source, maxes []int64, totalCoins int64) Assignment {
+	if totalCoins < 0 {
+		panic("coin: negative coin pool")
+	}
+	has := make([]int64, len(maxes))
+	for c := int64(0); c < totalCoins; c++ {
+		has[src.Intn(len(maxes))]++
+	}
+	maxCopy := make([]int64, len(maxes))
+	copy(maxCopy, maxes)
+	return Assignment{Max: maxCopy, Has: has}
+}
+
+// UniformRandomAssignment draws each tile's initial coins independently and
+// uniformly from [0, max_i]. The pool size follows from the draw. This
+// produces per-tile-scale initial error (mean max/4 per tile) that local
+// exchanges absorb quickly.
+func UniformRandomAssignment(src *rng.Source, maxes []int64) Assignment {
+	has := make([]int64, len(maxes))
+	for i, m := range maxes {
+		if m > 0 {
+			has[i] = src.Int63n(m + 1)
+		}
+	}
+	maxCopy := make([]int64, len(maxes))
+	copy(maxCopy, maxes)
+	return Assignment{Max: maxCopy, Has: has}
+}
+
+// HotspotAssignment concentrates totalCoins on a small cluster of tiles (the
+// first ceil(n/16), at least 1), modeling the system state right after a
+// large activity change: the coins freed by finished workloads sit in one
+// region and must diffuse across the mesh. This is the initialization whose
+// convergence time exposes the O(sqrt(N)) transport scaling of Figs. 3-4:
+// coins must travel a distance proportional to the mesh dimension d.
+func HotspotAssignment(src *rng.Source, maxes []int64, totalCoins int64) Assignment {
+	if totalCoins < 0 {
+		panic("coin: negative coin pool")
+	}
+	n := len(maxes)
+	k := n/16 + 1
+	has := make([]int64, n)
+	for c := int64(0); c < totalCoins; c++ {
+		has[src.Intn(k)]++
+	}
+	maxCopy := make([]int64, n)
+	copy(maxCopy, maxes)
+	return Assignment{Max: maxCopy, Has: has}
+}
+
+// ConvergedAssignment returns the allocation a converged system would hold:
+// has_i = round(alpha*max_i) with the remainder spread over the first tiles.
+// Used as the "from equilibrium" starting point of activity-change
+// experiments.
+func ConvergedAssignment(maxes []int64, totalCoins int64) Assignment {
+	n := len(maxes)
+	has := make([]int64, n)
+	var sumMax int64
+	for _, m := range maxes {
+		sumMax += m
+	}
+	if sumMax > 0 {
+		var assigned int64
+		for i, m := range maxes {
+			has[i] = totalCoins * m / sumMax
+			assigned += has[i]
+		}
+		// Distribute the integer remainder one coin at a time over active
+		// tiles so the pool size is exact.
+		for i := 0; assigned < totalCoins && n > 0; i = (i + 1) % n {
+			if maxes[i] > 0 {
+				has[i]++
+				assigned++
+			}
+		}
+	}
+	maxCopy := make([]int64, n)
+	copy(maxCopy, maxes)
+	return Assignment{Max: maxCopy, Has: has}
+}

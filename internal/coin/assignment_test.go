@@ -1,0 +1,99 @@
+package coin
+
+import (
+	"testing"
+
+	"blitzcoin/internal/rng"
+)
+
+func TestRandomAssignmentPoolExact(t *testing.T) {
+	src := rng.New(1)
+	a := RandomAssignment(src, UniformMaxes(25, 16), 400)
+	if a.TotalCoins() != 400 {
+		t.Fatalf("pool = %d, want 400", a.TotalCoins())
+	}
+	if a.TotalMax() != 400 {
+		t.Fatalf("total max = %d, want 400", a.TotalMax())
+	}
+}
+
+func TestUniformRandomAssignmentBounds(t *testing.T) {
+	src := rng.New(2)
+	maxes := []int64{0, 8, 16, 32}
+	a := UniformRandomAssignment(src, maxes)
+	if a.Has[0] != 0 {
+		t.Fatalf("inactive tile drew %d coins", a.Has[0])
+	}
+	for i, h := range a.Has {
+		if h < 0 || h > maxes[i] {
+			t.Fatalf("tile %d has %d out of [0,%d]", i, h, maxes[i])
+		}
+	}
+}
+
+func TestHotspotAssignmentConcentrated(t *testing.T) {
+	src := rng.New(3)
+	n := 100
+	a := HotspotAssignment(src, UniformMaxes(n, 16), 1600)
+	if a.TotalCoins() != 1600 {
+		t.Fatalf("pool = %d", a.TotalCoins())
+	}
+	k := n/16 + 1
+	var inCluster int64
+	for i := 0; i < k; i++ {
+		inCluster += a.Has[i]
+	}
+	if inCluster != 1600 {
+		t.Fatalf("cluster holds %d of 1600 coins", inCluster)
+	}
+	for i := k; i < n; i++ {
+		if a.Has[i] != 0 {
+			t.Fatalf("tile %d outside hotspot has %d coins", i, a.Has[i])
+		}
+	}
+}
+
+func TestHotspotScalesWithDimension(t *testing.T) {
+	// The hotspot initialization is what exposes the O(sqrt(N)) transport
+	// scaling: convergence time grows roughly linearly in d, far slower
+	// than N.
+	avg := func(d int) float64 {
+		var sum float64
+		const trials = 10
+		for s := 0; s < trials; s++ {
+			cfg := baseConfig(d)
+			cfg.StopAtConvergence = true
+			src := rng.New(uint64(7777*d + s))
+			e := NewEmulator(cfg, src)
+			n := cfg.Mesh.N()
+			maxes := UniformMaxes(n, 32)
+			e.Init(HotspotAssignment(src, maxes, int64(n)*16))
+			r := e.Run()
+			if !r.Converged {
+				t.Fatalf("d=%d s=%d not converged", d, s)
+			}
+			sum += float64(r.ConvergenceCycles)
+		}
+		return sum / trials
+	}
+	t8, t16 := avg(8), avg(16)
+	ratio := t16 / t8
+	// d doubles, N quadruples: the ratio should sit near 2 (linear in d),
+	// clearly below 4 (linear in N).
+	if ratio > 3 {
+		t.Fatalf("hotspot convergence ratio %.2f for 2x dimension, want about 2", ratio)
+	}
+	if ratio < 1.05 {
+		t.Fatalf("hotspot convergence ratio %.2f: no growth with d at all", ratio)
+	}
+}
+
+func TestAssignmentValidate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative has did not panic")
+		}
+	}()
+	a := Assignment{Max: []int64{1}, Has: []int64{-1}}
+	a.validate(1)
+}

@@ -1,0 +1,190 @@
+package coin
+
+import (
+	"fmt"
+
+	"blitzcoin/internal/mesh"
+	"blitzcoin/internal/noc"
+	"blitzcoin/internal/sim"
+)
+
+// Mode selects the exchange technique of Sec. III-B.
+type Mode int
+
+const (
+	// OneWay exchanges coins with one neighbor at a time, rotating
+	// round-robin (Algorithm 2). This is the preferred embodiment: 8
+	// messages per rotation, pairwise-only transfers, simple arithmetic.
+	OneWay Mode = iota
+	// FourWay exchanges with all four neighbors at once (Algorithm 1):
+	// request + status + update per neighbor, 12 messages per exchange.
+	FourWay
+)
+
+// String names the mode as in the paper.
+func (m Mode) String() string {
+	switch m {
+	case OneWay:
+		return "1-way"
+	case FourWay:
+		return "4-way"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// PairingMode selects how random-pairing partners are chosen (Sec. III-D/E).
+type PairingMode int
+
+const (
+	// PairUniform picks a uniformly random non-neighbor tile. This is the
+	// emulator's model of the paper's "random pairing with a tile other
+	// than one of its neighbors".
+	PairUniform PairingMode = iota
+	// PairShiftRegister cycles deterministically through all non-neighbor
+	// tiles, matching the hardware implementation: "a shift-register that
+	// eventually pairs all non-neighboring tiles", which bounds the time
+	// to resolve any deadlock (Sec. III-E).
+	PairShiftRegister
+)
+
+// Config parameterizes one emulator run.
+type Config struct {
+	// Mesh is the tile grid. Set Mesh.Torus for wrap-around neighbors.
+	Mesh mesh.Mesh
+	// Mode selects 1-way or 4-way exchange.
+	Mode Mode
+
+	// RefreshInterval is refreshCount: the base number of cycles between
+	// exchange attempts by one tile.
+	RefreshInterval sim.Cycles
+
+	// DynamicTiming enables the exponential back-off of Sec. III-D: an
+	// exchange that moves zero coins scales the tile's interval up by
+	// Lambda; a productive exchange shrinks it by ShrinkK, floored at
+	// RefreshInterval.
+	DynamicTiming bool
+	// Lambda is the back-off factor (> 1). Zero selects the default 2.
+	Lambda float64
+	// ShrinkK is the additive interval decrease on a productive exchange.
+	// A productive exchange first snaps a backed-off tile to the base
+	// refresh interval and then keeps shrinking it by ShrinkK per
+	// productive exchange, down to MinInterval — this is the
+	// "reduced refresh interval" of Sec. III-D that makes actively
+	// converging regions exchange faster than the conservative base rate.
+	// Zero selects RefreshInterval/2.
+	ShrinkK sim.Cycles
+	// MinInterval floors the accelerated interval. Zero selects
+	// RefreshInterval/8 (at least 2 cycles).
+	MinInterval sim.Cycles
+	// MaxInterval caps the backed-off interval. Zero selects the default
+	// 8x RefreshInterval: deep sleeps would starve the random-pairing
+	// cadence (which counts exchanges, not cycles) and delay the wake-up
+	// of quiet regions when a coin wave arrives, costing more time than
+	// the saved packets are worth.
+	MaxInterval sim.Cycles
+
+	// RandomPairing enables intermittent exchanges with non-neighbor
+	// tiles, which eliminates local-minimum deadlocks (Sec. III-E).
+	RandomPairing bool
+	// RandomPairingEvery is the cadence in exchanges; the paper found
+	// once every 16 exchanges sufficient. Zero selects 16.
+	RandomPairingEvery int
+	// Pairing selects the partner-selection rule.
+	Pairing PairingMode
+
+	// Threshold is the convergence criterion on the global error Err.
+	// The paper uses 1.5 (Fig. 3), 1.0 (Fig. 6); must be positive.
+	Threshold float64
+
+	// MaxCycles bounds the run. Zero selects a generous default scaled to
+	// the mesh diameter.
+	MaxCycles sim.Cycles
+	// QuiesceWindow: the run also ends once no coins have moved for this
+	// many cycles and no exchange is in flight. Zero selects a default of
+	// 64x RefreshInterval (or MaxInterval when dynamic timing is on).
+	QuiesceWindow sim.Cycles
+	// StopAtConvergence ends the run at the first threshold crossing
+	// instead of running to quiescence. Convergence-time experiments
+	// (Figs. 3, 4, 6) use this; residual-error experiments (Fig. 7) run
+	// to quiescence.
+	StopAtConvergence bool
+
+	// CoinCap, when positive, models the hardware coin register width: no
+	// tile accepts coins beyond the cap in an exchange (the residue stays
+	// with the partner), and per-tile targets are clamped to the cap. The
+	// implementation's 6-bit counter corresponds to a cap of 63
+	// (Sec. IV-A). Zero means unlimited, the algorithm-level setting of
+	// the Sec. III experiments.
+	CoinCap int64
+
+	// ThermalCap, when positive, enables the local hotspot guard of
+	// Sec. III-B: a tile rejects incoming coins from an exchange when its
+	// own count plus its neighbors' (last observed) counts would exceed
+	// the cap, bounding the power density of any 5-tile neighborhood.
+	// Rejected coins stay with the exchange partner, so the pool is still
+	// conserved. Zero disables the guard.
+	ThermalCap int64
+
+	// DeficitOnly switches the convergence metric from the paper's
+	// symmetric per-tile error |has - alpha*max| to a deficit-only error
+	// max(0, target - has). The SoC harness uses this: when the budget
+	// exceeds what active tiles can hold, the surplus parks on idle tiles
+	// and is not a power-allocation error — the LUT clamps at Fmax anyway.
+	DeficitOnly bool
+
+	// NoC sets network timing. Zero value selects noc.DefaultConfig.
+	NoC noc.Config
+}
+
+// withDefaults returns cfg with zero fields replaced by defaults and panics
+// on invalid settings.
+func (cfg Config) withDefaults() Config {
+	if cfg.Mesh.N() == 0 {
+		panic("coin: config has empty mesh")
+	}
+	if cfg.RefreshInterval == 0 {
+		cfg.RefreshInterval = 32
+	}
+	if cfg.Lambda == 0 {
+		cfg.Lambda = 2
+	}
+	if cfg.Lambda <= 1 {
+		panic("coin: Lambda must be > 1")
+	}
+	if cfg.MaxInterval == 0 {
+		cfg.MaxInterval = 8 * cfg.RefreshInterval
+	}
+	if cfg.ShrinkK == 0 {
+		cfg.ShrinkK = cfg.RefreshInterval / 2
+	}
+	if cfg.MinInterval == 0 {
+		cfg.MinInterval = cfg.RefreshInterval / 8
+		if cfg.MinInterval < 2 {
+			cfg.MinInterval = 2
+		}
+	}
+	if cfg.RandomPairingEvery == 0 {
+		cfg.RandomPairingEvery = 16
+	}
+	if cfg.Threshold == 0 {
+		cfg.Threshold = 1.5
+	}
+	if cfg.Threshold < 0 {
+		panic("coin: negative threshold")
+	}
+	if cfg.MaxCycles == 0 {
+		diam := sim.Cycles(cfg.Mesh.MaxHopDistance() + 1)
+		cfg.MaxCycles = 4096 * cfg.RefreshInterval * diam
+	}
+	if cfg.QuiesceWindow == 0 {
+		w := 64 * cfg.RefreshInterval
+		if cfg.DynamicTiming && 4*cfg.MaxInterval > w {
+			w = 4 * cfg.MaxInterval
+		}
+		cfg.QuiesceWindow = w
+	}
+	if cfg.NoC.HopLatency == 0 && cfg.NoC.RouterLatency == 0 {
+		cfg.NoC = noc.DefaultConfig()
+	}
+	return cfg
+}

@@ -1,0 +1,812 @@
+package coin
+
+import (
+	"fmt"
+	"math"
+
+	"blitzcoin/internal/noc"
+	"blitzcoin/internal/rng"
+	"blitzcoin/internal/sim"
+)
+
+// statusMsg carries a tile's (has, max) state. reply distinguishes a 4-way
+// status reply from a 1-way exchange initiation; nack means the responder is
+// mid-exchange and refuses to join the group — the conflict case the paper
+// notes the 4-way arithmetic needs synchronization primitives for
+// (Sec. III-B).
+type statusMsg struct {
+	has, max int64
+	reply    bool
+	nack     bool
+}
+
+// updateMsg carries a signed coin transfer. Expressing updates as deltas —
+// rather than absolute counts — makes the protocol conserve coins exactly
+// even when exchanges interleave; the transient negative counts this can
+// produce are the ones the hardware's sign bit absorbs (Sec. IV-A). ack
+// marks the completion of a 1-way initiation, as opposed to a 4-way delta
+// push (which also releases the responder's participation lock).
+type updateMsg struct {
+	delta int64
+	ack   bool
+}
+
+// tileState is the per-tile emulator state: the has/max registers, the
+// round-robin neighbor pointer, the dynamic-timing interval, and the
+// random-pairing counters.
+type tileState struct {
+	id         int
+	has, max   int64
+	neighbors  []int // distinct neighbors, N/E/S/W order
+	rr         int   // round-robin index into neighbors
+	interval   sim.Cycles
+	exchanges  int  // initiated exchanges, for random-pairing cadence
+	srOffset   int  // shift-register state for PairShiftRegister
+	zeroStreak int  // consecutive unproductive exchanges (dynamic timing)
+	busy       bool // an initiated exchange is in flight
+	// locked means this tile has reported its status to a 4-way center and
+	// must hold its coin count frozen until the center's update arrives —
+	// the synchronization barrier Sec. III-B attributes to the 4-way
+	// technique.
+	locked bool
+
+	// pending4 collects 4-way status replies until all neighbors answered.
+	pending4 map[int]statusMsg
+
+	// nbrHas caches the last coin count observed from each neighbor (from
+	// status messages), the information the thermal guard consults. The
+	// hardware gets this for free: it is the same status traffic the
+	// exchange already carries.
+	nbrHas map[int]int64
+}
+
+// Result summarizes one emulator run.
+type Result struct {
+	// Converged reports whether the global error crossed Threshold.
+	Converged bool
+	// ConvergenceCycles is the time of the first threshold crossing.
+	ConvergenceCycles sim.Cycles
+	// PacketsToConvergence counts NoC packets sent up to that crossing.
+	PacketsToConvergence uint64
+	// StartErr is the global error of the initial assignment.
+	StartErr float64
+	// FinalErr and WorstTileErr are measured at the end of the run.
+	FinalErr     float64
+	WorstTileErr float64
+	// EndCycles is when the run stopped (convergence, quiescence, or the
+	// MaxCycles bound).
+	EndCycles sim.Cycles
+	// TotalPackets counts all NoC packets sent during the run.
+	TotalPackets uint64
+	// Exchanges counts initiated exchanges across all tiles.
+	Exchanges uint64
+	// CoinsStart and CoinsEnd are the pool totals; they must match for a
+	// quiesced run (conservation).
+	CoinsStart, CoinsEnd int64
+}
+
+// ConvergenceMicros returns the convergence time in microseconds at the
+// 800 MHz NoC clock.
+func (r Result) ConvergenceMicros() float64 {
+	return sim.CyclesToMicros(r.ConvergenceCycles)
+}
+
+// Emulator runs the coin-exchange algorithm over a simulated NoC. It mirrors
+// the paper's Python emulator, with timing expressed in NoC cycles.
+type Emulator struct {
+	cfg    Config
+	kernel *sim.Kernel
+	net    *noc.Network
+	src    *rng.Source
+	tiles  []tileState
+
+	sumHas, sumMax int64
+	activeCount    int // tiles with max > 0
+	alpha          float64
+	errTerms       []float64
+	errSum         float64
+
+	converged   bool
+	convergedAt sim.Cycles
+	pktsAtConv  uint64
+
+	lastMovement   sim.Cycles
+	lastChangeFrom sim.Cycles // time of the last SetMax/Init, for response time
+	busyCount      int
+	// nonzeroInFlight counts update packets carrying a nonzero delta that
+	// have been sent but not yet delivered. Quiescence requires it to be
+	// zero so a run never stops with coins mid-transfer.
+	nonzeroInFlight int
+	exchanges       uint64
+	thermalRejects  uint64
+	initialized     bool
+
+	// onChange, when set, observes every applied coin-count change. The
+	// SoC harness uses it to drive each tile's LUT and UVFR regulator.
+	onChange func(tile int, has int64)
+	// onConverged, when set, observes each convergence event with the
+	// response time since the triggering activity change (or Init).
+	onConverged func(response sim.Cycles)
+}
+
+// NewEmulator builds an emulator for cfg, drawing randomness from src. It
+// owns a private kernel and network.
+func NewEmulator(cfg Config, src *rng.Source) *Emulator {
+	cfg = cfg.withDefaults()
+	k := &sim.Kernel{}
+	return NewEmulatorOn(k, noc.New(k, cfg.Mesh, cfg.NoC), cfg, src)
+}
+
+// NewEmulatorOn builds an emulator over an existing kernel and network, for
+// harnesses (like the full-SoC simulator) that share the clock with other
+// models. The network's mesh must match cfg.Mesh, and the emulator claims
+// the PM-plane handler of every tile.
+func NewEmulatorOn(k *sim.Kernel, net *noc.Network, cfg Config, src *rng.Source) *Emulator {
+	cfg = cfg.withDefaults()
+	if net.Mesh() != cfg.Mesh {
+		panic("coin: network mesh does not match config mesh")
+	}
+	e := &Emulator{
+		cfg:    cfg,
+		kernel: k,
+		net:    net,
+		src:    src,
+		tiles:  make([]tileState, cfg.Mesh.N()),
+	}
+	for i := range e.tiles {
+		t := &e.tiles[i]
+		t.id = i
+		t.neighbors = cfg.Mesh.DistinctNeighbors(i)
+		t.interval = cfg.RefreshInterval
+		t.srOffset = 1
+		if cfg.ThermalCap > 0 {
+			t.nbrHas = make(map[int]int64, len(t.neighbors))
+		}
+		i := i
+		e.net.SetHandler(i, noc.PlanePM, func(p *noc.Packet) { e.onPacket(i, p) })
+	}
+	return e
+}
+
+// observeNeighbor records a neighbor's reported coin count for the thermal
+// guard.
+func (e *Emulator) observeNeighbor(t *tileState, from int, has int64) {
+	if t.nbrHas == nil {
+		return
+	}
+	for _, nb := range t.neighbors {
+		if nb == from {
+			t.nbrHas[from] = has
+			return
+		}
+	}
+}
+
+// neighborhoodLoad returns the tile's own count plus the last observed
+// counts of its neighbors — the quantity the thermal cap bounds.
+func (e *Emulator) neighborhoodLoad(t *tileState) int64 {
+	load := t.has
+	for _, h := range t.nbrHas {
+		load += h
+	}
+	return load
+}
+
+// NeighborhoodLoad exposes the thermal-guard quantity for tile i, for
+// tests and monitoring. With the guard disabled it computes the exact sum
+// of the tile's and its neighbors' current counts.
+func (e *Emulator) NeighborhoodLoad(i int) int64 {
+	t := &e.tiles[i]
+	if t.nbrHas != nil {
+		return e.neighborhoodLoad(t)
+	}
+	load := t.has
+	for _, nb := range t.neighbors {
+		load += e.tiles[nb].has
+	}
+	return load
+}
+
+// thermalClamp limits the coins tile t may accept in an exchange that
+// would move it from t.has to proposed, returning the allowed new count.
+// Giving coins away is never restricted.
+func (e *Emulator) thermalClamp(t *tileState, proposed int64) int64 {
+	if e.cfg.ThermalCap <= 0 || proposed <= t.has {
+		return proposed
+	}
+	headroom := e.cfg.ThermalCap - e.neighborhoodLoad(t)
+	if headroom < 0 {
+		headroom = 0
+	}
+	if gain := proposed - t.has; gain > headroom {
+		e.thermalRejects++
+		return t.has + headroom
+	}
+	return proposed
+}
+
+// Init loads the initial assignment and schedules the first exchange of each
+// tile at a random phase within one refresh interval, breaking lockstep as
+// independent hardware FSMs would.
+func (e *Emulator) Init(a Assignment) {
+	a.validate(len(e.tiles))
+	if e.initialized {
+		panic("coin: Init called twice; create a new Emulator per run")
+	}
+	e.initialized = true
+	for i := range e.tiles {
+		e.tiles[i].has = a.Has[i]
+		e.tiles[i].max = a.Max[i]
+	}
+	e.recomputeError()
+	e.checkConvergence()
+	for i := range e.tiles {
+		phase := sim.Cycles(e.src.Int63n(int64(e.cfg.RefreshInterval))) + 1
+		e.scheduleTickAfter(i, phase)
+	}
+}
+
+// errTerm computes one tile's contribution to the convergence metric under
+// the configured cap and deficit rules.
+func (e *Emulator) errTerm(has, max int64) float64 {
+	target := e.alpha * float64(max)
+	if e.cfg.CoinCap > 0 && target > float64(e.cfg.CoinCap) {
+		target = float64(e.cfg.CoinCap)
+	}
+	if e.cfg.DeficitOnly {
+		// A tile cannot use more than its own max: under budget abundance
+		// (alpha > 1) it is satisfied once it can run at full target power.
+		if target > float64(max) {
+			target = float64(max)
+		}
+		if d := target - float64(has); d > 0 {
+			return d
+		}
+		return 0
+	}
+	return math.Abs(float64(has) - target)
+}
+
+// recomputeError rebuilds the incremental error state from scratch. The
+// coin pool is conserved and targets only change through SetMax, so alpha is
+// constant between recomputations and per-exchange updates stay O(1).
+func (e *Emulator) recomputeError() {
+	e.sumHas, e.sumMax, e.activeCount = 0, 0, 0
+	for i := range e.tiles {
+		e.sumHas += e.tiles[i].has
+		e.sumMax += e.tiles[i].max
+		if e.tiles[i].max > 0 {
+			e.activeCount++
+		}
+	}
+	if e.sumMax > 0 {
+		e.alpha = float64(e.sumHas) / float64(e.sumMax)
+	} else {
+		e.alpha = 0
+	}
+	if e.errTerms == nil {
+		e.errTerms = make([]float64, len(e.tiles))
+	}
+	e.errSum = 0
+	for i := range e.tiles {
+		e.errTerms[i] = e.errTerm(e.tiles[i].has, e.tiles[i].max)
+		e.errSum += e.errTerms[i]
+	}
+}
+
+// GlobalErr returns the current global error E: the mean per-tile error in
+// the paper's symmetric mode, or the mean per-active-tile deficit in
+// deficit-only mode (so the threshold reads "average active tile within one
+// coin of its usable target" regardless of how many idle tiles surround
+// them).
+func (e *Emulator) GlobalErr() float64 {
+	if e.cfg.DeficitOnly {
+		n := e.activeCount
+		if n == 0 {
+			n = 1
+		}
+		return e.errSum / float64(n)
+	}
+	return e.errSum / float64(len(e.tiles))
+}
+
+// setHas applies a coin-count change and maintains the error metric,
+// movement clock, and convergence detection.
+func (e *Emulator) setHas(i int, v int64) {
+	t := &e.tiles[i]
+	if t.has == v {
+		return
+	}
+	t.has = v
+	nt := e.errTerm(v, t.max)
+	e.errSum += nt - e.errTerms[i]
+	e.errTerms[i] = nt
+	e.lastMovement = e.kernel.Now()
+	e.checkConvergence()
+	if e.onChange != nil {
+		e.onChange(i, v)
+	}
+}
+
+// SetOnChange registers an observer for applied coin-count changes.
+func (e *Emulator) SetOnChange(fn func(tile int, has int64)) { e.onChange = fn }
+
+// Has returns tile i's current coin count.
+func (e *Emulator) Has(i int) int64 { return e.tiles[i].has }
+
+// Max returns tile i's current target.
+func (e *Emulator) Max(i int) int64 { return e.tiles[i].max }
+
+func (e *Emulator) checkConvergence() {
+	if !e.converged && e.GlobalErr() < e.cfg.Threshold {
+		e.converged = true
+		e.convergedAt = e.kernel.Now()
+		e.pktsAtConv = e.net.Stats().Sent
+		if e.onConverged != nil {
+			e.onConverged(e.convergedAt - e.lastChangeFrom)
+		}
+	}
+}
+
+// SetOnConverged registers an observer for convergence events; it receives
+// the response time relative to the last activity change.
+func (e *Emulator) SetOnConverged(fn func(response sim.Cycles)) { e.onConverged = fn }
+
+// SetMax changes a tile's target at runtime — the start or end of a
+// workload phase (Sec. III-A: max is set when execution begins and 0 when it
+// ends). It re-arms convergence detection so the next crossing measures the
+// response to this activity change.
+func (e *Emulator) SetMax(tile int, max int64) {
+	if max < 0 {
+		panic("coin: negative max")
+	}
+	e.tiles[tile].max = max
+	e.recomputeError()
+	e.converged = false
+	e.convergedAt = 0
+	e.lastChangeFrom = e.kernel.Now()
+	e.lastMovement = e.kernel.Now()
+	// The activity change resets the tile's dynamic-timing back-off and
+	// triggers an immediate exchange: the start/end of execution is
+	// precisely the event the FSM reacts to (Sec. III-A), so it does not
+	// wait out a steady-state interval.
+	t := &e.tiles[tile]
+	t.interval = e.cfg.RefreshInterval
+	if e.initialized && !t.busy && !t.locked {
+		e.kernel.Schedule(1, func() { e.tick(tile) })
+	}
+	e.checkConvergence()
+}
+
+// ResponseCycles returns the cycles from the last SetMax (or Init) to the
+// following convergence, or 0 if not yet converged.
+func (e *Emulator) ResponseCycles() sim.Cycles {
+	if !e.converged {
+		return 0
+	}
+	return e.convergedAt - e.lastChangeFrom
+}
+
+// Snapshot returns copies of the current has and max vectors.
+func (e *Emulator) Snapshot() (has, max []int64) {
+	has = make([]int64, len(e.tiles))
+	max = make([]int64, len(e.tiles))
+	for i := range e.tiles {
+		has[i] = e.tiles[i].has
+		max[i] = e.tiles[i].max
+	}
+	return has, max
+}
+
+// Kernel exposes the simulation clock, mainly for harnesses that interleave
+// activity changes with Run.
+func (e *Emulator) Kernel() *sim.Kernel { return e.kernel }
+
+// ThermalRejects returns how many exchanges were clamped by the thermal
+// hotspot guard.
+func (e *Emulator) ThermalRejects() uint64 { return e.thermalRejects }
+
+// NetworkStats returns the NoC statistics so far.
+func (e *Emulator) NetworkStats() noc.Stats { return e.net.Stats() }
+
+// scheduleTickAfter schedules tile i's next exchange attempt.
+func (e *Emulator) scheduleTickAfter(i int, d sim.Cycles) {
+	e.kernel.Schedule(d, func() { e.tick(i) })
+}
+
+// tick is one exchange attempt by tile i. A tile whose previous exchange is
+// still in flight skips this slot, as the hardware FSM would.
+func (e *Emulator) tick(i int) {
+	t := &e.tiles[i]
+	defer e.scheduleTickAfter(i, t.interval)
+	if t.busy || t.locked || len(t.neighbors) == 0 {
+		return
+	}
+	useRandom := e.cfg.RandomPairing && (t.exchanges+1)%e.cfg.RandomPairingEvery == 0
+	// A tile in the relinquish state — execution ended (max 0) but coins
+	// still held — gains nothing from neighbors that are also idle, so it
+	// seeks a taker anywhere on the SoC every exchange. This is what
+	// returns orphaned coins to newly active tiles quickly.
+	if e.cfg.RandomPairing && t.max == 0 && t.has > 0 {
+		useRandom = true
+	}
+	t.exchanges++
+	e.exchanges++
+	if e.cfg.Mode == FourWay && !useRandom {
+		e.startFourWay(t)
+		return
+	}
+	partner := e.choosePartner(t, useRandom)
+	e.startOneWay(t, partner)
+}
+
+// sendUpdate emits a coin-update packet and tracks nonzero deltas in flight.
+func (e *Emulator) sendUpdate(src, dst int, delta int64, ack bool) {
+	if delta != 0 {
+		e.nonzeroInFlight++
+	}
+	e.net.Send(&noc.Packet{
+		Plane:   noc.PlanePM,
+		Kind:    noc.KindCoinUpdate,
+		Src:     src,
+		Dst:     dst,
+		Payload: updateMsg{delta: delta, ack: ack},
+	})
+}
+
+// choosePartner returns the next exchange partner: the round-robin neighbor,
+// or a non-neighbor under random pairing.
+func (e *Emulator) choosePartner(t *tileState, random bool) int {
+	if !random {
+		p := t.neighbors[t.rr%len(t.neighbors)]
+		t.rr++
+		return p
+	}
+	n := len(e.tiles)
+	isNeighbor := func(j int) bool {
+		if j == t.id {
+			return true
+		}
+		for _, k := range t.neighbors {
+			if k == j {
+				return true
+			}
+		}
+		return false
+	}
+	// Small meshes can have every other tile as a neighbor; fall back to
+	// the round-robin neighbor.
+	if len(t.neighbors) >= n-1 {
+		p := t.neighbors[t.rr%len(t.neighbors)]
+		t.rr++
+		return p
+	}
+	switch e.cfg.Pairing {
+	case PairShiftRegister:
+		// Walk the offset register until it lands on a non-neighbor. The
+		// register visits every offset, guaranteeing any (a, b) pair with
+		// opposing errors is eventually paired (Sec. III-E).
+		for {
+			j := (t.id + t.srOffset) % n
+			t.srOffset = t.srOffset%(n-1) + 1
+			if !isNeighbor(j) {
+				return j
+			}
+		}
+	default: // PairUniform
+		for {
+			j := e.src.Intn(n)
+			if !isNeighbor(j) {
+				return j
+			}
+		}
+	}
+}
+
+// startOneWay initiates Algorithm 2 with the chosen partner: send our
+// status; the partner computes the split, applies its side, and returns our
+// delta. Two messages per exchange — 8 per four-neighbor rotation.
+func (e *Emulator) startOneWay(t *tileState, partner int) {
+	t.busy = true
+	e.busyCount++
+	e.net.Send(&noc.Packet{
+		Plane:   noc.PlanePM,
+		Kind:    noc.KindCoinStatus,
+		Src:     t.id,
+		Dst:     partner,
+		Payload: statusMsg{has: t.has, max: t.max},
+	})
+}
+
+// startFourWay initiates Algorithm 1: request status from every neighbor,
+// then split the group's coins. Three messages per neighbor — 12 per
+// exchange on an interior tile.
+func (e *Emulator) startFourWay(t *tileState) {
+	t.busy = true
+	e.busyCount++
+	t.pending4 = make(map[int]statusMsg, len(t.neighbors))
+	for _, nb := range t.neighbors {
+		e.net.Send(&noc.Packet{
+			Plane: noc.PlanePM,
+			Kind:  noc.KindCoinRequest,
+			Src:   t.id,
+			Dst:   nb,
+		})
+	}
+}
+
+// onPacket dispatches a delivered PM-plane packet.
+func (e *Emulator) onPacket(tile int, p *noc.Packet) {
+	t := &e.tiles[tile]
+	switch p.Kind {
+	case noc.KindCoinRequest:
+		// 4-way: join the center's group if free, else refuse. Joining
+		// freezes our coin count until the center's update releases us.
+		if t.busy || t.locked {
+			e.net.Send(&noc.Packet{
+				Plane:   noc.PlanePM,
+				Kind:    noc.KindCoinStatus,
+				Src:     tile,
+				Dst:     p.Src,
+				Payload: statusMsg{reply: true, nack: true},
+			})
+			return
+		}
+		t.locked = true
+		e.net.Send(&noc.Packet{
+			Plane:   noc.PlanePM,
+			Kind:    noc.KindCoinStatus,
+			Src:     tile,
+			Dst:     p.Src,
+			Payload: statusMsg{has: t.has, max: t.max, reply: true},
+		})
+	case noc.KindCoinStatus:
+		msg := p.Payload.(statusMsg)
+		if msg.reply {
+			e.onFourWayStatus(t, p.Src, msg)
+		} else {
+			e.onOneWayInitiate(t, p.Src, msg)
+		}
+	case noc.KindCoinUpdate:
+		msg := p.Payload.(updateMsg)
+		if msg.delta != 0 {
+			e.nonzeroInFlight--
+		}
+		e.setHas(tile, t.has+msg.delta)
+		if msg.ack {
+			// Completion of our 1-way initiation.
+			if t.busy && t.pending4 == nil {
+				t.busy = false
+				e.busyCount--
+				e.adjustTiming(t, msg.delta)
+			}
+		} else {
+			// A 4-way center's push releases our participation lock; a
+			// productive push also resets our back-off so the activity
+			// ripple propagates at full speed (Sec. III-D).
+			t.locked = false
+			e.adjustTiming(t, msg.delta)
+		}
+	case noc.KindRegAccess, noc.KindInterrupt, noc.KindOther:
+		// Non-coin plane-5 traffic (CSR accesses, interrupts) shares the
+		// plane but is handled by the NoC-domain socket, not the FSM; it
+		// only contends for bandwidth.
+	default:
+		panic(fmt.Sprintf("coin: unexpected packet kind %v", p.Kind))
+	}
+}
+
+// onOneWayInitiate runs the receiver side of Algorithm 2: split against the
+// initiator's reported state, apply our half, return theirs as a delta.
+func (e *Emulator) onOneWayInitiate(t *tileState, from int, msg statusMsg) {
+	// A locked tile's coins are spoken for by a 4-way center; refuse the
+	// exchange with a zero-coin ack so the initiator completes cleanly.
+	if t.locked {
+		e.sendUpdate(t.id, from, 0, true)
+		return
+	}
+	e.observeNeighbor(t, from, msg.has)
+	newI, newJ := PairSplit(msg.has, msg.max, t.has, t.max)
+	// The hardware coin register cannot hold more than the cap; the
+	// residue of a clamped transfer stays with the partner, conserving the
+	// pool.
+	if cap := e.cfg.CoinCap; cap > 0 {
+		total := newI + newJ
+		if newI > cap {
+			newI = cap
+			newJ = total - cap
+		} else if newJ > cap {
+			newJ = cap
+			newI = total - cap
+		}
+	}
+	// Thermal hotspot guard: refuse coins beyond the neighborhood cap;
+	// the refused residue stays with the initiator.
+	{
+		total := newI + newJ
+		clamped := e.thermalClamp(t, newJ)
+		if clamped != newJ {
+			newJ = clamped
+			newI = total - newJ
+		}
+	}
+	deltaI := newI - msg.has
+	deltaJ := newJ - t.has
+	e.setHas(t.id, newJ)
+	e.sendUpdate(t.id, from, deltaI, true)
+	// The receiver also observes whether the exchange was productive, so
+	// both parties' dynamic timing reacts — a coin wave travelling across
+	// the mesh keeps every tile it touches at the fast exchange rate.
+	e.adjustTiming(t, deltaJ)
+}
+
+// onFourWayStatus collects a neighbor's reply; when all neighbors have
+// answered, compute the group split and push each neighbor's delta.
+func (e *Emulator) onFourWayStatus(t *tileState, from int, msg statusMsg) {
+	if t.pending4 == nil {
+		return // stale reply after an aborted exchange; ignore
+	}
+	if !msg.nack {
+		e.observeNeighbor(t, from, msg.has)
+	}
+	t.pending4[from] = msg
+	if len(t.pending4) < len(t.neighbors) {
+		return
+	}
+	// If any neighbor refused, abort: release the ones that did join with
+	// zero-delta updates and retry on a later tick. This is the conflict
+	// resolution that makes overlapping group exchanges safe.
+	anyNack := false
+	for _, st := range t.pending4 {
+		if st.nack {
+			anyNack = true
+			break
+		}
+	}
+	if anyNack {
+		for nb, st := range t.pending4 {
+			if !st.nack {
+				e.sendUpdate(t.id, nb, 0, false)
+			}
+		}
+		t.pending4 = nil
+		t.busy = false
+		e.busyCount--
+		e.adjustTiming(t, 0)
+		return
+	}
+	has := make([]int64, 0, len(t.neighbors)+1)
+	max := make([]int64, 0, len(t.neighbors)+1)
+	has = append(has, t.has)
+	max = append(max, t.max)
+	for _, nb := range t.neighbors {
+		st := t.pending4[nb]
+		has = append(has, st.has)
+		max = append(max, st.max)
+	}
+	out := GroupSplit(has, max)
+	var moved int64
+	e.setHas(t.id, out[0])
+	moved += abs64(out[0] - has[0])
+	for k, nb := range t.neighbors {
+		delta := out[k+1] - has[k+1]
+		moved += abs64(delta)
+		e.sendUpdate(t.id, nb, delta, false)
+	}
+	t.pending4 = nil
+	t.busy = false
+	e.busyCount--
+	e.adjustTiming(t, moved)
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// adjustTiming applies the dynamic-timing rule (Sec. III-D): zero-coin
+// exchanges back off multiplicatively by Lambda, but only once a full
+// rotation's worth of consecutive exchanges was unproductive — a tile that
+// is still converging probes empty neighbors half the time, and stalling it
+// on the first miss would slow the transient it exists to speed up.
+// Productive exchanges shrink the interval by ShrinkK down to the base
+// refresh interval (with the default ShrinkK this is a snap back to base).
+func (e *Emulator) adjustTiming(t *tileState, moved int64) {
+	if !e.cfg.DynamicTiming {
+		return
+	}
+	if moved == 0 {
+		// A relinquishing tile keeps probing at full rate until its
+		// orphaned coins find a taker.
+		if t.max == 0 && t.has > 0 {
+			t.interval = e.cfg.RefreshInterval
+			return
+		}
+		t.zeroStreak++
+		if t.zeroStreak < 4 {
+			return
+		}
+		ni := sim.Cycles(float64(t.interval) * e.cfg.Lambda)
+		if ni > e.cfg.MaxInterval {
+			ni = e.cfg.MaxInterval
+		}
+		t.interval = ni
+	} else {
+		t.zeroStreak = 0
+		// Snap a backed-off tile to the base rate, then accelerate below
+		// it: converging regions exchange faster than the base rate.
+		ni := t.interval
+		if ni > e.cfg.RefreshInterval {
+			ni = e.cfg.RefreshInterval
+		}
+		if ni > e.cfg.MinInterval+e.cfg.ShrinkK {
+			ni -= e.cfg.ShrinkK
+		} else {
+			ni = e.cfg.MinInterval
+		}
+		t.interval = ni
+	}
+}
+
+// Run executes the emulator until convergence (when StopAtConvergence),
+// quiescence, or the MaxCycles bound, and returns the run summary.
+func (e *Emulator) Run() Result {
+	if !e.initialized {
+		panic("coin: Run before Init")
+	}
+	has, max := e.Snapshot()
+	startErr, _ := GlobalError(has, max)
+	var coinsStart int64
+	for _, h := range has {
+		coinsStart += h
+	}
+
+	// MaxCycles is a per-Run budget so activity-change experiments can
+	// chain SetMax and Run repeatedly.
+	deadline := e.kernel.Now() + e.cfg.MaxCycles
+	stop := func() bool {
+		now := e.kernel.Now()
+		if now >= deadline {
+			return true
+		}
+		if e.cfg.StopAtConvergence && e.converged {
+			return true
+		}
+		// Quiescent: no coin has moved for a full window and no nonzero
+		// transfer is in flight. Zero-coin keep-alive chatter continues in
+		// steady state and must not prevent the run from ending.
+		if e.nonzeroInFlight == 0 && now-e.lastMovement > e.cfg.QuiesceWindow {
+			return true
+		}
+		return false
+	}
+	e.kernel.RunUntil(stop, 0)
+	// A deadline stop can leave transfers in flight; drain them so the
+	// reported pool is conserved. The event budget bounds the drain even
+	// if the model misbehaves.
+	if e.nonzeroInFlight > 0 {
+		e.kernel.RunUntil(func() bool { return e.nonzeroInFlight == 0 }, 1<<20)
+	}
+
+	has, max = e.Snapshot()
+	finalErr, worst := GlobalError(has, max)
+	var coinsEnd int64
+	for _, h := range has {
+		coinsEnd += h
+	}
+	return Result{
+		Converged:            e.converged,
+		ConvergenceCycles:    e.convergedAt,
+		PacketsToConvergence: e.pktsAtConv,
+		StartErr:             startErr,
+		FinalErr:             finalErr,
+		WorstTileErr:         worst,
+		EndCycles:            e.kernel.Now(),
+		TotalPackets:         e.net.Stats().Sent,
+		Exchanges:            e.exchanges,
+		CoinsStart:           coinsStart,
+		CoinsEnd:             coinsEnd,
+	}
+}

@@ -1,0 +1,74 @@
+package coin
+
+import "testing"
+
+// Native fuzz targets: the seed corpus runs under plain `go test`; run with
+// `go test -fuzz=FuzzPairSplit ./internal/coin` to explore further.
+
+func FuzzPairSplit(f *testing.F) {
+	f.Add(int64(3), int64(8), int64(5), int64(4))
+	f.Add(int64(0), int64(0), int64(0), int64(0))
+	f.Add(int64(-3), int64(4), int64(9), int64(4))
+	f.Add(int64(1<<20), int64(63), int64(0), int64(1))
+	f.Fuzz(func(t *testing.T, hasI, maxI, hasJ, maxJ int64) {
+		// Constrain to the domain PairSplit promises to handle: any has
+		// (including transient negatives), non-negative max, and products
+		// that fit int64 (the hardware works in 7-bit registers; the
+		// emulator's headroom is vastly larger but not unbounded).
+		if maxI < 0 || maxJ < 0 || maxI > 1<<20 || maxJ > 1<<20 {
+			t.Skip()
+		}
+		if hasI > 1<<30 || hasI < -(1<<30) || hasJ > 1<<30 || hasJ < -(1<<30) {
+			t.Skip()
+		}
+		newI, newJ := PairSplit(hasI, maxI, hasJ, maxJ)
+		if newI+newJ != hasI+hasJ {
+			t.Fatalf("conservation broken: (%d,%d) -> (%d,%d)", hasI, hasJ, newI, newJ)
+		}
+		// Inactive tiles never end up holding coins after an exchange
+		// with an active partner.
+		if maxI == 0 && maxJ > 0 && newI != 0 {
+			t.Fatalf("inactive tile kept %d coins", newI)
+		}
+	})
+}
+
+func FuzzGroupSplit(f *testing.F) {
+	f.Add(int64(3), int64(5), int64(0), int64(8), int64(4), int64(8), int64(4), int64(4), int64(4), int64(4))
+	f.Add(int64(0), int64(0), int64(0), int64(0), int64(0), int64(0), int64(0), int64(0), int64(0), int64(0))
+	f.Fuzz(func(t *testing.T, h0, h1, h2, h3, h4, m0, m1, m2, m3, m4 int64) {
+		has := []int64{h0, h1, h2, h3, h4}
+		max := []int64{m0, m1, m2, m3, m4}
+		var total int64
+		for i := range has {
+			if max[i] < 0 || max[i] > 1<<16 {
+				t.Skip()
+			}
+			if has[i] > 1<<24 || has[i] < -(1<<24) {
+				t.Skip()
+			}
+			total += has[i]
+		}
+		out := GroupSplit(has, max)
+		var got int64
+		for i, v := range out {
+			got += v
+			if max[i] == 0 && v != 0 {
+				// Inactive tiles receive nothing; their input either
+				// stayed (all-inactive case) or flowed out.
+				allInactive := true
+				for _, m := range max {
+					if m > 0 {
+						allInactive = false
+					}
+				}
+				if !allInactive {
+					t.Fatalf("inactive tile %d assigned %d", i, v)
+				}
+			}
+		}
+		if got != total {
+			t.Fatalf("conservation broken: %d -> %d", total, got)
+		}
+	})
+}

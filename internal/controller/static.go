@@ -1,0 +1,38 @@
+package controller
+
+import "blitzcoin/internal/sim"
+
+// Static is the no-reallocation baseline used for the silicon throughput
+// comparison (Sec. VI-C): the budget is split across all managed tiles
+// once, in proportion to each tile's maximum power, and never adjusted.
+// Idle tiles waste their share; busy tiles cannot borrow it — that stranded
+// budget is exactly what BlitzCoin's redistribution recovers.
+type Static struct {
+	base
+}
+
+// NewStatic builds the static allocator.
+func NewStatic(k *sim.Kernel, specs []TileSpec, budgetMW float64) *Static {
+	return &Static{base: newBase("Static", k, specs, budgetMW)}
+}
+
+// Start applies the one-time proportional split, capped per tile at PMax.
+func (c *Static) Start() {
+	var sum float64
+	for _, s := range c.specs {
+		sum += s.PMaxMW
+	}
+	for i, s := range c.specs {
+		mw := c.budget * s.PMaxMW / sum
+		if mw > s.PMaxMW {
+			mw = s.PMaxMW
+		}
+		c.setAlloc(i, mw)
+	}
+}
+
+// SetTarget records the target but never reallocates; the response time of
+// a static scheme is zero by definition (it never responds).
+func (c *Static) SetTarget(tile int, mw float64) {
+	c.targets[c.mustIndex(tile)] = mw
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"blitzcoin/internal/power"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Set(10)
+	if c.Get() != 10 || c.Negative() {
+		t.Fatalf("get = %d", c.Get())
+	}
+	c.Add(-15)
+	if c.Get() != -5 || !c.Negative() {
+		t.Fatalf("transient = %d", c.Get())
+	}
+	if c.Underflows() == 0 {
+		t.Fatal("underflow not counted")
+	}
+	c.Add(5)
+	if c.Negative() {
+		t.Fatal("recovered count still negative")
+	}
+}
+
+func TestCounterSaturation(t *testing.T) {
+	var c Counter
+	c.Set(1000)
+	if c.Get() != MaxCoins {
+		t.Fatalf("saturated high = %d, want %d", c.Get(), MaxCoins)
+	}
+	c.Set(-1000)
+	if c.Get() != MinCoins {
+		t.Fatalf("saturated low = %d, want %d", c.Get(), MinCoins)
+	}
+	if c.Saturations() != 2 {
+		t.Fatalf("saturations = %d", c.Saturations())
+	}
+}
+
+func TestCounterRangeProperty(t *testing.T) {
+	f := func(vals []int16) bool {
+		var c Counter
+		for _, v := range vals {
+			c.Add(int64(v))
+			if c.Get() > MaxCoins || c.Get() < MinCoins {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSixtyFourLevels(t *testing.T) {
+	if CoinLevels != 64 || MaxCoins != 63 || MinCoins != -64 {
+		t.Fatalf("coin register constants wrong: %d %d %d", CoinLevels, MaxCoins, MinCoins)
+	}
+}
+
+func TestLUTMonotone(t *testing.T) {
+	lut := BuildLUT(power.FFT(), 1.0)
+	prev := -1.0
+	for k := int64(0); k < CoinLevels; k++ {
+		f := lut.Lookup(k)
+		if f < prev {
+			t.Fatalf("LUT not monotone at %d", k)
+		}
+		prev = f
+	}
+}
+
+func TestLUTClampsTransients(t *testing.T) {
+	lut := BuildLUT(power.FFT(), 1.0)
+	if lut.Lookup(-5) != lut.Lookup(0) {
+		t.Fatal("negative transient should map to minimum entry")
+	}
+	if lut.Lookup(1000) != lut.Lookup(MaxCoins) {
+		t.Fatal("overflow should map to maximum entry")
+	}
+}
+
+func TestLUTRespectsCoinValue(t *testing.T) {
+	// A larger coin value (mW/coin) reaches Fmax with fewer coins.
+	c := power.NVDLA()
+	small := BuildLUT(c, 1.0)
+	big := BuildLUT(c, 8.0)
+	if big.Lookup(20) <= small.Lookup(20) {
+		t.Fatal("larger coin value should allow higher frequency at same count")
+	}
+}
+
+func TestBuildLUTPanicsOnBadCoinValue(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero coin value did not panic")
+		}
+	}()
+	BuildLUT(power.FFT(), 0)
+}
+
+func TestCSRFile(t *testing.T) {
+	f := NewCSRFile()
+	if f.Read(CSRMaxCoins) != 0 {
+		t.Fatal("unwritten register should read 0")
+	}
+	f.Write(CSRMaxCoins, 42)
+	if f.Read(CSRMaxCoins) != 42 {
+		t.Fatal("register readback failed")
+	}
+}
+
+func TestTilePMChain(t *testing.T) {
+	// SetCoins must flow through LUT to the regulator target, and the
+	// regulator must then settle near that frequency.
+	pm := NewTilePM(power.FFT(), 1.0)
+	pm.SetCoins(40)
+	want := pm.LUT.Lookup(40)
+	if pm.FTargetMHz() != want {
+		t.Fatalf("target %v, want LUT output %v", pm.FTargetMHz(), want)
+	}
+	if _, ok := pm.Reg.SettleCycles(2000); !ok {
+		t.Fatal("regulator did not settle")
+	}
+	if math.Abs(pm.FreqMHz()-want) > 110 {
+		t.Fatalf("freq %.1f after settling, want about %.1f", pm.FreqMHz(), want)
+	}
+	if pm.CSRs.Read(CSREnable) != 1 {
+		t.Fatal("PM unit not enabled")
+	}
+	if got := pm.CSRs.Read(CSRFTarget); got != uint32(want) {
+		t.Fatalf("CSRFTarget = %d, want %d", got, uint32(want))
+	}
+}
+
+func TestTilePMPower(t *testing.T) {
+	pm := NewTilePM(power.Viterbi(), 0.5)
+	pm.SetCoins(63)
+	pm.Reg.SettleCycles(2000)
+	active := pm.PowerMW(true)
+	idle := pm.PowerMW(false)
+	if active <= idle {
+		t.Fatalf("active %v <= idle %v", active, idle)
+	}
+	if idle >= pm.Curve().PMin() {
+		t.Fatal("idle power should be below the minimum operating point")
+	}
+}
+
+func TestTilePMNegativeStatusBit(t *testing.T) {
+	pm := NewTilePM(power.FFT(), 1.0)
+	pm.SetCoins(-3)
+	if pm.CSRs.Read(CSRStatus)&1 == 0 {
+		t.Fatal("negative transient not reflected in status CSR")
+	}
+	pm.SetCoins(5)
+	if pm.CSRs.Read(CSRStatus)&1 != 0 {
+		t.Fatal("status bit stuck after recovery")
+	}
+}

@@ -1,0 +1,258 @@
+// Package experiments orchestrates the paper's evaluation: one entry point
+// per table or figure, each returning structured rows that the CLI tools
+// print and the benchmarks regenerate. EXPERIMENTS.md records the measured
+// outputs next to the paper's numbers.
+package experiments
+
+import (
+	"fmt"
+
+	"blitzcoin/internal/coin"
+	"blitzcoin/internal/mesh"
+	"blitzcoin/internal/rng"
+	"blitzcoin/internal/stats"
+)
+
+// ConvergenceRow is one point of a convergence-scaling experiment
+// (Figs. 3, 4, 6, 8).
+type ConvergenceRow struct {
+	Label                   string
+	D                       int // mesh dimension, N = D*D
+	N                       int
+	Trials                  int
+	MeanCycles, MeanPackets float64
+	P95Cycles               float64
+	MaxCycles               float64
+	MeanStartErr            float64
+	Converged               int // how many trials converged
+}
+
+// String renders the row.
+func (r ConvergenceRow) String() string {
+	return fmt.Sprintf("%-22s d=%2d N=%3d trials=%d cycles(mean)=%8.0f cycles(p95)=%8.0f packets(mean)=%9.0f startErr=%6.1f conv=%d/%d",
+		r.Label, r.D, r.N, r.Trials, r.MeanCycles, r.P95Cycles, r.MeanPackets, r.MeanStartErr, r.Converged, r.Trials)
+}
+
+// runConvergence executes trials of the coin emulator with the given
+// configuration mutator and initialization, collecting convergence stats.
+func runConvergence(label string, d, trials int, seed uint64,
+	mut func(*coin.Config), initFn func(src *rng.Source, n int) coin.Assignment) ConvergenceRow {
+
+	cfg := coin.Config{
+		Mesh:              mesh.Square(d, true),
+		Mode:              coin.OneWay,
+		RefreshInterval:   32,
+		RandomPairing:     true,
+		Threshold:         1.5,
+		StopAtConvergence: true,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	var cyc, pkt stats.Sample
+	var startErr stats.Running
+	converged := 0
+	for t := 0; t < trials; t++ {
+		src := rng.New(seed + uint64(t)*7919)
+		e := coin.NewEmulator(cfg, src)
+		e.Init(initFn(src, cfg.Mesh.N()))
+		res := e.Run()
+		startErr.Add(res.StartErr)
+		if res.Converged {
+			converged++
+			cyc.Add(float64(res.ConvergenceCycles))
+			pkt.Add(float64(res.PacketsToConvergence))
+		}
+	}
+	row := ConvergenceRow{
+		Label: label, D: d, N: d * d, Trials: trials,
+		MeanStartErr: startErr.Mean(), Converged: converged,
+	}
+	if cyc.N() > 0 {
+		row.MeanCycles = cyc.Mean()
+		row.P95Cycles = cyc.Quantile(0.95)
+		row.MaxCycles = cyc.Max()
+		row.MeanPackets = pkt.Mean()
+	}
+	return row
+}
+
+// hotspotInit is the standard initialization of the scaling experiments:
+// the coin pool concentrated in one region, modeling the state right after
+// a large activity change (see coin.HotspotAssignment).
+func hotspotInit(src *rng.Source, n int) coin.Assignment {
+	maxes := coin.UniformMaxes(n, 32)
+	return coin.HotspotAssignment(src, maxes, int64(n)*16)
+}
+
+// Fig03 compares the 1-way and 4-way exchange techniques: packets and NoC
+// cycles to convergence (Err < 1.5) across SoC dimensions, averaged over
+// random initializations.
+func Fig03(ds []int, trials int, seed uint64) []ConvergenceRow {
+	var rows []ConvergenceRow
+	for _, d := range ds {
+		rows = append(rows, runConvergence("1-way", d, trials, seed,
+			func(c *coin.Config) { c.Mode = coin.OneWay }, hotspotInit))
+	}
+	for _, d := range ds {
+		rows = append(rows, runConvergence("4-way", d, trials, seed,
+			func(c *coin.Config) { c.Mode = coin.FourWay }, hotspotInit))
+	}
+	return rows
+}
+
+// uniformInit draws every tile's initial coins uniformly in [0, max]: the
+// per-tile random initialization whose local imbalances dynamic timing
+// resolves fastest (converged areas stop chattering, converging areas
+// accelerate below the base refresh rate).
+func uniformInit(src *rng.Source, n int) coin.Assignment {
+	return coin.UniformRandomAssignment(src, coin.UniformMaxes(n, 32))
+}
+
+// Fig06 compares conventional 1-way exchange against 1-way with dynamic
+// timing (Err < 1.0): dynamic timing reduces both convergence time and
+// total packets.
+func Fig06(ds []int, trials int, seed uint64) []ConvergenceRow {
+	var rows []ConvergenceRow
+	for _, d := range ds {
+		rows = append(rows, runConvergence("1-way conventional", d, trials, seed,
+			func(c *coin.Config) { c.Threshold = 1.0 }, uniformInit))
+	}
+	for _, d := range ds {
+		rows = append(rows, runConvergence("1-way dynamic", d, trials, seed,
+			func(c *coin.Config) { c.Threshold = 1.0; c.DynamicTiming = true }, uniformInit))
+	}
+	return rows
+}
+
+// Fig08 sweeps the degree of heterogeneity (number of distinct accelerator
+// types) and the SoC dimension, reporting convergence time and the initial
+// error (start_error grows with heterogeneity, lengthening convergence).
+func Fig08(ds []int, accTypes []int, trials int, seed uint64) []ConvergenceRow {
+	var rows []ConvergenceRow
+	for _, at := range accTypes {
+		at := at
+		for _, d := range ds {
+			label := fmt.Sprintf("accType=%d", at)
+			rows = append(rows, runConvergence(label, d, trials, seed, nil,
+				func(src *rng.Source, n int) coin.Assignment {
+					maxes := coin.HeterogeneousMaxes(src, n, at, 8)
+					var sum int64
+					for _, m := range maxes {
+						sum += m
+					}
+					return coin.HotspotAssignment(src, maxes, sum/2)
+				}))
+		}
+	}
+	return rows
+}
+
+// Fig07Row is one histogram of worst-case residual error (Fig. 7).
+type Fig07Row struct {
+	N             int
+	RandomPairing bool
+	Trials        int
+	Hist          *stats.Histogram
+	MeanWorst     float64
+	MaxWorst      float64
+	WithinOneCoin int // trials whose worst tile error stayed below 1.5 coins
+}
+
+// String renders the row summary.
+func (r Fig07Row) String() string {
+	return fmt.Sprintf("N=%d pairing=%-5v trials=%d worstErr(mean)=%.2f worstErr(max)=%.2f within1coin=%d/%d",
+		r.N, r.RandomPairing, r.Trials, r.MeanWorst, r.MaxWorst, r.WithinOneCoin, r.Trials)
+}
+
+// Fig07 measures the residual (post-quiescence) worst-case per-tile error
+// with and without random pairing, for N = 100 and 400: without pairing,
+// deadlocked local minima leave tiles off target; with pairing everything
+// converges to the 1-coin quantization limit.
+func Fig07(ns []int, trials int, seed uint64) []Fig07Row {
+	var rows []Fig07Row
+	for _, n := range ns {
+		d := 1
+		for d*d < n {
+			d++
+		}
+		for _, pairing := range []bool{false, true} {
+			cfg := coin.Config{
+				Mesh:            mesh.Square(d, true),
+				Mode:            coin.OneWay,
+				RefreshInterval: 32,
+				RandomPairing:   pairing,
+				Threshold:       1.0,
+				// Run to quiescence: residual error is the subject. The
+				// cycle bound cuts off the long tail of last-coin
+				// shuffling at large N without affecting the residual.
+				StopAtConvergence: false,
+				MaxCycles:         400_000,
+			}
+			row := Fig07Row{N: d * d, RandomPairing: pairing, Trials: trials,
+				Hist: stats.NewHistogram(0, 16, 64)}
+			var worst stats.Running
+			for t := 0; t < trials; t++ {
+				src := rng.New(seed + uint64(t)*104729)
+				e := coin.NewEmulator(cfg, src)
+				// Sparse activity: half the tiles active, which is what
+				// makes neighbor-only exchange deadlock-prone.
+				maxes := make([]int64, d*d)
+				for i := range maxes {
+					if src.Bool() {
+						maxes[i] = 32
+					}
+				}
+				e.Init(coin.HotspotAssignment(src, maxes, int64(d*d)*8))
+				res := e.Run()
+				row.Hist.Add(res.WorstTileErr)
+				worst.Add(res.WorstTileErr)
+				if res.WorstTileErr < 1.5 {
+					row.WithinOneCoin++
+				}
+			}
+			row.MeanWorst = worst.Mean()
+			row.MaxWorst = worst.Max()
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// Fig04Row compares BlitzCoin and TokenSmart convergence (Fig. 4).
+type Fig04Row struct {
+	Label      string
+	D, N       int
+	Trials     int
+	MeanCycles float64
+	P95Cycles  float64
+	MaxCycles  float64
+}
+
+// String renders the row.
+func (r Fig04Row) String() string {
+	return fmt.Sprintf("%-4s d=%2d N=%3d trials=%d cycles mean=%9.0f p95=%9.0f max=%9.0f",
+		r.Label, r.D, r.N, r.Trials, r.MeanCycles, r.P95Cycles, r.MaxCycles)
+}
+
+// Fig04 runs BlitzCoin and the ring-based TokenSmart from random
+// initial allocations and compares time to convergence. BC scales with
+// sqrt(N); TS's sequential token passing scales with N and its greedy/fair
+// oscillation produces long-tail outliers.
+func Fig04(ds []int, trials int, seed uint64) []Fig04Row {
+	var rows []Fig04Row
+	for _, d := range ds {
+		cr := runConvergence("BC", d, trials, seed, nil, hotspotInit)
+		rows = append(rows, Fig04Row{Label: "BC", D: d, N: d * d, Trials: trials,
+			MeanCycles: cr.MeanCycles, P95Cycles: cr.P95Cycles, MaxCycles: cr.MaxCycles})
+	}
+	for _, d := range ds {
+		var cyc stats.Sample
+		for t := 0; t < trials; t++ {
+			cyc.Add(float64(tokenSmartConvergence(d, seed+uint64(t)*37)))
+		}
+		rows = append(rows, Fig04Row{Label: "TS", D: d, N: d * d, Trials: trials,
+			MeanCycles: cyc.Mean(), P95Cycles: cyc.Quantile(0.95), MaxCycles: cyc.Max()})
+	}
+	return rows
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"blitzcoin/internal/soc"
+	"blitzcoin/internal/workload"
+)
+
+// Table1Row is one design's summary in the cross-design comparison
+// (Table I).
+type Table1Row struct {
+	Strategy   string
+	Reference  string
+	Control    string
+	PowerCap   bool
+	DVFSScope  string
+	Allocation string
+	DomainsN   string
+	Levels     int
+	ResponseUs float64 // measured at N=13 (the 4x4 SoC)
+	Scaling    string
+}
+
+// String renders the row in a fixed-width table format.
+func (r Table1Row) String() string {
+	cap := "No"
+	if r.PowerCap {
+		cap = "Yes"
+	}
+	return fmt.Sprintf("%-10s %-9s %-13s %-4s %-14s %-18s %-7s %3d %14.2fus@N=13 %s",
+		r.Strategy, r.Reference, r.Control, cap, r.DVFSScope, r.Allocation,
+		r.DomainsN, r.Levels, r.ResponseUs, r.Scaling)
+}
+
+// Table1 measures the response time of each implemented scheme on the
+// 13-accelerator 4x4 SoC and assembles the comparison table. The paper's
+// measured bands at N=13: BC 0.39-0.77 us, BC-C 3.8-8.0 us, C-RR
+// 3.7-6.4 us, TS 2.9 us.
+func Table1(seed uint64) []Table1Row {
+	g := workload.Repeat(workload.ComputerVisionParallel(), 3)
+	resp := map[soc.Scheme]float64{}
+	for _, s := range []soc.Scheme{soc.SchemeBC, soc.SchemeBCC, soc.SchemeCRR, soc.SchemeTS, soc.SchemePT} {
+		res := soc.New(soc.SoC4x4(450, s, seed)).Run(g)
+		// The mean includes the instant already-at-target responses that
+		// would pull a median to zero for BC.
+		resp[s] = res.MeanResponseMicros()
+	}
+	return []Table1Row{
+		{
+			Strategy: "BlitzCoin", Reference: "BC", Control: "Decentralized",
+			PowerCap: true, DVFSScope: "Heterogeneous", Allocation: "Equal/proportional",
+			DomainsN: "4-400", Levels: 64, ResponseUs: resp[soc.SchemeBC], Scaling: "O(sqrt(N))",
+		},
+		{
+			Strategy: "BlitzCoin", Reference: "BC-C", Control: "Centralized",
+			PowerCap: true, DVFSScope: "Heterogeneous", Allocation: "Proportional",
+			DomainsN: "6-13", Levels: 64, ResponseUs: resp[soc.SchemeBCC], Scaling: "O(N)",
+		},
+		{
+			Strategy: "Round robin", Reference: "C-RR", Control: "Centralized",
+			PowerCap: true, DVFSScope: "Heterogeneous", Allocation: "Greedy",
+			DomainsN: "6-13", Levels: 64, ResponseUs: resp[soc.SchemeCRR], Scaling: "O(N)",
+		},
+		{
+			Strategy: "Fair-greedy", Reference: "TS", Control: "Decentralized",
+			PowerCap: true, DVFSScope: "Heterogeneous", Allocation: "Greedy/equal",
+			DomainsN: "4-400", Levels: 64, ResponseUs: resp[soc.SchemeTS], Scaling: "O(N)",
+		},
+		{
+			Strategy: "Price theory", Reference: "PT", Control: "Hierarchical",
+			PowerCap: true, DVFSScope: "Clusters", Allocation: "Bidding",
+			DomainsN: "4-256", Levels: 64, ResponseUs: resp[soc.SchemePT], Scaling: "sub-linear",
+		},
+	}
+}

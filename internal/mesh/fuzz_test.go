@@ -1,0 +1,32 @@
+package mesh
+
+import "testing"
+
+func FuzzRouteConsistency(f *testing.F) {
+	f.Add(uint8(4), uint8(4), true, uint8(0), uint8(15))
+	f.Add(uint8(3), uint8(5), false, uint8(2), uint8(11))
+	f.Fuzz(func(t *testing.T, w, h uint8, torus bool, a, b uint8) {
+		W := int(w%8) + 1
+		H := int(h%8) + 1
+		m := New(W, H, torus)
+		i := int(a) % m.N()
+		j := int(b) % m.N()
+		d := m.HopDistance(i, j)
+		route := m.XYRoute(i, j)
+		if len(route) != d+1 {
+			t.Fatalf("route length %d, distance %d", len(route), d)
+		}
+		if route[0] != i || route[len(route)-1] != j {
+			t.Fatalf("route endpoints %d..%d, want %d..%d",
+				route[0], route[len(route)-1], i, j)
+		}
+		for k := 1; k < len(route); k++ {
+			if m.HopDistance(route[k-1], route[k]) != 1 {
+				t.Fatalf("non-adjacent step in route %v", route)
+			}
+		}
+		if d > m.MaxHopDistance() {
+			t.Fatalf("distance %d beyond diameter %d", d, m.MaxHopDistance())
+		}
+	})
+}

@@ -1,0 +1,235 @@
+// Package mesh models the 2D-mesh tile grid of a BlitzCoin SoC.
+//
+// BlitzCoin targets 2D-mesh NoC architectures (Sec. IV): tiles are arranged
+// on a WxH grid, and each tile exchanges coins with its north, south, east,
+// and west neighbors. Section III-D extends the neighbor definition with
+// wrap-around so edge and corner tiles reach the same number of neighbors as
+// interior tiles (Fig. 5); this package implements both the open-mesh and the
+// torus (wrap-around) neighbor rules, plus the XY hop distance used to
+// time packet delivery on the NoC.
+package mesh
+
+import "fmt"
+
+// Direction identifies one of the four mesh neighbors.
+type Direction int
+
+// The four cardinal directions, in the round-robin order the 1-way exchange
+// rotates through (Algorithm 2).
+const (
+	North Direction = iota
+	East
+	South
+	West
+	numDirections
+)
+
+// NumDirections is the number of cardinal neighbor directions.
+const NumDirections = int(numDirections)
+
+// String returns the direction's single-letter name as used in the paper.
+func (d Direction) String() string {
+	switch d {
+	case North:
+		return "N"
+	case East:
+		return "E"
+	case South:
+		return "S"
+	case West:
+		return "W"
+	}
+	return fmt.Sprintf("Direction(%d)", int(d))
+}
+
+// Coord is a tile position on the grid; X grows east, Y grows south.
+type Coord struct {
+	X, Y int
+}
+
+// Mesh is a WxH tile grid. Torus selects wrap-around neighbor semantics.
+// The zero value is an empty mesh; use New.
+type Mesh struct {
+	W, H  int
+	Torus bool
+}
+
+// New returns a WxH mesh. It panics on non-positive dimensions, which always
+// indicate a configuration bug.
+func New(w, h int, torus bool) Mesh {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("mesh: invalid dimensions %dx%d", w, h))
+	}
+	return Mesh{W: w, H: h, Torus: torus}
+}
+
+// Square returns a d x d mesh, the shape used throughout the paper's
+// scalability studies, where d = sqrt(N).
+func Square(d int, torus bool) Mesh { return New(d, d, torus) }
+
+// N returns the number of tiles.
+func (m Mesh) N() int { return m.W * m.H }
+
+// Index converts a coordinate to a tile index in row-major order.
+func (m Mesh) Index(c Coord) int {
+	if !m.InBounds(c) {
+		panic(fmt.Sprintf("mesh: coordinate %+v out of %dx%d bounds", c, m.W, m.H))
+	}
+	return c.Y*m.W + c.X
+}
+
+// Coord converts a tile index back to its coordinate.
+func (m Mesh) Coord(i int) Coord {
+	if i < 0 || i >= m.N() {
+		panic(fmt.Sprintf("mesh: index %d out of range (N=%d)", i, m.N()))
+	}
+	return Coord{X: i % m.W, Y: i / m.W}
+}
+
+// InBounds reports whether c lies on the grid.
+func (m Mesh) InBounds(c Coord) bool {
+	return c.X >= 0 && c.X < m.W && c.Y >= 0 && c.Y < m.H
+}
+
+// step moves one hop in direction d without wrapping.
+func step(c Coord, d Direction) Coord {
+	switch d {
+	case North:
+		c.Y--
+	case South:
+		c.Y++
+	case East:
+		c.X++
+	case West:
+		c.X--
+	}
+	return c
+}
+
+// Neighbor returns the tile index one hop from tile i in direction d.
+// On an open mesh, ok is false when the move falls off the edge; on a torus
+// the move wraps and ok is always true — unless the wrap would return the
+// tile itself (a 1-wide dimension), which is reported as no neighbor.
+func (m Mesh) Neighbor(i int, d Direction) (int, bool) {
+	c := step(m.Coord(i), d)
+	if m.Torus {
+		c.X = mod(c.X, m.W)
+		c.Y = mod(c.Y, m.H)
+		j := m.Index(c)
+		if j == i {
+			return 0, false
+		}
+		return j, true
+	}
+	if !m.InBounds(c) {
+		return 0, false
+	}
+	return m.Index(c), true
+}
+
+// Neighbors returns the indices of all distinct neighbors of tile i, in
+// direction order N, E, S, W, skipping missing ones. On a torus, opposite
+// directions can wrap to the same tile (when a dimension is 2); duplicates
+// are kept, matching the hardware's four neighbor ports, except self-loops.
+func (m Mesh) Neighbors(i int) []int {
+	out := make([]int, 0, NumDirections)
+	for d := North; d < numDirections; d++ {
+		if j, ok := m.Neighbor(i, d); ok {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// DistinctNeighbors returns Neighbors(i) with duplicates removed, preserving
+// order. Used by the behavioral emulator where a pair exchange with the same
+// tile twice per rotation would double-count packets.
+func (m Mesh) DistinctNeighbors(i int) []int {
+	ns := m.Neighbors(i)
+	out := ns[:0]
+	for _, n := range ns {
+		dup := false
+		for _, o := range out {
+			if o == n {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// mod returns the least non-negative residue of a mod n.
+func mod(a, n int) int {
+	a %= n
+	if a < 0 {
+		a += n
+	}
+	return a
+}
+
+// axisDist returns the hop distance along one axis of length n, honoring
+// wrap-around when torus is set.
+func axisDist(a, b, n int, torus bool) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if torus && n-d < d {
+		d = n - d
+	}
+	return d
+}
+
+// HopDistance returns the number of NoC hops between tiles a and b under XY
+// (dimension-ordered) routing. On a torus, each axis takes the shorter way
+// around.
+func (m Mesh) HopDistance(a, b int) int {
+	ca, cb := m.Coord(a), m.Coord(b)
+	return axisDist(ca.X, cb.X, m.W, m.Torus) + axisDist(ca.Y, cb.Y, m.H, m.Torus)
+}
+
+// MaxHopDistance returns the network diameter in hops.
+func (m Mesh) MaxHopDistance() int {
+	if m.Torus {
+		return m.W/2 + m.H/2
+	}
+	return (m.W - 1) + (m.H - 1)
+}
+
+// XYRoute returns the sequence of tile indices from a to b (inclusive of
+// both) under XY routing: X first, then Y, taking the shorter wrap on a
+// torus. The route length is HopDistance(a,b)+1.
+func (m Mesh) XYRoute(a, b int) []int {
+	ca, cb := m.Coord(a), m.Coord(b)
+	route := []int{a}
+	cur := ca
+	stepAxis := func(cur, target, n int) int {
+		if cur == target {
+			return cur
+		}
+		fwd := mod(target-cur, n)
+		if m.Torus {
+			if fwd <= n-fwd {
+				return mod(cur+1, n)
+			}
+			return mod(cur-1, n)
+		}
+		if target > cur {
+			return cur + 1
+		}
+		return cur - 1
+	}
+	for cur.X != cb.X {
+		cur.X = stepAxis(cur.X, cb.X, m.W)
+		route = append(route, m.Index(cur))
+	}
+	for cur.Y != cb.Y {
+		cur.Y = stepAxis(cur.Y, cb.Y, m.H)
+		route = append(route, m.Index(cur))
+	}
+	return route
+}

@@ -1,0 +1,209 @@
+package mesh
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIndexCoordRoundTrip(t *testing.T) {
+	m := New(5, 3, false)
+	for i := 0; i < m.N(); i++ {
+		if got := m.Index(m.Coord(i)); got != i {
+			t.Fatalf("round trip %d -> %v -> %d", i, m.Coord(i), got)
+		}
+	}
+}
+
+func TestOpenMeshCornerNeighborCounts(t *testing.T) {
+	m := New(4, 4, false)
+	counts := map[int]int{}
+	for i := 0; i < m.N(); i++ {
+		counts[len(m.Neighbors(i))]++
+	}
+	// 4 corners with 2 neighbors, 8 edges with 3, 4 interior with 4.
+	if counts[2] != 4 || counts[3] != 8 || counts[4] != 4 {
+		t.Fatalf("neighbor count histogram = %v", counts)
+	}
+}
+
+func TestTorusEveryTileHasFourNeighbors(t *testing.T) {
+	// Wrap-around (Fig. 5): edge/corner tiles get the same number of
+	// neighbors as interior tiles.
+	m := New(3, 3, true)
+	for i := 0; i < m.N(); i++ {
+		if got := len(m.Neighbors(i)); got != 4 {
+			t.Fatalf("tile %d has %d neighbors, want 4", i, got)
+		}
+	}
+}
+
+func TestFig5WrapAroundExample(t *testing.T) {
+	// Fig. 5 (left): on the 3x3 grid, tile 0's neighbors are 1, 2, 3 and 6.
+	m := New(3, 3, true)
+	got := map[int]bool{}
+	for _, n := range m.Neighbors(0) {
+		got[n] = true
+	}
+	for _, want := range []int{1, 2, 3, 6} {
+		if !got[want] {
+			t.Fatalf("tile 0 neighbors = %v, want {1,2,3,6}", m.Neighbors(0))
+		}
+	}
+}
+
+func TestNeighborSymmetry(t *testing.T) {
+	// If j is a neighbor of i, then i is a neighbor of j.
+	for _, torus := range []bool{false, true} {
+		m := New(6, 5, torus)
+		for i := 0; i < m.N(); i++ {
+			for _, j := range m.Neighbors(i) {
+				back := false
+				for _, k := range m.Neighbors(j) {
+					if k == i {
+						back = true
+						break
+					}
+				}
+				if !back {
+					t.Fatalf("torus=%v: %d->%d not symmetric", torus, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestTorusSelfLoopSuppressed(t *testing.T) {
+	// On a 1-wide mesh, wrap would point at the tile itself; no neighbor.
+	m := New(1, 4, true)
+	for i := 0; i < m.N(); i++ {
+		for _, n := range m.Neighbors(i) {
+			if n == i {
+				t.Fatalf("tile %d lists itself as neighbor", i)
+			}
+		}
+	}
+}
+
+func TestDistinctNeighborsOn2xN(t *testing.T) {
+	// On a 2-wide torus, East and West wrap to the same tile.
+	m := New(2, 4, true)
+	if got := len(m.Neighbors(0)); got != 4 {
+		t.Fatalf("raw neighbors = %d, want 4 (ports)", got)
+	}
+	if got := len(m.DistinctNeighbors(0)); got != 3 {
+		t.Fatalf("distinct neighbors = %d, want 3", got)
+	}
+}
+
+func TestHopDistanceOpenMesh(t *testing.T) {
+	m := New(4, 4, false)
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0},
+		{0, 3, 3},
+		{0, 15, 6},
+		{5, 10, 2},
+	}
+	for _, c := range cases {
+		if got := m.HopDistance(c.a, c.b); got != c.want {
+			t.Fatalf("HopDistance(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestHopDistanceTorusShortcut(t *testing.T) {
+	m := New(4, 4, true)
+	// 0 -> 3 is 1 hop westward around the wrap.
+	if got := m.HopDistance(0, 3); got != 1 {
+		t.Fatalf("torus HopDistance(0,3) = %d, want 1", got)
+	}
+	// 0 -> 15 (opposite corner) is 2 on a 4x4 torus.
+	if got := m.HopDistance(0, 15); got != 2 {
+		t.Fatalf("torus HopDistance(0,15) = %d, want 2", got)
+	}
+}
+
+func TestHopDistanceProperties(t *testing.T) {
+	m := New(7, 5, true)
+	f := func(a, b uint8) bool {
+		i, j := int(a)%m.N(), int(b)%m.N()
+		d := m.HopDistance(i, j)
+		// Symmetry, identity, and diameter bound.
+		return d == m.HopDistance(j, i) &&
+			(d == 0) == (i == j) &&
+			d <= m.MaxHopDistance()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriangleInequality(t *testing.T) {
+	for _, torus := range []bool{false, true} {
+		m := New(5, 6, torus)
+		f := func(a, b, c uint8) bool {
+			i, j, k := int(a)%m.N(), int(b)%m.N(), int(c)%m.N()
+			return m.HopDistance(i, k) <= m.HopDistance(i, j)+m.HopDistance(j, k)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+			t.Errorf("torus=%v: %v", torus, err)
+		}
+	}
+}
+
+func TestXYRouteLengthMatchesHopDistance(t *testing.T) {
+	for _, torus := range []bool{false, true} {
+		m := New(6, 4, torus)
+		for a := 0; a < m.N(); a++ {
+			for b := 0; b < m.N(); b++ {
+				r := m.XYRoute(a, b)
+				if len(r) != m.HopDistance(a, b)+1 {
+					t.Fatalf("torus=%v route %d->%d len %d, want %d",
+						torus, a, b, len(r), m.HopDistance(a, b)+1)
+				}
+				if r[0] != a || r[len(r)-1] != b {
+					t.Fatalf("route %d->%d endpoints wrong: %v", a, b, r)
+				}
+				// Each step must be a neighbor hop.
+				for i := 1; i < len(r); i++ {
+					if m.HopDistance(r[i-1], r[i]) != 1 {
+						t.Fatalf("route %v step %d not adjacent", r, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMaxHopDistance(t *testing.T) {
+	if got := New(4, 4, false).MaxHopDistance(); got != 6 {
+		t.Fatalf("open 4x4 diameter = %d, want 6", got)
+	}
+	if got := New(4, 4, true).MaxHopDistance(); got != 4 {
+		t.Fatalf("torus 4x4 diameter = %d, want 4", got)
+	}
+}
+
+func TestInvalidConstructionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0,3) did not panic")
+		}
+	}()
+	New(0, 3, false)
+}
+
+func TestDirectionString(t *testing.T) {
+	want := map[Direction]string{North: "N", East: "E", South: "S", West: "W"}
+	for d, s := range want {
+		if d.String() != s {
+			t.Fatalf("%d.String() = %q, want %q", d, d.String(), s)
+		}
+	}
+}
+
+func TestSquare(t *testing.T) {
+	m := Square(20, true)
+	if m.N() != 400 {
+		t.Fatalf("Square(20) N = %d, want 400 (paper's largest emulated SoC)", m.N())
+	}
+}

@@ -1,0 +1,270 @@
+// Package noc models the multi-plane 2D-mesh network-on-chip that carries
+// BlitzCoin's coin-exchange messages.
+//
+// The evaluated SoCs (Sec. IV-B) use a six-plane NoC: three planes for
+// coherence, two for accelerator DMA, and plane 5 for memory-mapped register
+// access and interrupts. The paper adds a new message type to plane 5 for
+// coin-based power management, with a round-robin arbiter controlling access
+// to the plane within each tile. The NoC runs at a fixed voltage and
+// frequency (800 MHz) and guarantees one-cycle-per-hop throughput
+// (Sec. IV-C).
+//
+// This model is packet-level and cycle-accurate in the sense that matters to
+// the power-management experiments: XY (dimension-ordered) routing, one
+// cycle per hop, per-link-per-plane serialization (one flit per cycle), and
+// a per-tile injection arbiter on the PM plane. It is driven by the
+// discrete-event kernel, so all latencies — including contention stalls —
+// land on exact cycles.
+package noc
+
+import (
+	"fmt"
+
+	"blitzcoin/internal/mesh"
+	"blitzcoin/internal/sim"
+)
+
+// Plane identifies one of the six NoC planes.
+type Plane int
+
+// The six planes of the ESP-style NoC. PlanePM is plane 5, which carries
+// register accesses, interrupts, and the new coin-exchange message class.
+const (
+	PlaneCoherence0 Plane = iota
+	PlaneCoherence1
+	PlaneCoherence2
+	PlaneDMA0
+	PlaneDMA1
+	PlanePM
+	NumPlanes
+)
+
+// Kind classifies a packet's message type.
+type Kind int
+
+// Message kinds. The coin kinds implement Algorithms 1 and 2; RegAccess and
+// Interrupt are the plane-5 messages PM traffic arbitrates against.
+const (
+	KindCoinRequest Kind = iota // 4-way: center asks a neighbor for status
+	KindCoinStatus              // reply or unsolicited status: (has, max)
+	KindCoinUpdate              // new coin count pushed to a neighbor
+	KindRegAccess               // memory-mapped CSR read/write
+	KindInterrupt
+	KindOther
+	numKinds
+)
+
+// String returns a short name for the message kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCoinRequest:
+		return "coin-req"
+	case KindCoinStatus:
+		return "coin-status"
+	case KindCoinUpdate:
+		return "coin-update"
+	case KindRegAccess:
+		return "reg"
+	case KindInterrupt:
+		return "irq"
+	case KindOther:
+		return "other"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Packet is a single-flit NoC message. PM messages are a few dozen bits
+// (two 7-bit coin fields plus headers) and fit one flit.
+type Packet struct {
+	ID        uint64
+	Plane     Plane
+	Kind      Kind
+	Src, Dst  int
+	Payload   interface{}
+	Injected  sim.Cycles // time Send was called
+	Departed  sim.Cycles // time the packet won injection arbitration
+	Delivered sim.Cycles // time the destination handler ran
+	Hops      int
+}
+
+// Latency returns the injection-to-delivery latency in cycles.
+func (p *Packet) Latency() sim.Cycles { return p.Delivered - p.Injected }
+
+// Handler consumes a delivered packet at its destination tile.
+type Handler func(*Packet)
+
+// Stats aggregates network activity for one run.
+type Stats struct {
+	Sent          uint64
+	Delivered     uint64
+	TotalHops     uint64
+	TotalLatency  uint64 // cycles, summed over delivered packets
+	PerPlaneSent  [NumPlanes]uint64
+	PerKindSent   [numKinds]uint64
+	MaxLatency    sim.Cycles
+	ContentionCyc uint64 // cycles spent waiting for busy links/ports
+}
+
+// MeanLatency returns the average delivery latency in cycles.
+func (s *Stats) MeanLatency() float64 {
+	if s.Delivered == 0 {
+		return 0
+	}
+	return float64(s.TotalLatency) / float64(s.Delivered)
+}
+
+// Config sets the network's timing knobs.
+type Config struct {
+	// HopLatency is the per-hop traversal time. The fabricated SoC
+	// guarantees one cycle per hop.
+	HopLatency sim.Cycles
+	// RouterLatency is an additional fixed cost paid once at injection
+	// (the tile-to-NoC synchronizer crossing; Sec. IV-B notes each message
+	// needs exactly two boundary crossings, folded into this constant).
+	RouterLatency sim.Cycles
+}
+
+// DefaultConfig matches the fabricated SoC: 1 cycle/hop plus a 2-cycle
+// injection cost for the voltage/frequency boundary crossings.
+func DefaultConfig() Config {
+	return Config{HopLatency: 1, RouterLatency: 2}
+}
+
+// Network is the simulated NoC. Create with New, register per-tile handlers,
+// then Send packets; deliveries arrive as kernel events.
+type Network struct {
+	kernel *sim.Kernel
+	mesh   mesh.Mesh
+	cfg    Config
+
+	// links[plane] maps a directed link (from-tile index, direction) to the
+	// first cycle at which the link is free. One flit per cycle per plane.
+	links [NumPlanes]map[linkKey]sim.Cycles
+	// inject[plane][tile] is the injection port's next free cycle: the
+	// per-tile round-robin arbiter serializes sources within a tile.
+	inject [NumPlanes][]sim.Cycles
+	// eject[plane][tile] serializes deliveries into a tile.
+	eject [NumPlanes][]sim.Cycles
+
+	handlers [NumPlanes][]Handler
+	nextID   uint64
+	stats    Stats
+}
+
+type linkKey struct {
+	from int
+	dir  mesh.Direction
+}
+
+// New builds a network over the given mesh using kernel for timing.
+func New(k *sim.Kernel, m mesh.Mesh, cfg Config) *Network {
+	if cfg.HopLatency == 0 {
+		cfg.HopLatency = 1
+	}
+	n := &Network{kernel: k, mesh: m, cfg: cfg}
+	for p := Plane(0); p < NumPlanes; p++ {
+		n.links[p] = make(map[linkKey]sim.Cycles)
+		n.inject[p] = make([]sim.Cycles, m.N())
+		n.eject[p] = make([]sim.Cycles, m.N())
+		n.handlers[p] = make([]Handler, m.N())
+	}
+	return n
+}
+
+// Mesh returns the topology the network routes over.
+func (n *Network) Mesh() mesh.Mesh { return n.mesh }
+
+// Stats returns a snapshot of the accumulated statistics.
+func (n *Network) Stats() Stats { return n.stats }
+
+// SetHandler registers the delivery callback for (tile, plane). Passing nil
+// drops packets silently, which models a tile with that service disabled.
+func (n *Network) SetHandler(tile int, plane Plane, h Handler) {
+	n.handlers[plane][tile] = h
+}
+
+// Send injects a packet. The packet's Src, Dst, Plane, and Kind must be set;
+// the network assigns ID and timing fields. Delivery happens via the
+// destination handler after routing latency, including any contention.
+func (n *Network) Send(p *Packet) {
+	if p.Src == p.Dst {
+		panic("noc: packet addressed to its own tile")
+	}
+	if p.Plane < 0 || p.Plane >= NumPlanes {
+		panic(fmt.Sprintf("noc: invalid plane %d", p.Plane))
+	}
+	n.nextID++
+	p.ID = n.nextID
+	p.Injected = n.kernel.Now()
+	n.stats.Sent++
+	n.stats.PerPlaneSent[p.Plane]++
+	if p.Kind >= 0 && p.Kind < numKinds {
+		n.stats.PerKindSent[p.Kind]++
+	}
+
+	// Injection arbitration: the port accepts one packet per cycle.
+	depart := p.Injected + n.cfg.RouterLatency
+	if free := n.inject[p.Plane][p.Src]; free > depart {
+		n.stats.ContentionCyc += uint64(free - depart)
+		depart = free
+	}
+	n.inject[p.Plane][p.Src] = depart + 1
+	p.Departed = depart
+
+	// Reserve each link along the XY route in order. Because reservations
+	// are made at send time in event order, two packets contending for a
+	// link serialize deterministically.
+	route := n.mesh.XYRoute(p.Src, p.Dst)
+	t := depart
+	for i := 1; i < len(route); i++ {
+		dir := n.directionOf(route[i-1], route[i])
+		key := linkKey{from: route[i-1], dir: dir}
+		if free := n.links[p.Plane][key]; free > t {
+			n.stats.ContentionCyc += uint64(free - t)
+			t = free
+		}
+		n.links[p.Plane][key] = t + 1
+		t += n.cfg.HopLatency
+		p.Hops++
+	}
+
+	// Ejection port serialization at the destination.
+	if free := n.eject[p.Plane][p.Dst]; free > t {
+		n.stats.ContentionCyc += uint64(free - t)
+		t = free
+	}
+	n.eject[p.Plane][p.Dst] = t + 1
+
+	n.kernel.At(t, func() { n.deliver(p) })
+}
+
+// directionOf returns the link direction for a single hop between adjacent
+// tiles, honoring torus wrap.
+func (n *Network) directionOf(from, to int) mesh.Direction {
+	for d := mesh.North; d < mesh.Direction(mesh.NumDirections); d++ {
+		if j, ok := n.mesh.Neighbor(from, d); ok && j == to {
+			return d
+		}
+	}
+	panic(fmt.Sprintf("noc: %d -> %d is not a single hop", from, to))
+}
+
+func (n *Network) deliver(p *Packet) {
+	p.Delivered = n.kernel.Now()
+	n.stats.Delivered++
+	n.stats.TotalHops += uint64(p.Hops)
+	n.stats.TotalLatency += uint64(p.Latency())
+	if p.Latency() > n.stats.MaxLatency {
+		n.stats.MaxLatency = p.Latency()
+	}
+	if h := n.handlers[p.Plane][p.Dst]; h != nil {
+		h(p)
+	}
+}
+
+// UnicastLatencyLowerBound returns the zero-contention latency between two
+// tiles: boundary crossing plus hop traversal. Useful for response-time
+// models and test oracles.
+func (n *Network) UnicastLatencyLowerBound(src, dst int) sim.Cycles {
+	return n.cfg.RouterLatency + sim.Cycles(n.mesh.HopDistance(src, dst))*n.cfg.HopLatency
+}

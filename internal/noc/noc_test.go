@@ -1,0 +1,183 @@
+package noc
+
+import (
+	"testing"
+
+	"blitzcoin/internal/mesh"
+	"blitzcoin/internal/sim"
+)
+
+func newNet(w, h int, torus bool) (*sim.Kernel, *Network) {
+	k := &sim.Kernel{}
+	return k, New(k, mesh.New(w, h, torus), DefaultConfig())
+}
+
+func TestSingleHopLatency(t *testing.T) {
+	k, n := newNet(3, 3, false)
+	var got *Packet
+	n.SetHandler(1, PlanePM, func(p *Packet) { got = p })
+	n.Send(&Packet{Plane: PlanePM, Kind: KindCoinStatus, Src: 0, Dst: 1})
+	k.Drain()
+	if got == nil {
+		t.Fatal("packet not delivered")
+	}
+	// RouterLatency(2) + 1 hop = 3 cycles.
+	if got.Latency() != 3 || got.Hops != 1 {
+		t.Fatalf("latency=%d hops=%d, want 3 and 1", got.Latency(), got.Hops)
+	}
+}
+
+func TestMultiHopLatencyMatchesLowerBoundWithoutContention(t *testing.T) {
+	k, n := newNet(5, 5, false)
+	var got *Packet
+	n.SetHandler(24, PlanePM, func(p *Packet) { got = p })
+	n.Send(&Packet{Plane: PlanePM, Kind: KindCoinUpdate, Src: 0, Dst: 24})
+	k.Drain()
+	want := n.UnicastLatencyLowerBound(0, 24)
+	if got.Latency() != want {
+		t.Fatalf("latency = %d, want %d", got.Latency(), want)
+	}
+	if got.Hops != 8 {
+		t.Fatalf("hops = %d, want 8", got.Hops)
+	}
+}
+
+func TestInjectionPortSerialization(t *testing.T) {
+	// Two packets injected the same cycle from the same tile on the same
+	// plane must serialize: one flit per cycle.
+	k, n := newNet(3, 1, false)
+	var times []sim.Cycles
+	n.SetHandler(1, PlanePM, func(p *Packet) { times = append(times, p.Delivered) })
+	n.Send(&Packet{Plane: PlanePM, Kind: KindCoinStatus, Src: 0, Dst: 1})
+	n.Send(&Packet{Plane: PlanePM, Kind: KindCoinStatus, Src: 0, Dst: 1})
+	k.Drain()
+	if len(times) != 2 {
+		t.Fatalf("delivered %d packets", len(times))
+	}
+	if times[1] != times[0]+1 {
+		t.Fatalf("deliveries at %v, want 1 cycle apart", times)
+	}
+	if n.Stats().ContentionCyc == 0 {
+		t.Fatal("expected contention to be recorded")
+	}
+}
+
+func TestPlanesDoNotContend(t *testing.T) {
+	// The same physical path on different planes is independent.
+	k, n := newNet(3, 1, false)
+	var times []sim.Cycles
+	n.SetHandler(1, PlanePM, func(p *Packet) { times = append(times, p.Delivered) })
+	n.SetHandler(1, PlaneDMA0, func(p *Packet) { times = append(times, p.Delivered) })
+	n.Send(&Packet{Plane: PlanePM, Kind: KindCoinStatus, Src: 0, Dst: 1})
+	n.Send(&Packet{Plane: PlaneDMA0, Kind: KindOther, Src: 0, Dst: 1})
+	k.Drain()
+	if len(times) != 2 || times[0] != times[1] {
+		t.Fatalf("deliveries %v, want simultaneous on separate planes", times)
+	}
+}
+
+func TestLinkContentionSerializes(t *testing.T) {
+	// Tiles 0 and 1 both send to tile 2 on a 3x1 mesh: the 1->2 link is
+	// shared, so one packet stalls.
+	k, n := newNet(3, 1, false)
+	count := 0
+	n.SetHandler(2, PlanePM, func(p *Packet) { count++ })
+	n.Send(&Packet{Plane: PlanePM, Kind: KindCoinStatus, Src: 0, Dst: 2})
+	n.Send(&Packet{Plane: PlanePM, Kind: KindCoinStatus, Src: 1, Dst: 2})
+	k.Drain()
+	if count != 2 {
+		t.Fatalf("delivered %d", count)
+	}
+	st := n.Stats()
+	if st.ContentionCyc == 0 {
+		t.Fatal("shared link should have recorded contention")
+	}
+}
+
+func TestTorusTakesShortWay(t *testing.T) {
+	k, n := newNet(4, 4, true)
+	var got *Packet
+	n.SetHandler(3, PlanePM, func(p *Packet) { got = p })
+	n.Send(&Packet{Plane: PlanePM, Kind: KindCoinStatus, Src: 0, Dst: 3})
+	k.Drain()
+	if got.Hops != 1 {
+		t.Fatalf("torus route took %d hops, want 1 (wrap)", got.Hops)
+	}
+}
+
+func TestAllPairsDelivery(t *testing.T) {
+	// Every (src, dst) pair delivers exactly once with sane latency.
+	k, n := newNet(4, 3, false)
+	delivered := map[[2]int]int{}
+	for i := 0; i < 12; i++ {
+		i := i
+		n.SetHandler(i, PlanePM, func(p *Packet) { delivered[[2]int{p.Src, p.Dst}]++ })
+	}
+	sent := 0
+	for s := 0; s < 12; s++ {
+		for d := 0; d < 12; d++ {
+			if s == d {
+				continue
+			}
+			n.Send(&Packet{Plane: PlanePM, Kind: KindCoinStatus, Src: s, Dst: d})
+			sent++
+		}
+	}
+	k.Drain()
+	if len(delivered) != sent {
+		t.Fatalf("delivered %d distinct pairs, want %d", len(delivered), sent)
+	}
+	for pair, c := range delivered {
+		if c != 1 {
+			t.Fatalf("pair %v delivered %d times", pair, c)
+		}
+	}
+	st := n.Stats()
+	if st.Sent != uint64(sent) || st.Delivered != uint64(sent) {
+		t.Fatalf("stats sent=%d delivered=%d want %d", st.Sent, st.Delivered, sent)
+	}
+	if st.MeanLatency() <= 0 {
+		t.Fatal("mean latency not recorded")
+	}
+}
+
+func TestSelfSendPanics(t *testing.T) {
+	_, n := newNet(2, 2, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("self-send did not panic")
+		}
+	}()
+	n.Send(&Packet{Plane: PlanePM, Src: 1, Dst: 1})
+}
+
+func TestNilHandlerDropsSilently(t *testing.T) {
+	k, n := newNet(2, 2, false)
+	n.Send(&Packet{Plane: PlanePM, Kind: KindOther, Src: 0, Dst: 1})
+	k.Drain()
+	if n.Stats().Delivered != 1 {
+		t.Fatal("packet should count as delivered even without handler")
+	}
+}
+
+func TestStatsPerPlaneAndKind(t *testing.T) {
+	k, n := newNet(2, 2, false)
+	n.Send(&Packet{Plane: PlanePM, Kind: KindCoinRequest, Src: 0, Dst: 1})
+	n.Send(&Packet{Plane: PlaneDMA1, Kind: KindOther, Src: 0, Dst: 1})
+	k.Drain()
+	st := n.Stats()
+	if st.PerPlaneSent[PlanePM] != 1 || st.PerPlaneSent[PlaneDMA1] != 1 {
+		t.Fatalf("per-plane = %v", st.PerPlaneSent)
+	}
+	if st.PerKindSent[KindCoinRequest] != 1 {
+		t.Fatalf("per-kind = %v", st.PerKindSent)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k := KindCoinRequest; k <= KindOther; k++ {
+		if k.String() == "" {
+			t.Fatalf("kind %d has empty name", k)
+		}
+	}
+}

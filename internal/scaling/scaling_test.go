@@ -1,0 +1,141 @@
+package scaling
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestFitRecoversExactLaw(t *testing.T) {
+	// Points generated from T = 0.5*sqrt(N) must fit tau = 0.5 exactly.
+	var pts []Point
+	for _, n := range []float64{4, 16, 64, 256} {
+		pts = append(pts, Point{N: n, Response: 0.5 * math.Sqrt(n)})
+	}
+	m := Fit("x", Sqrt, pts)
+	if !almost(m.Tau, 0.5, 1e-12) {
+		t.Fatalf("tau = %v, want 0.5", m.Tau)
+	}
+	pts = pts[:0]
+	for _, n := range []float64{4, 16, 64} {
+		pts = append(pts, Point{N: n, Response: 0.7 * n})
+	}
+	m = Fit("y", Linear, pts)
+	if !almost(m.Tau, 0.7, 1e-12) {
+		t.Fatalf("tau = %v, want 0.7", m.Tau)
+	}
+}
+
+func TestNMaxFormulas(t *testing.T) {
+	// Eq. 5.3: Nmax = (Tw/tau)^(2/3) for the sqrt law.
+	bc := Model{Name: "BC", Law: Sqrt, Tau: 0.20}
+	if got := bc.NMax(7000); !almost(got, math.Pow(7000/0.20, 2.0/3.0), 1e-9) {
+		t.Fatalf("sqrt NMax = %v", got)
+	}
+	// Paper claim: BC supports about 1000 accelerators at Tw >= 7 ms.
+	if got := bc.NMax(7000); got < 900 || got > 1200 {
+		t.Fatalf("BC NMax(7ms) = %.0f, want about 1000", got)
+	}
+	// And about 100 accelerators at Tw >= 0.2 ms.
+	if got := bc.NMax(200); got < 80 || got > 120 {
+		t.Fatalf("BC NMax(0.2ms) = %.0f, want about 100", got)
+	}
+}
+
+func TestNMaxAtIntersection(t *testing.T) {
+	// At N = NMax, T(N) equals Tw/N by construction.
+	f := func(tau8, tw8 uint8) bool {
+		tau := 0.1 + float64(tau8)/64
+		tw := 100 + float64(tw8)*50
+		for _, law := range []Law{Linear, Sqrt} {
+			m := Model{Law: law, Tau: tau}
+			n := m.NMax(tw)
+			if !almost(m.Response(n), PhaseInterval(tw, n), 1e-6*tw) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPaperScalingClaims(t *testing.T) {
+	m := PaperModels()
+	// Fig. 21: BC supports 5.7-13.3x more accelerators than BC-C and C-RR.
+	for _, tw := range []float64{200, 1000, 7000, 10000} {
+		rBCC := m["BC"].NMax(tw) / m["BC-C"].NMax(tw)
+		rCRR := m["BC"].NMax(tw) / m["C-RR"].NMax(tw)
+		if rBCC < 4 || rBCC > 15 {
+			t.Fatalf("Tw=%v: BC/BC-C NMax ratio %.1f outside the paper's band", tw, rBCC)
+		}
+		if rCRR < rBCC {
+			t.Fatalf("C-RR should allow fewer accelerators than BC-C")
+		}
+		// And 3.2-6.2x more than TS.
+		rTS := m["BC"].NMax(tw) / m["TS"].NMax(tw)
+		if rTS < 2.5 || rTS > 8 {
+			t.Fatalf("Tw=%v: BC/TS NMax ratio %.1f outside the paper's band", tw, rTS)
+		}
+	}
+}
+
+func TestOverheadFractionFig21Right(t *testing.T) {
+	// Fig. 21 right at Tw = 10 ms, N = 100: C-RR 96%, BC-C 66%, TS 21%,
+	// BC 2.0%.
+	m := PaperModels()
+	tw := 10000.0 // 10 ms in us
+	if got := m["C-RR"].OverheadFraction(100, tw); !almost(got, 0.96, 1e-9) {
+		t.Fatalf("C-RR overhead = %v, want 0.96", got)
+	}
+	if got := m["BC-C"].OverheadFraction(100, tw); !almost(got, 0.66, 1e-9) {
+		t.Fatalf("BC-C overhead = %v, want 0.66", got)
+	}
+	if got := m["TS"].OverheadFraction(100, tw); !almost(got, 0.22, 1e-9) {
+		t.Fatalf("TS overhead = %v, want 0.22", got)
+	}
+	if got := m["BC"].OverheadFraction(100, tw); !almost(got, 0.020, 1e-3) {
+		t.Fatalf("BC overhead = %v, want 0.020", got)
+	}
+}
+
+func TestSupported(t *testing.T) {
+	bc := Model{Law: Sqrt, Tau: 0.20}
+	nmax := bc.NMax(1000)
+	if !bc.Supported(nmax*0.9, 1000) {
+		t.Fatal("N below NMax should be supported")
+	}
+	if bc.Supported(nmax*1.1, 1000) {
+		t.Fatal("N above NMax should not be supported")
+	}
+}
+
+func TestMonotoneNMaxInTw(t *testing.T) {
+	bc := PaperModels()["BC"]
+	prev := 0.0
+	for tw := 100.0; tw <= 100000; tw *= 2 {
+		n := bc.NMax(tw)
+		if n <= prev {
+			t.Fatalf("NMax not increasing at Tw=%v", tw)
+		}
+		prev = n
+	}
+}
+
+func TestFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty fit did not panic")
+		}
+	}()
+	Fit("x", Linear, nil)
+}
+
+func TestLawString(t *testing.T) {
+	if Linear.String() != "O(N)" || Sqrt.String() != "O(sqrt(N))" {
+		t.Fatal("law names wrong")
+	}
+}

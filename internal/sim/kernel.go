@@ -1,0 +1,149 @@
+// Package sim implements the discrete-event simulation kernel that underlies
+// every timed model in this repository: the coin-exchange emulator, the
+// network-on-chip, the UVFR actuators, and the full-SoC harness.
+//
+// The kernel advances a cycle counter (the paper expresses all timing in NoC
+// cycles at 800 MHz) and executes scheduled events in (time, sequence) order,
+// so simultaneous events run in the order they were scheduled. This makes
+// every simulation deterministic for a given seed, which the Monte Carlo
+// experiments (Figs. 3-8) rely on.
+package sim
+
+import "container/heap"
+
+// Cycles is a simulated time stamp or duration, counted in NoC clock cycles.
+type Cycles = uint64
+
+// NoCFrequencyHz is the fixed NoC clock of the evaluated SoCs (Sec. V-A):
+// the CPU and NoC run at 800 MHz, the maximum NoC frequency of the
+// fabricated prototype.
+const NoCFrequencyHz = 800e6
+
+// CyclesToMicros converts a cycle count at the 800 MHz NoC clock into
+// microseconds.
+func CyclesToMicros(c Cycles) float64 {
+	return float64(c) / NoCFrequencyHz * 1e6
+}
+
+// MicrosToCycles converts microseconds into NoC cycles, rounding to nearest.
+func MicrosToCycles(us float64) Cycles {
+	return Cycles(us*NoCFrequencyHz/1e6 + 0.5)
+}
+
+// event is a pending callback.
+type event struct {
+	at  Cycles
+	seq uint64
+	fn  func()
+}
+
+// eventHeap orders events by (time, insertion sequence).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event scheduler. The zero value is ready to use.
+type Kernel struct {
+	now    Cycles
+	seq    uint64
+	events eventHeap
+	// executed counts events run, exposed for tests and runaway detection.
+	executed uint64
+}
+
+// Now returns the current simulation time.
+func (k *Kernel) Now() Cycles { return k.now }
+
+// Executed returns the number of events executed so far.
+func (k *Kernel) Executed() uint64 { return k.executed }
+
+// Pending returns the number of events waiting to run.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// Schedule runs fn after delay cycles (delay 0 runs it later in the current
+// cycle, after all previously scheduled events for this cycle).
+func (k *Kernel) Schedule(delay Cycles, fn func()) {
+	k.At(k.now+delay, fn)
+}
+
+// At runs fn at absolute time t. Scheduling in the past panics: it always
+// indicates a model bug, and silently reordering would corrupt causality.
+func (k *Kernel) At(t Cycles, fn func()) {
+	if t < k.now {
+		panic("sim: event scheduled in the past")
+	}
+	k.seq++
+	heap.Push(&k.events, &event{at: t, seq: k.seq, fn: fn})
+}
+
+// Step executes the next pending event and advances time to it. It reports
+// whether an event was executed.
+func (k *Kernel) Step() bool {
+	if len(k.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.events).(*event)
+	k.now = e.at
+	k.executed++
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue is empty or the next event is after
+// until; time ends clamped to until if the queue drained earlier events.
+// It returns the number of events executed by this call.
+func (k *Kernel) Run(until Cycles) uint64 {
+	var n uint64
+	for len(k.events) > 0 && k.events[0].at <= until {
+		k.Step()
+		n++
+	}
+	if k.now < until {
+		k.now = until
+	}
+	return n
+}
+
+// RunUntil executes events until stop returns true (checked after each
+// event), the queue drains, or maxEvents events have run. It returns the
+// number of events executed. A maxEvents of 0 means no limit.
+func (k *Kernel) RunUntil(stop func() bool, maxEvents uint64) uint64 {
+	var n uint64
+	for len(k.events) > 0 {
+		if maxEvents > 0 && n >= maxEvents {
+			break
+		}
+		k.Step()
+		n++
+		if stop != nil && stop() {
+			break
+		}
+	}
+	return n
+}
+
+// Drain executes all pending events to completion and returns how many ran.
+// Use only in models guaranteed to quiesce.
+func (k *Kernel) Drain() uint64 {
+	var n uint64
+	for k.Step() {
+		n++
+	}
+	return n
+}

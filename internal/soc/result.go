@@ -1,0 +1,136 @@
+package soc
+
+import (
+	"fmt"
+
+	"blitzcoin/internal/noc"
+	"blitzcoin/internal/sim"
+	"blitzcoin/internal/stats"
+	"blitzcoin/internal/trace"
+	"blitzcoin/internal/workload"
+)
+
+// Result summarizes one SoC workload run — the quantities Figs. 16-20
+// report: execution time, PM response time, and the power trace with its
+// budget utilization.
+type Result struct {
+	SoC      string
+	Scheme   string
+	Strategy string
+	Workload string
+
+	// Completed reports whether every task finished within MaxCycles.
+	Completed bool
+	// ExecCycles is the workload makespan.
+	ExecCycles sim.Cycles
+
+	// Responses are the PM response times of every activity change the
+	// scheme completed a reallocation for.
+	Responses []sim.Cycles
+
+	// Power statistics over the execution window.
+	AvgPowerMW  float64
+	PeakPowerMW float64
+	BudgetMW    float64
+
+	// ActivityChanges counts task starts and ends.
+	ActivityChanges int
+
+	// Recorder holds the per-tile power traces (Fig. 16-style).
+	Recorder *trace.Recorder
+	// Total is the SoC-level accelerator power trace.
+	Total *trace.Series
+	// NoC summarizes network activity: PM-plane coin traffic plus the DMA
+	// bursts bracketing every task.
+	NoC noc.Stats
+}
+
+// ExecMicros returns the makespan in microseconds.
+func (r Result) ExecMicros() float64 { return sim.CyclesToMicros(r.ExecCycles) }
+
+// MeanResponseMicros returns the average PM response time in microseconds,
+// or 0 with no samples.
+func (r Result) MeanResponseMicros() float64 {
+	if len(r.Responses) == 0 {
+		return 0
+	}
+	var s stats.Sample
+	for _, c := range r.Responses {
+		s.Add(sim.CyclesToMicros(c))
+	}
+	return s.Mean()
+}
+
+// MedianResponseMicros returns the median PM response time in microseconds,
+// or 0 with no samples. The median matches how the paper reports a single
+// representative transition (Fig. 20) better than the mean, which long-haul
+// coin-transport outliers skew.
+func (r Result) MedianResponseMicros() float64 {
+	if len(r.Responses) == 0 {
+		return 0
+	}
+	var s stats.Sample
+	for _, c := range r.Responses {
+		s.Add(sim.CyclesToMicros(c))
+	}
+	return s.Median()
+}
+
+// MaxResponseMicros returns the worst PM response time in microseconds.
+func (r Result) MaxResponseMicros() float64 {
+	var m float64
+	for _, c := range r.Responses {
+		if us := sim.CyclesToMicros(c); us > m {
+			m = us
+		}
+	}
+	return m
+}
+
+// UtilizationPct returns average power as a percentage of the budget — the
+// P_avg/P_budget metric the silicon measurements report at 97% (Fig. 19).
+func (r Result) UtilizationPct() float64 {
+	if r.BudgetMW == 0 {
+		return 0
+	}
+	return 100 * r.AvgPowerMW / r.BudgetMW
+}
+
+// CapExceeded reports whether the instantaneous accelerator power ever
+// exceeded the budget by more than tolFrac (e.g. 0.05 for 5%). Transient
+// excursions within the tolerance are expected while actuation settles.
+func (r Result) CapExceeded(tolFrac float64) bool {
+	return r.PeakPowerMW > r.BudgetMW*(1+tolFrac)
+}
+
+// String renders the one-line summary the CLI tools print.
+func (r Result) String() string {
+	return fmt.Sprintf("%s %s %s %s: exec=%.1fus resp(mean)=%.2fus resp(max)=%.2fus avgP=%.1fmW util=%.1f%% changes=%d",
+		r.SoC, r.Scheme, r.Strategy, r.Workload,
+		r.ExecMicros(), r.MeanResponseMicros(), r.MaxResponseMicros(),
+		r.AvgPowerMW, r.UtilizationPct(), r.ActivityChanges)
+}
+
+// buildResult assembles the Result from the run state.
+func (r *Runner) buildResult(g *workload.Graph, end sim.Cycles, completed bool) Result {
+	total := r.rec.TotalSeries("total")
+	res := Result{
+		SoC:             r.cfg.Name,
+		Scheme:          r.ctrl.Name(),
+		Strategy:        r.cfg.Strategy.String(),
+		Workload:        g.Name,
+		Completed:       completed,
+		ExecCycles:      end,
+		Responses:       append([]sim.Cycles(nil), r.ctrl.ResponseSamples()...),
+		BudgetMW:        r.ctrl.BudgetMW(),
+		ActivityChanges: r.activityChanges,
+		Recorder:        r.rec,
+		Total:           total,
+		NoC:             r.net.Stats(),
+	}
+	if end > 0 {
+		res.AvgPowerMW = total.Mean(0, end)
+		res.PeakPowerMW = total.Max(0, end)
+	}
+	return res
+}

@@ -1,0 +1,424 @@
+package soc
+
+import (
+	"fmt"
+	"math"
+
+	"blitzcoin/internal/controller"
+	"blitzcoin/internal/core"
+	"blitzcoin/internal/noc"
+	"blitzcoin/internal/power"
+	"blitzcoin/internal/rng"
+	"blitzcoin/internal/sim"
+	"blitzcoin/internal/trace"
+	"blitzcoin/internal/workload"
+)
+
+// accelTile is the runtime state of one managed accelerator tile.
+type accelTile struct {
+	idx   int // mesh index
+	accel string
+	curve *power.Curve
+	pm    *core.TilePM
+
+	freqMHz      float64 // effective clock, piecewise constant
+	freqEpoch    int     // guards stale actuation events
+	active       bool    // a task occupies the tile (including DMA phases)
+	computing    bool    // the compute phase is running (work progresses)
+	taskID       int
+	remaining    float64 // work cycles left in the running task
+	lastProgress sim.Cycles
+	compEpoch    int // guards stale completion events
+	memTile      int // nearest memory tile, for DMA
+}
+
+// dmaTransfer tracks one DMA burst; the last delivered flit fires done.
+// ESP's loosely-coupled accelerators fetch inputs and write results back
+// through the memory tiles over the dedicated DMA planes (Sec. IV-B), so
+// every task is bracketed by NoC bursts that contend like real traffic.
+type dmaTransfer struct {
+	remaining int
+	done      func()
+}
+
+// dmaWorkPerFlit sets DMA volume: one flit per this many work cycles.
+const dmaWorkPerFlit = 256
+
+// Runner executes workloads on a configured SoC under one PM scheme.
+type Runner struct {
+	cfg    Config
+	kernel *sim.Kernel
+	net    *noc.Network
+	ctrl   controller.Controller
+	src    *rng.Source
+	rec    *trace.Recorder
+
+	tiles     map[int]*accelTile
+	tileOrder []int // sorted mesh indices for deterministic iteration
+	byAccel   map[string][]int
+
+	graph           *workload.Graph
+	done            map[int]bool
+	finished        int
+	execEnd         sim.Cycles
+	activityChanges int
+	ran             bool
+}
+
+// New builds a Runner for the configuration. It panics on invalid configs
+// (configurations are produced by this package's constructors; failure is a
+// programming error, matching the package style).
+func New(cfg Config) *Runner {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.CoinRefreshInterval == 0 {
+		cfg.CoinRefreshInterval = 32
+	}
+	if cfg.ConvergenceThreshold == 0 {
+		cfg.ConvergenceThreshold = 1.0
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 80_000_000 // 100 ms
+	}
+	k := &sim.Kernel{}
+	net := noc.New(k, cfg.Mesh, noc.DefaultConfig())
+	src := rng.New(cfg.Seed)
+	r := &Runner{
+		cfg:     cfg,
+		kernel:  k,
+		net:     net,
+		src:     src,
+		rec:     trace.NewRecorder(),
+		tiles:   make(map[int]*accelTile),
+		byAccel: make(map[string][]int),
+	}
+
+	catalog := power.Catalog()
+	var specs []controller.TileSpec
+	mwPerCoinRef := 0.0
+	for _, idx := range cfg.AccelTiles() {
+		c := catalog[cfg.Tiles[idx].Accel]
+		specs = append(specs, controller.TileSpec{
+			Tile:   idx,
+			PMaxMW: c.PMax(),
+			PMinMW: c.PMin(),
+		})
+		if c.PMax() > mwPerCoinRef {
+			mwPerCoinRef = c.PMax()
+		}
+	}
+	mwPerCoin := mwPerCoinRef / 63
+
+	// Memory tiles serve DMA; each accelerator pairs with its nearest one.
+	var memTiles []int
+	for i, tc := range cfg.Tiles {
+		if tc.Kind == TileMem {
+			memTiles = append(memTiles, i)
+		}
+	}
+	nearestMem := func(idx int) int {
+		best, bestD := -1, 1<<30
+		for _, m := range memTiles {
+			if d := cfg.Mesh.HopDistance(idx, m); d < bestD {
+				best, bestD = m, d
+			}
+		}
+		return best
+	}
+
+	for _, idx := range cfg.AccelTiles() {
+		c := catalog[cfg.Tiles[idx].Accel]
+		t := &accelTile{
+			idx:     idx,
+			accel:   cfg.Tiles[idx].Accel,
+			curve:   c,
+			pm:      core.NewTilePM(c, mwPerCoin),
+			taskID:  -1,
+			memTile: nearestMem(idx),
+		}
+		t.freqMHz = t.pm.FreqMHz() // regulator reset state: minimum V point
+		r.tiles[idx] = t
+		r.tileOrder = append(r.tileOrder, idx)
+		r.byAccel[t.accel] = append(r.byAccel[t.accel], idx)
+	}
+
+	// DMA flits demux by transfer (payload pointer), so one handler per
+	// (tile, plane) suffices for all concurrent bursts.
+	dmaHandler := func(p *noc.Packet) {
+		tr := p.Payload.(*dmaTransfer)
+		tr.remaining--
+		if tr.remaining == 0 {
+			tr.done()
+		}
+	}
+	for _, plane := range []noc.Plane{noc.PlaneDMA0, noc.PlaneDMA1} {
+		for i := range cfg.Tiles {
+			net.SetHandler(i, plane, dmaHandler)
+		}
+	}
+
+	switch cfg.Scheme {
+	case SchemeBC:
+		r.ctrl = newBCAdapter(k, net, specs, cfg.BudgetMW, src.Split(),
+			cfg.CoinRefreshInterval, cfg.ConvergenceThreshold)
+	case SchemeBCC:
+		r.ctrl = controller.NewBCC(k, net, specs, cfg.BudgetMW,
+			controller.BCCConfig{CtrlTile: cfg.CPUTile()})
+	case SchemeCRR:
+		r.ctrl = controller.NewCRR(k, net, specs, cfg.BudgetMW,
+			controller.CRRConfig{CtrlTile: cfg.CPUTile()})
+	case SchemeTS:
+		r.ctrl = controller.NewTokenSmart(k, net, specs, cfg.BudgetMW, controller.TSConfig{})
+	case SchemePT:
+		r.ctrl = controller.NewPriceTheory(k, net, specs, cfg.BudgetMW,
+			controller.PTConfig{MarketTile: cfg.CPUTile()})
+	case SchemeStatic:
+		r.ctrl = controller.NewStatic(k, specs, cfg.BudgetMW)
+	default:
+		panic(fmt.Sprintf("soc: unknown scheme %v", cfg.Scheme))
+	}
+	r.ctrl.OnAllocation(r.onAllocation)
+	return r
+}
+
+// Controller exposes the PM scheme, mainly for tests.
+func (r *Runner) Controller() controller.Controller { return r.ctrl }
+
+// Kernel exposes the simulation clock.
+func (r *Runner) Kernel() *sim.Kernel { return r.kernel }
+
+// targetMW returns the tile's power target under the configured allocation
+// strategy (Sec. V-B): AP gives every tile the same target; RP gives each
+// tile a target proportional to its power at Fmax.
+func (r *Runner) targetMW(t *accelTile) float64 {
+	if r.cfg.Strategy == AbsoluteProportional {
+		return r.cfg.CombinedPMaxMW() / float64(len(r.tiles))
+	}
+	return t.curve.PMax()
+}
+
+// progressTo banks task progress at the current effective frequency. Work
+// cycles complete at freqMHz per microsecond, i.e. freq/800 per NoC cycle.
+// Progress only accrues during the compute phase, not while DMA brackets
+// the task.
+func (r *Runner) progressTo(t *accelTile, now sim.Cycles) {
+	if t.computing && now > t.lastProgress {
+		t.remaining -= float64(now-t.lastProgress) * t.freqMHz / 800.0
+	}
+	t.lastProgress = now
+}
+
+// startDMA launches a burst of flits between a tile and its memory tile,
+// invoking done when the last flit lands. Bursts alternate between the two
+// DMA planes, as ESP splits accelerator DMA across planes.
+func (r *Runner) startDMA(t *accelTile, toMem bool, flits int, done func()) {
+	if t.memTile < 0 || flits <= 0 {
+		r.kernel.Schedule(1, done)
+		return
+	}
+	src, dst := t.memTile, t.idx
+	if toMem {
+		src, dst = t.idx, t.memTile
+	}
+	tr := &dmaTransfer{remaining: flits, done: done}
+	for i := 0; i < flits; i++ {
+		plane := noc.PlaneDMA0
+		if i%2 == 1 {
+			plane = noc.PlaneDMA1
+		}
+		r.net.Send(&noc.Packet{
+			Plane:   plane,
+			Kind:    noc.KindOther,
+			Src:     src,
+			Dst:     dst,
+			Payload: tr,
+		})
+	}
+}
+
+// recordPower appends the tile's current draw to its trace series.
+func (r *Runner) recordPower(t *accelTile) {
+	name := fmt.Sprintf("t%02d-%s", t.idx, t.accel)
+	var p float64
+	if t.active {
+		p = t.curve.PowerAt(t.freqMHz)
+	} else {
+		p = t.curve.IdlePowerMW()
+	}
+	r.rec.Series(name).Record(r.kernel.Now(), p)
+}
+
+// onAllocation handles a power-allocation change from the PM scheme: it
+// retargets the tile's regulator and applies the new effective frequency
+// after the UVFR settling delay.
+func (r *Runner) onAllocation(tileIdx int, mw float64) {
+	t, ok := r.tiles[tileIdx]
+	if !ok {
+		return
+	}
+	now := r.kernel.Now()
+	r.progressTo(t, now)
+
+	t.pm.SetPowerMW(mw)
+	settle, _ := t.pm.Reg.SettleCycles(512)
+	newF := t.pm.FreqMHz()
+
+	t.freqEpoch++
+	epoch := t.freqEpoch
+	r.kernel.Schedule(settle, func() {
+		if t.freqEpoch != epoch {
+			return
+		}
+		r.progressTo(t, r.kernel.Now())
+		t.freqMHz = newF
+		r.recordPower(t)
+		if t.computing {
+			r.scheduleCompletion(t)
+		}
+	})
+}
+
+// scheduleCompletion (re)arms the task-completion event at the current
+// frequency.
+func (r *Runner) scheduleCompletion(t *accelTile) {
+	t.compEpoch++
+	epoch := t.compEpoch
+	if t.freqMHz <= 0 {
+		panic("soc: tile clock stalled with an active task")
+	}
+	eta := sim.Cycles(math.Ceil(t.remaining*800.0/t.freqMHz)) + 1
+	r.kernel.Schedule(eta, func() {
+		if t.compEpoch != epoch || !t.computing {
+			return
+		}
+		r.progressTo(t, r.kernel.Now())
+		if t.remaining <= 0.5 {
+			r.completeTask(t)
+		} else {
+			r.scheduleCompletion(t)
+		}
+	})
+}
+
+// startTask dispatches a ready task onto an idle tile: request power, fetch
+// inputs over DMA, then compute.
+func (r *Runner) startTask(taskID int, t *accelTile) {
+	task := r.graph.Tasks[taskID]
+	t.active = true
+	t.computing = false
+	t.taskID = taskID
+	t.remaining = task.WorkCycles
+	r.activityChanges++
+	r.recordPower(t)
+	r.ctrl.SetTarget(t.idx, r.targetMW(t))
+	// Input DMA overlaps the power-allocation ramp; compute starts when
+	// the data is in.
+	epoch := t.compEpoch
+	r.startDMA(t, false, int(task.WorkCycles/dmaWorkPerFlit), func() {
+		if t.taskID != taskID || t.compEpoch != epoch {
+			return
+		}
+		t.computing = true
+		t.lastProgress = r.kernel.Now()
+		r.scheduleCompletion(t)
+	})
+}
+
+// completeTask finishes the compute phase: write results back over DMA,
+// then release the tile's power target and dispatch unblocked work.
+func (r *Runner) completeTask(t *accelTile) {
+	taskID := t.taskID
+	task := r.graph.Tasks[taskID]
+	t.computing = false
+	epoch := t.compEpoch
+	r.startDMA(t, true, int(task.WorkCycles/dmaWorkPerFlit), func() {
+		if t.taskID != taskID || t.compEpoch != epoch {
+			return
+		}
+		r.done[taskID] = true
+		t.active = false
+		t.taskID = -1
+		t.remaining = 0
+		r.finished++
+		r.activityChanges++
+		r.recordPower(t)
+		r.ctrl.SetTarget(t.idx, 0)
+		if r.finished == len(r.graph.Tasks) {
+			r.execEnd = r.kernel.Now()
+			return
+		}
+		r.dispatch()
+	})
+}
+
+// dispatch assigns every ready task to an idle tile of the matching
+// accelerator type, in task-ID order.
+func (r *Runner) dispatch() {
+	for _, id := range r.graph.Ready(r.done) {
+		if r.taskRunning(id) {
+			continue
+		}
+		tile := r.idleTileFor(r.graph.Tasks[id].Accel)
+		if tile == nil {
+			continue
+		}
+		r.startTask(id, tile)
+	}
+}
+
+func (r *Runner) taskRunning(id int) bool {
+	for _, idx := range r.tileOrder {
+		if t := r.tiles[idx]; t.active && t.taskID == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Runner) idleTileFor(accel string) *accelTile {
+	for _, idx := range r.byAccel[accel] {
+		if t := r.tiles[idx]; !t.active {
+			return t
+		}
+	}
+	return nil
+}
+
+// Run executes the workload to completion (or the MaxCycles bound) and
+// returns the measured result.
+func (r *Runner) Run(g *workload.Graph) Result {
+	if r.ran {
+		panic("soc: Runner.Run called twice; build a fresh Runner per run")
+	}
+	r.ran = true
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	for _, task := range g.Tasks {
+		if len(r.byAccel[task.Accel]) == 0 {
+			panic(fmt.Sprintf("soc: workload %s needs accelerator %q, absent from %s",
+				g.Name, task.Accel, r.cfg.Name))
+		}
+	}
+	r.graph = g
+	r.done = make(map[int]bool)
+
+	r.ctrl.Start()
+	for _, idx := range r.tileOrder {
+		r.recordPower(r.tiles[idx])
+	}
+	r.kernel.Schedule(1, r.dispatch)
+
+	deadline := r.cfg.MaxCycles
+	r.kernel.RunUntil(func() bool {
+		return r.finished == len(g.Tasks) || r.kernel.Now() >= deadline
+	}, 0)
+
+	completed := r.finished == len(g.Tasks)
+	end := r.execEnd
+	if !completed {
+		end = r.kernel.Now()
+	}
+	return r.buildResult(g, end, completed)
+}

@@ -1,0 +1,205 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"blitzcoin/internal/rng"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestRunningMoments(t *testing.T) {
+	var r Running
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if r.N() != 8 {
+		t.Fatalf("N = %d", r.N())
+	}
+	if !almostEq(r.Mean(), 5, 1e-12) {
+		t.Fatalf("mean = %v", r.Mean())
+	}
+	// Population variance of this classic set is 4; unbiased is 32/7.
+	if !almostEq(r.Variance(), 32.0/7.0, 1e-12) {
+		t.Fatalf("variance = %v", r.Variance())
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", r.Min(), r.Max())
+	}
+}
+
+func TestRunningEmptyAndSingle(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Variance() != 0 {
+		t.Fatal("empty accumulator not zero")
+	}
+	r.Add(3)
+	if r.Variance() != 0 || r.Mean() != 3 {
+		t.Fatalf("single sample: mean=%v var=%v", r.Mean(), r.Variance())
+	}
+}
+
+func TestRunningMatchesDirectComputation(t *testing.T) {
+	src := rng.New(1)
+	f := func(n uint8) bool {
+		m := int(n%50) + 2
+		xs := make([]float64, m)
+		var r Running
+		for i := range xs {
+			xs[i] = src.NormFloat64() * 10
+			r.Add(xs[i])
+		}
+		var sum float64
+		for _, x := range xs {
+			sum += x
+		}
+		mean := sum / float64(m)
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		return almostEq(r.Mean(), mean, 1e-9) && almostEq(r.Variance(), ss/float64(m-1), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Median(); !almostEq(got, 50.5, 1e-9) {
+		t.Fatalf("median = %v", got)
+	}
+	if got := s.Quantile(0); got != 1 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := s.Quantile(1); got != 100 {
+		t.Fatalf("q1 = %v", got)
+	}
+	if got := s.Quantile(0.95); !almostEq(got, 95.05, 1e-9) {
+		t.Fatalf("p95 = %v", got)
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	src := rng.New(2)
+	var s Sample
+	for i := 0; i < 500; i++ {
+		s.Add(src.Float64() * 100)
+	}
+	f := func(a, b uint8) bool {
+		qa := float64(a) / 255
+		qb := float64(b) / 255
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return s.Quantile(qa) <= s.Quantile(qb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	var s Sample
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("empty quantile did not panic")
+			}
+		}()
+		s.Quantile(0.5)
+	}()
+	s.Add(1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-range q did not panic")
+			}
+		}()
+		s.Quantile(1.5)
+	}()
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	for i, c := range h.Counts {
+		if c != 1 {
+			t.Fatalf("bucket %d = %d, want 1", i, c)
+		}
+	}
+	if h.Total() != 10 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if !almostEq(h.BucketCenter(0), 0.5, 1e-12) {
+		t.Fatalf("center(0) = %v", h.BucketCenter(0))
+	}
+	if !almostEq(h.Fraction(3), 0.1, 1e-12) {
+		t.Fatalf("fraction(3) = %v", h.Fraction(3))
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(-5)
+	h.Add(2)
+	h.Add(0.5)
+	below, above := h.Clamped()
+	if below != 1 || above != 1 {
+		t.Fatalf("clamped = %d,%d", below, above)
+	}
+	if h.Total() != 3 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.MaxSample() != 2 {
+		t.Fatalf("MaxSample = %v", h.MaxSample())
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(0, 4, 4)
+	if h.String() != "(empty histogram)\n" {
+		t.Fatalf("empty render = %q", h.String())
+	}
+	h.Add(0.5)
+	h.Add(1.5)
+	h.Add(1.6)
+	if s := h.String(); len(s) == 0 {
+		t.Fatal("histogram render empty")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 10; i++ {
+		s.Add(float64(i))
+	}
+	sum := Summarize(&s)
+	if sum.N != 10 || !almostEq(sum.Mean, 5.5, 1e-12) || sum.Min != 1 || sum.Max != 10 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if len(sum.String()) == 0 {
+		t.Fatal("summary string empty")
+	}
+	if got := Summarize(&Sample{}); got.N != 0 {
+		t.Fatalf("empty summarize = %+v", got)
+	}
+}
+
+func TestSampleMinMaxMean(t *testing.T) {
+	var s Sample
+	s.Add(3)
+	s.Add(-1)
+	s.Add(7)
+	if s.Min() != -1 || s.Max() != 7 || !almostEq(s.Mean(), 3, 1e-12) {
+		t.Fatalf("min/max/mean = %v/%v/%v", s.Min(), s.Max(), s.Mean())
+	}
+}

@@ -1,0 +1,189 @@
+// Package trace records time series from the SoC simulations — per-tile
+// power, tile frequencies, coin counts, activity — and exports them as CSV,
+// mirroring the post-processing flow of the paper's artifact (Xcelium
+// waveforms exported to CSV and plotted, e.g. Fig. 16, 19, 20).
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Point is one observation of one signal.
+type Point struct {
+	Cycle uint64
+	Value float64
+}
+
+// Series is a named step-wise signal: the value holds from one point's cycle
+// until the next point.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Record appends an observation. Out-of-order appends panic — recorders are
+// driven by the simulation clock, so disorder indicates a harness bug.
+func (s *Series) Record(cycle uint64, v float64) {
+	if n := len(s.Points); n > 0 && cycle < s.Points[n-1].Cycle {
+		panic(fmt.Sprintf("trace: %s: out-of-order record at %d after %d",
+			s.Name, cycle, s.Points[n-1].Cycle))
+	}
+	// Collapse same-cycle updates to the final value at that cycle.
+	if n := len(s.Points); n > 0 && s.Points[n-1].Cycle == cycle {
+		s.Points[n-1].Value = v
+		return
+	}
+	s.Points = append(s.Points, Point{Cycle: cycle, Value: v})
+}
+
+// At returns the signal value at the given cycle (step-hold semantics);
+// before the first point it returns 0.
+func (s *Series) At(cycle uint64) float64 {
+	i := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].Cycle > cycle })
+	if i == 0 {
+		return 0
+	}
+	return s.Points[i-1].Value
+}
+
+// Last returns the most recent value, or 0 if empty.
+func (s *Series) Last() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	return s.Points[len(s.Points)-1].Value
+}
+
+// Integral computes the time integral of the signal from cycle a to b
+// (value x cycles), using step-hold semantics. Used to turn power traces
+// into energy and average power.
+func (s *Series) Integral(a, b uint64) float64 {
+	if b <= a || len(s.Points) == 0 {
+		return 0
+	}
+	var total float64
+	cur := s.At(a)
+	t := a
+	i := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].Cycle > a })
+	for ; i < len(s.Points) && s.Points[i].Cycle < b; i++ {
+		total += cur * float64(s.Points[i].Cycle-t)
+		t = s.Points[i].Cycle
+		cur = s.Points[i].Value
+	}
+	total += cur * float64(b-t)
+	return total
+}
+
+// Mean returns the time-weighted average of the signal over [a, b).
+func (s *Series) Mean(a, b uint64) float64 {
+	if b <= a {
+		return 0
+	}
+	return s.Integral(a, b) / float64(b-a)
+}
+
+// Max returns the largest recorded value over [a, b) including the held
+// value entering the window; 0 if the series is empty.
+func (s *Series) Max(a, b uint64) float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	m := s.At(a)
+	for _, p := range s.Points {
+		if p.Cycle >= a && p.Cycle < b && p.Value > m {
+			m = p.Value
+		}
+	}
+	return m
+}
+
+// Recorder groups the named series of one simulation run.
+type Recorder struct {
+	byName map[string]*Series
+	order  []string
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{byName: make(map[string]*Series)}
+}
+
+// Series returns the series with the given name, creating it on first use.
+func (r *Recorder) Series(name string) *Series {
+	if s, ok := r.byName[name]; ok {
+		return s
+	}
+	s := &Series{Name: name}
+	r.byName[name] = s
+	r.order = append(r.order, name)
+	return s
+}
+
+// Names returns the series names in creation order.
+func (r *Recorder) Names() []string {
+	out := make([]string, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+// SumAt returns the sum over all series of their value at the given cycle —
+// the instantaneous SoC power when every series is one tile's power.
+func (r *Recorder) SumAt(cycle uint64) float64 {
+	var sum float64
+	for _, name := range r.order {
+		sum += r.byName[name].At(cycle)
+	}
+	return sum
+}
+
+// changeCycles returns the sorted set of cycles at which any series changes.
+func (r *Recorder) changeCycles() []uint64 {
+	set := map[uint64]struct{}{}
+	for _, name := range r.order {
+		for _, p := range r.byName[name].Points {
+			set[p.Cycle] = struct{}{}
+		}
+	}
+	out := make([]uint64, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// WriteCSV emits "cycle,<series...>" rows at every change point, matching
+// the artifact's exported-waveform format.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"cycle"}, r.Names()...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, c := range r.changeCycles() {
+		row := make([]string, 0, len(header))
+		row = append(row, strconv.FormatUint(c, 10))
+		for _, name := range r.order {
+			row = append(row, strconv.FormatFloat(r.byName[name].At(c), 'g', -1, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// TotalSeries returns a synthetic series that is the sum of all recorded
+// series at every change point — the SoC-level power trace of Fig. 16.
+func (r *Recorder) TotalSeries(name string) *Series {
+	total := &Series{Name: name}
+	for _, c := range r.changeCycles() {
+		total.Record(c, r.SumAt(c))
+	}
+	return total
+}

@@ -1,0 +1,236 @@
+package blitzcoin
+
+import (
+	"fmt"
+	"io"
+
+	"blitzcoin/internal/power"
+	"blitzcoin/internal/soc"
+	"blitzcoin/internal/workload"
+)
+
+// Scheme names a power-management scheme for SoC simulations.
+type Scheme string
+
+// The implemented schemes.
+const (
+	BC     Scheme = "BC"     // BlitzCoin: fully decentralized coin exchange
+	BCC    Scheme = "BC-C"   // BlitzCoin allocation, centralized controller
+	CRR    Scheme = "C-RR"   // centralized round-robin greedy baseline [42]
+	TS     Scheme = "TS"     // ring-based TokenSmart [43]
+	PT     Scheme = "PT"     // hierarchical price theory [81]
+	Static Scheme = "Static" // one-time proportional split, no reallocation
+)
+
+// Workload names a built-in workload DAG.
+type Workload string
+
+// The built-in workloads of the evaluated SoCs (Sec. V-B, Fig. 14).
+const (
+	// AVParallel: the autonomous-vehicle application with all 3x3-SoC
+	// accelerators concurrent (WL-Par).
+	AVParallel Workload = "av-parallel"
+	// AVDependent: the same application as a dependency DAG (WL-Dep).
+	AVDependent Workload = "av-dependent"
+	// CVParallel / CVDependent: the 4x4 computer-vision application.
+	CVParallel  Workload = "cv-parallel"
+	CVDependent Workload = "cv-dependent"
+	// Silicon7 / Silicon7Par: the 7-accelerator workload measured on the
+	// fabricated 6x6 prototype, dependent and concurrent variants.
+	Silicon7    Workload = "silicon-7acc"
+	Silicon7Par Workload = "silicon-7acc-par"
+)
+
+// SoCOptions configures RunSoC.
+type SoCOptions struct {
+	// SoC selects the platform: "3x3" (autonomous vehicle), "4x4"
+	// (computer vision), or "6x6" (the fabricated prototype with its
+	// 10-tile PM cluster). Default "3x3".
+	SoC string
+	// Scheme selects the PM scheme. Default BC.
+	Scheme Scheme
+	// BudgetMW is the accelerator power budget. Default: the paper's high
+	// budget for the platform (120, 450, or 200 mW).
+	BudgetMW float64
+	// Workload selects the task DAG. Default: the platform's parallel
+	// workload.
+	Workload Workload
+	// Repeat chains that many frames of the workload back-to-back.
+	// Default 3.
+	Repeat int
+	// RelativeProportional selects the RP allocation strategy (default
+	// true, the paper's choice); false selects AP.
+	AbsoluteProportional bool
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// SoCResult reports one full-system run.
+type SoCResult struct {
+	SoC, Scheme, Strategy, Workload string
+
+	Completed bool
+	// ExecMicros is the workload makespan.
+	ExecMicros float64
+	// Response-time statistics over all completed reallocations.
+	MeanResponseMicros   float64
+	MedianResponseMicros float64
+	MaxResponseMicros    float64
+	ResponsesRecorded    int
+	// Power statistics.
+	AvgPowerMW, PeakPowerMW, BudgetMW float64
+	UtilizationPct                    float64
+	ActivityChanges                   int
+
+	res soc.Result
+}
+
+// String renders a one-line summary.
+func (r SoCResult) String() string {
+	return fmt.Sprintf("%s %s %s %s: exec=%.1fus resp(med)=%.2fus util=%.1f%%",
+		r.SoC, r.Scheme, r.Strategy, r.Workload, r.ExecMicros,
+		r.MedianResponseMicros, r.UtilizationPct)
+}
+
+// WritePowerTraceCSV writes the per-tile power traces of the run
+// ("cycle,t00-FFT,..." rows at every change point) to w.
+func (r SoCResult) WritePowerTraceCSV(w io.Writer) error {
+	return r.res.Recorder.WriteCSV(w)
+}
+
+// lookupWorkload resolves a workload name.
+func lookupWorkload(name Workload) *workload.Graph {
+	switch name {
+	case AVParallel:
+		return workload.AutonomousVehicleParallel()
+	case AVDependent:
+		return workload.AutonomousVehicleDependent()
+	case CVParallel:
+		return workload.ComputerVisionParallel()
+	case CVDependent:
+		return workload.ComputerVisionDependent()
+	case Silicon7:
+		return workload.SevenAcceleratorSilicon()
+	case Silicon7Par:
+		return workload.SevenAcceleratorParallel()
+	}
+	panic(fmt.Sprintf("blitzcoin: unknown workload %q", name))
+}
+
+// lookupScheme resolves a scheme name.
+func lookupScheme(s Scheme) soc.Scheme {
+	switch s {
+	case BC:
+		return soc.SchemeBC
+	case BCC:
+		return soc.SchemeBCC
+	case CRR:
+		return soc.SchemeCRR
+	case TS:
+		return soc.SchemeTS
+	case PT:
+		return soc.SchemePT
+	case Static:
+		return soc.SchemeStatic
+	}
+	panic(fmt.Sprintf("blitzcoin: unknown scheme %q", s))
+}
+
+// RunSoC executes a workload on a BlitzCoin-enabled SoC simulation and
+// reports execution time, PM response times, and power statistics. It
+// panics on unknown platform, scheme, or workload names, and on workloads
+// that need accelerators the platform lacks.
+func RunSoC(o SoCOptions) SoCResult {
+	if o.SoC == "" {
+		o.SoC = "3x3"
+	}
+	if o.Scheme == "" {
+		o.Scheme = BC
+	}
+	if o.Repeat == 0 {
+		o.Repeat = 3
+	}
+	scheme := lookupScheme(o.Scheme)
+
+	var cfg soc.Config
+	switch o.SoC {
+	case "3x3":
+		if o.BudgetMW == 0 {
+			o.BudgetMW = 120
+		}
+		if o.Workload == "" {
+			o.Workload = AVParallel
+		}
+		cfg = soc.SoC3x3(o.BudgetMW, scheme, o.Seed)
+	case "4x4":
+		if o.BudgetMW == 0 {
+			o.BudgetMW = 450
+		}
+		if o.Workload == "" {
+			o.Workload = CVParallel
+		}
+		cfg = soc.SoC4x4(o.BudgetMW, scheme, o.Seed)
+	case "6x6":
+		if o.BudgetMW == 0 {
+			o.BudgetMW = 200
+		}
+		if o.Workload == "" {
+			o.Workload = Silicon7Par
+		}
+		cfg = soc.SoC6x6(o.BudgetMW, scheme, o.Seed)
+	default:
+		panic(fmt.Sprintf("blitzcoin: unknown SoC %q", o.SoC))
+	}
+	if o.AbsoluteProportional {
+		cfg.Strategy = soc.AbsoluteProportional
+	}
+
+	g := lookupWorkload(o.Workload)
+	if o.Repeat > 1 {
+		g = workload.Repeat(g, o.Repeat)
+	}
+	res := soc.New(cfg).Run(g)
+	return SoCResult{
+		SoC:                  res.SoC,
+		Scheme:               res.Scheme,
+		Strategy:             res.Strategy,
+		Workload:             res.Workload,
+		Completed:            res.Completed,
+		ExecMicros:           res.ExecMicros(),
+		MeanResponseMicros:   res.MeanResponseMicros(),
+		MedianResponseMicros: res.MedianResponseMicros(),
+		MaxResponseMicros:    res.MaxResponseMicros(),
+		ResponsesRecorded:    len(res.Responses),
+		AvgPowerMW:           res.AvgPowerMW,
+		PeakPowerMW:          res.PeakPowerMW,
+		BudgetMW:             res.BudgetMW,
+		UtilizationPct:       res.UtilizationPct(),
+		ActivityChanges:      res.ActivityChanges,
+		res:                  res,
+	}
+}
+
+// AcceleratorPoint is one DVFS operating point of an accelerator's
+// characterization (Fig. 13).
+type AcceleratorPoint struct {
+	V    float64 // supply voltage (V)
+	FMHz float64 // maximum frequency at V
+	PmW  float64 // power at that point
+}
+
+// AcceleratorCurve returns the power/frequency characterization of one of
+// the six modeled accelerators: FFT, Viterbi, NVDLA, GEMM, Conv2D, Vision.
+func AcceleratorCurve(name string) ([]AcceleratorPoint, error) {
+	c, ok := powerCatalog()[name]
+	if !ok {
+		return nil, fmt.Errorf("blitzcoin: unknown accelerator %q", name)
+	}
+	out := make([]AcceleratorPoint, len(c.Points))
+	for i, p := range c.Points {
+		out[i] = AcceleratorPoint{V: p.V, FMHz: p.FMHz, PmW: p.PmW}
+	}
+	return out, nil
+}
+
+// powerCatalog defers the internal import binding.
+func powerCatalog() map[string]*power.Curve { return power.Catalog() }
