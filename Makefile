@@ -1,0 +1,30 @@
+# Standard entry points; CI runs `make verify`.
+
+GO ?= go
+
+.PHONY: build test vet race verify bench figures
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# The gate every change must pass: static checks plus the full test suite
+# under the race detector.
+verify: vet race
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+figures:
+	$(GO) run ./cmd/blitzsim -fig all
+	$(GO) run ./cmd/socsim -fig all
+	$(GO) run ./cmd/silicon -fig all
+	$(GO) run ./cmd/scaling -fig 21

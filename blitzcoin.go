@@ -97,6 +97,11 @@ type ExchangeOptions struct {
 	// no tile accepts coins that would push its own count plus its
 	// neighbors' observed counts above the cap.
 	ThermalCap int64
+	// Faults, when non-nil and non-empty, injects the given fault model
+	// and hardens the protocol against it. Faulted runs go to quiescence
+	// (bounded at 400k cycles) instead of stopping at the first threshold
+	// crossing, so the result reports the post-audit conservation verdict.
+	Faults *FaultOptions
 	// Seed drives all randomness. Runs with equal options and seed are
 	// identical.
 	Seed uint64
@@ -118,8 +123,18 @@ type ExchangeResult struct {
 	TotalPackets, Exchanges uint64
 	// ThermalRejects counts exchanges clamped by the hotspot guard.
 	ThermalRejects uint64
-	// CoinsConserved confirms the pool total was preserved exactly.
+	// CoinsConserved confirms every coin of the initial pool ended
+	// accounted for on a live tile (after audit repair, under faults).
 	CoinsConserved bool
+
+	// Fault and recovery counters (all zero on a healthy run).
+	Dropped         uint64 // PM-plane packets lost in the fabric
+	Retries         uint64 // exchanges abandoned by timeout and retried
+	LocksBroken     uint64 // participation locks freed by the watchdog
+	NeighborsPruned int    // partners removed from pairing sets as dead
+	TilesDead       int    // tiles fail-stopped during the run
+	AuditRepairs    uint64 // audits that found and repaired a discrepancy
+	PoolViolation   int64  // unrepaired pool residue at the end of the run
 }
 
 // SimulateExchange runs the BlitzCoin coin-exchange algorithm on a
@@ -160,6 +175,11 @@ func SimulateExchange(o ExchangeOptions) ExchangeResult {
 		Threshold:          o.Threshold,
 		ThermalCap:         o.ThermalCap,
 		StopAtConvergence:  true,
+		Faults:             o.Faults.toInternal(),
+	}
+	if cfg.Faults != nil && cfg.Faults.Enabled() {
+		cfg.StopAtConvergence = false
+		cfg.MaxCycles = 400_000
 	}
 	switch o.Mode {
 	case OneWay:
@@ -205,7 +225,14 @@ func SimulateExchange(o ExchangeOptions) ExchangeResult {
 		TotalPackets:         res.TotalPackets,
 		Exchanges:            res.Exchanges,
 		ThermalRejects:       e.ThermalRejects(),
-		CoinsConserved:       res.CoinsStart == res.CoinsEnd,
+		CoinsConserved:       res.Conserved(),
+		Dropped:              res.Dropped,
+		Retries:              res.Retries,
+		LocksBroken:          res.LocksBroken,
+		NeighborsPruned:      res.NbrsPruned,
+		TilesDead:            res.TilesDead,
+		AuditRepairs:         res.AuditRepairs,
+		PoolViolation:        res.PoolViolation,
 	}
 }
 

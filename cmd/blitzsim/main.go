@@ -1,8 +1,9 @@
 // Command blitzsim runs the algorithm-level coin-exchange experiments of
 // Sec. III: the 1-way vs 4-way comparison (Fig. 3), the BlitzCoin vs
 // TokenSmart comparison (Fig. 4), the dynamic-timing ablation (Fig. 6), the
-// random-pairing residual-error histograms (Fig. 7), and the heterogeneity
-// sweep (Fig. 8).
+// random-pairing residual-error histograms (Fig. 7), the heterogeneity
+// sweep (Fig. 8), and the robustness extension's drop-rate sweep (-fig
+// faults): the hardened exchange under 0-5% PM-plane packet loss.
 //
 // Usage:
 //
@@ -20,7 +21,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 3, 4, 6, 7, 8, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 3, 4, 6, 7, 8, contention, faults, or all")
 	trials := flag.Int("trials", 0, "Monte Carlo trials per point (default: figure-specific)")
 	seed := flag.Uint64("seed", 1, "base random seed")
 	dmax := flag.Int("dmax", 20, "largest mesh dimension d (N = d*d)")
@@ -75,10 +76,17 @@ func main() {
 				fmt.Println(r)
 			}
 		},
+		"faults": func() {
+			fmt.Println("# Extension — hardened exchange under PM-plane packet loss")
+			for _, r := range experiments.FaultStudy([]int{6, 10, 14},
+				[]float64{0, 0.005, 0.01, 0.02, 0.05}, pick(10), *seed) {
+				fmt.Println(r)
+			}
+		},
 	}
 
 	if *fig == "all" {
-		for _, k := range []string{"3", "4", "6", "7", "8", "contention"} {
+		for _, k := range []string{"3", "4", "6", "7", "8", "contention", "faults"} {
 			run[k]()
 			fmt.Println()
 		}
@@ -86,7 +94,7 @@ func main() {
 	}
 	f, ok := run[*fig]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "blitzsim: unknown figure %q (want 3, 4, 6, 7, 8, contention, all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "blitzsim: unknown figure %q (want 3, 4, 6, 7, 8, contention, faults, all)\n", *fig)
 		os.Exit(2)
 	}
 	f()

@@ -1,7 +1,8 @@
 // Command socsim runs the full-SoC evaluation of Secs. V-VI: accelerator
 // power/frequency characterization (Fig. 13), power traces (Fig. 16),
-// execution and response times on the 3x3 and 4x4 SoCs (Figs. 17-18), and
-// the AP-vs-RP allocation-strategy comparison (Sec. VI-A).
+// execution and response times on the 3x3 and 4x4 SoCs (Figs. 17-18), the
+// AP-vs-RP allocation-strategy comparison (Sec. VI-A), and the robustness
+// extension's degraded-mode study (-fig degraded): tiles killed mid-workload.
 //
 // Usage:
 //
@@ -21,7 +22,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "experiment: 13, 16, 17, 18, ap-rp, or all")
+	fig := flag.String("fig", "all", "experiment: 13, 16, 17, 18, ap-rp, degraded, or all")
 	seed := flag.Uint64("seed", 1, "random seed")
 	outdir := flag.String("outdir", "", "directory for Fig. 16 CSV power traces (optional)")
 	flag.Parse()
@@ -78,10 +79,16 @@ func main() {
 				fmt.Println(r)
 			}
 		},
+		"degraded": func() {
+			fmt.Println("# Extension — degraded mode: 3x3 BC with 0..3 tiles killed mid-workload")
+			for _, r := range experiments.DegradedSoC(*seed) {
+				fmt.Println(r)
+			}
+		},
 	}
 
 	if *fig == "all" {
-		for _, k := range []string{"13", "16", "17", "18", "ap-rp"} {
+		for _, k := range []string{"13", "16", "17", "18", "ap-rp", "degraded"} {
 			run[k]()
 			fmt.Println()
 		}
@@ -89,7 +96,7 @@ func main() {
 	}
 	f, ok := run[*fig]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "socsim: unknown experiment %q (want 13, 16, 17, 18, ap-rp, all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "socsim: unknown experiment %q (want 13, 16, 17, 18, ap-rp, degraded, all)\n", *fig)
 		os.Exit(2)
 	}
 	f()

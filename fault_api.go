@@ -1,0 +1,87 @@
+package blitzcoin
+
+import (
+	"blitzcoin/internal/fault"
+	"blitzcoin/internal/sim"
+)
+
+// TileFaultAt schedules a per-tile fault activation at an absolute
+// simulation time in NoC cycles.
+type TileFaultAt struct {
+	Tile    int
+	AtCycle uint64
+}
+
+// LinkFaultAt schedules a fail-stop of the mesh link between two adjacent
+// tiles; both directions fail.
+type LinkFaultAt struct {
+	A, B    int
+	AtCycle uint64
+}
+
+// SlowFaultAt schedules a fail-slow activation: from AtCycle on, the
+// tile's exchange FSM runs Factor (> 1) times slower.
+type SlowFaultAt struct {
+	Tile    int
+	AtCycle uint64
+	Factor  float64
+}
+
+// FaultOptions declares a deterministic fault model for a simulation: random
+// per-packet faults on the PM plane (drop, duplicate, delay) plus scheduled
+// structural faults (tile fail-stop, stuck coin counters, fail-slow tiles,
+// fail-stop links). The zero value injects nothing. Supplying a non-nil
+// enabled model automatically hardens the exchange protocol — timeouts with
+// retry, lock watchdog, dead-neighbor pruning, and a periodic coin-
+// conservation audit — so the run survives the injected damage. A given
+// (FaultOptions, Seed) pair reproduces a bit-identical fault schedule.
+type FaultOptions struct {
+	// Seed drives the per-packet random faults, independently of the
+	// simulation seed.
+	Seed uint64
+	// DropRate, DupRate and DelayRate are per-packet probabilities on the
+	// PM plane (plane 5).
+	DropRate  float64
+	DupRate   float64
+	DelayRate float64
+	// DelayMaxCycles bounds the extra delivery delay; 0 selects 64 cycles.
+	DelayMaxCycles uint64
+
+	// KillTiles fail-stops tiles: the tile's PM logic dies and packets
+	// addressed to it vanish.
+	KillTiles []TileFaultAt
+	// StuckCounters freeze tiles' coin registers, silently leaking or
+	// duplicating coins until the conservation audit repairs the pool.
+	StuckCounters []TileFaultAt
+	// FailSlow stretches tiles' exchange cadence by a factor.
+	FailSlow []SlowFaultAt
+	// FailLinks fail-stops mesh links.
+	FailLinks []LinkFaultAt
+}
+
+// toInternal maps the public fault model onto the internal config.
+func (o *FaultOptions) toInternal() *fault.Config {
+	if o == nil {
+		return nil
+	}
+	fc := &fault.Config{
+		Seed:      o.Seed,
+		DropRate:  o.DropRate,
+		DupRate:   o.DupRate,
+		DelayRate: o.DelayRate,
+		DelayMax:  sim.Cycles(o.DelayMaxCycles),
+	}
+	for _, f := range o.KillTiles {
+		fc.TileKills = append(fc.TileKills, fault.TileFault{Tile: f.Tile, At: f.AtCycle})
+	}
+	for _, f := range o.StuckCounters {
+		fc.StuckCounters = append(fc.StuckCounters, fault.TileFault{Tile: f.Tile, At: f.AtCycle})
+	}
+	for _, f := range o.FailSlow {
+		fc.SlowTiles = append(fc.SlowTiles, fault.SlowFault{Tile: f.Tile, At: f.AtCycle, Factor: f.Factor})
+	}
+	for _, f := range o.FailLinks {
+		fc.LinkFails = append(fc.LinkFails, fault.LinkFault{A: f.A, B: f.B, At: f.AtCycle})
+	}
+	return fc
+}

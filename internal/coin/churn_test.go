@@ -38,7 +38,7 @@ func TestChurnConservationProperty(t *testing.T) {
 			e.Kernel().Run(e.Kernel().Now() + sim1 + uint64(op%977))
 		}
 		res := e.Run()
-		return res.CoinsEnd == pool
+		return res.CoinsEnd == pool && res.Conserved()
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
@@ -84,6 +84,9 @@ func TestChurnEventuallyReconverges(t *testing.T) {
 	}
 	if res.CoinsEnd != 126 {
 		t.Fatalf("pool leaked: %d", res.CoinsEnd)
+	}
+	if !res.Conserved() {
+		t.Fatalf("pool violation %d after churn", res.PoolViolation)
 	}
 }
 

@@ -3,6 +3,7 @@ package coin
 import (
 	"fmt"
 
+	"blitzcoin/internal/fault"
 	"blitzcoin/internal/mesh"
 	"blitzcoin/internal/noc"
 	"blitzcoin/internal/sim"
@@ -134,6 +135,44 @@ type Config struct {
 
 	// NoC sets network timing. Zero value selects noc.DefaultConfig.
 	NoC noc.Config
+
+	// Faults, when non-nil, injects the given fault model into the
+	// emulator's private network (NewEmulator only; NewEmulatorOn harnesses
+	// build their own injector and call AttachFaults). A non-nil Faults
+	// implies Harden.
+	Faults *fault.Config
+
+	// Harden enables the recovery machinery — exchange timeouts with
+	// retry back-off, the participation-lock watchdog, neighbor-liveness
+	// pruning, and the periodic coin-conservation audit — even without an
+	// injected fault model. Healthy runs leave it off: the watchdog and
+	// audit events would perturb the event interleaving, and the seed
+	// experiments must stay bit-identical.
+	Harden bool
+
+	// ExchangeTimeout is how long an initiator waits for its exchange to
+	// complete before releasing busy and retrying. Zero selects four
+	// worst-case network round trips plus two refresh intervals, so a
+	// merely-delayed reply almost never races the timeout.
+	ExchangeTimeout sim.Cycles
+	// LockTimeout is the participation-lock watchdog: a tile locked by a
+	// 4-way center frees itself after this long, surviving a center that
+	// died mid-exchange. Zero selects 2x ExchangeTimeout.
+	LockTimeout sim.Cycles
+	// RetryBackoff scales a tile's interval up after each timed-out
+	// exchange (capped at MaxInterval), so a partitioned tile does not spam
+	// the fabric. Zero selects 2.
+	RetryBackoff float64
+	// NeighborDeadAfter is how many consecutive timed-out exchanges with
+	// the same partner mark it dead and prune it from the round-robin and
+	// random-pairing sets. Zero selects 4.
+	NeighborDeadAfter int
+	// AuditInterval is the period of the distributed coin-conservation
+	// audit, which re-mints leaked coins and burns duplicated ones against
+	// each tile's local target. Zero selects 8x RefreshInterval, so the
+	// pool is repaired within a bounded number of refresh intervals after
+	// any fault.
+	AuditInterval sim.Cycles
 }
 
 // withDefaults returns cfg with zero fields replaced by defaults and panics
@@ -185,6 +224,28 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.NoC.HopLatency == 0 && cfg.NoC.RouterLatency == 0 {
 		cfg.NoC = noc.DefaultConfig()
+	}
+	if cfg.Faults != nil && cfg.Faults.Enabled() {
+		cfg.Harden = true
+	}
+	if cfg.ExchangeTimeout == 0 {
+		diam := sim.Cycles(cfg.Mesh.MaxHopDistance())
+		cfg.ExchangeTimeout = 4*(cfg.NoC.RouterLatency+cfg.NoC.HopLatency*diam) + 2*cfg.RefreshInterval
+	}
+	if cfg.LockTimeout == 0 {
+		cfg.LockTimeout = 2 * cfg.ExchangeTimeout
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = 2
+	}
+	if cfg.RetryBackoff <= 1 {
+		panic("coin: RetryBackoff must be > 1")
+	}
+	if cfg.NeighborDeadAfter == 0 {
+		cfg.NeighborDeadAfter = 4
+	}
+	if cfg.AuditInterval == 0 {
+		cfg.AuditInterval = 8 * cfg.RefreshInterval
 	}
 	return cfg
 }

@@ -3,21 +3,30 @@ package coin
 import (
 	"fmt"
 	"math"
+	"sort"
 
+	"blitzcoin/internal/fault"
 	"blitzcoin/internal/noc"
 	"blitzcoin/internal/rng"
 	"blitzcoin/internal/sim"
 )
 
+// requestMsg is a 4-way center's status request. seq identifies the center's
+// exchange attempt so late replies to a timed-out attempt are discarded.
+type requestMsg struct {
+	seq uint64
+}
+
 // statusMsg carries a tile's (has, max) state. reply distinguishes a 4-way
 // status reply from a 1-way exchange initiation; nack means the responder is
 // mid-exchange and refuses to join the group — the conflict case the paper
 // notes the 4-way arithmetic needs synchronization primitives for
-// (Sec. III-B).
+// (Sec. III-B). seq echoes the initiator's exchange sequence number.
 type statusMsg struct {
 	has, max int64
 	reply    bool
 	nack     bool
+	seq      uint64
 }
 
 // updateMsg carries a signed coin transfer. Expressing updates as deltas —
@@ -25,10 +34,12 @@ type statusMsg struct {
 // even when exchanges interleave; the transient negative counts this can
 // produce are the ones the hardware's sign bit absorbs (Sec. IV-A). ack
 // marks the completion of a 1-way initiation, as opposed to a 4-way delta
-// push (which also releases the responder's participation lock).
+// push (which also releases the responder's participation lock). seq lets a
+// hardened initiator ignore an ack for an exchange it already timed out.
 type updateMsg struct {
 	delta int64
 	ack   bool
+	seq   uint64
 }
 
 // tileState is the per-tile emulator state: the has/max registers, the
@@ -52,6 +63,28 @@ type tileState struct {
 
 	// pending4 collects 4-way status replies until all neighbors answered.
 	pending4 map[int]statusMsg
+
+	// seq numbers this tile's initiated exchanges; acks and 4-way replies
+	// echo it so responses to a timed-out attempt are recognizably stale.
+	seq uint64
+	// curPartner is the 1-way partner of the in-flight exchange, for
+	// liveness bookkeeping on timeout.
+	curPartner int
+	// lockFrom is the 4-way center holding our participation lock; lockSeq
+	// epochs the lock so a stale watchdog never breaks a newer lock.
+	lockFrom int
+	lockSeq  uint64
+
+	// Fault state (driven by the injector callbacks).
+	dead  bool    // fail-stopped: initiates nothing, absorbs nothing
+	stuck bool    // coin register frozen: setHas is a silent no-op
+	slow  float64 // fail-slow factor (> 1 stretches intervals), 0 if none
+
+	// nbrFail counts consecutive timed-out exchanges per partner; deadNbrs
+	// holds partners pruned after NeighborDeadAfter strikes. Both are nil
+	// until hardening records a failure, so healthy runs pay nothing.
+	nbrFail  map[int]int
+	deadNbrs map[int]bool
 
 	// nbrHas caches the last coin count observed from each neighbor (from
 	// status messages), the information the thermal guard consults. The
@@ -80,10 +113,31 @@ type Result struct {
 	TotalPackets uint64
 	// Exchanges counts initiated exchanges across all tiles.
 	Exchanges uint64
-	// CoinsStart and CoinsEnd are the pool totals; they must match for a
-	// quiesced run (conservation).
+	// CoinsStart and CoinsEnd are the pool totals; CoinsEnd sums live
+	// tiles only. They must match for a quiesced healthy run
+	// (conservation); under faults the audit restores the match.
 	CoinsStart, CoinsEnd int64
+	// PoolViolation is CoinsStart minus the live pool at the end of the
+	// run: nonzero means coins leaked (positive) or were duplicated
+	// (negative) and the audit had not yet repaired the residue.
+	PoolViolation int64
+
+	// Fault and recovery counters (all zero on a healthy run).
+	Dropped      uint64 // PM-plane packets lost in the fabric
+	Retries      uint64 // exchanges abandoned by timeout and retried
+	LocksBroken  uint64 // participation locks freed by the watchdog
+	NbrsPruned   int    // partners removed from pairing sets as dead
+	TilesDead    int    // tiles fail-stopped during the run
+	AuditRepairs uint64 // audits that found and repaired a discrepancy
+	CoinsMinted  int64  // coins re-minted by the audit (leak repair)
+	CoinsBurned  int64  // coins burned by the audit (duplication repair)
 }
+
+// Conserved reports whether the coin pool ended exactly conserved: every
+// coin of the initial assignment is accounted for on a live tile. Healthy
+// runs must always conserve; faulted runs must re-conserve once the audit
+// has repaired the last fault's damage.
+func (r Result) Conserved() bool { return r.PoolViolation == 0 }
 
 // ConvergenceMicros returns the convergence time in microseconds at the
 // 800 MHz NoC clock.
@@ -101,7 +155,8 @@ type Emulator struct {
 	tiles  []tileState
 
 	sumHas, sumMax int64
-	activeCount    int // tiles with max > 0
+	activeCount    int // live tiles with max > 0
+	liveCount      int // tiles not fail-stopped
 	alpha          float64
 	errTerms       []float64
 	errSum         float64
@@ -121,6 +176,31 @@ type Emulator struct {
 	thermalRejects  uint64
 	initialized     bool
 
+	// hardened enables the recovery machinery. When off, none of the
+	// timeout/watchdog/audit events are ever scheduled, so healthy runs
+	// remain bit-identical to the unhardened emulator.
+	hardened    bool
+	injector    *fault.Injector
+	armInjector bool // this emulator owns the injector and arms it at Init
+	// frozen suppresses new exchange initiations during the end-of-run
+	// settle phase, so stranded flags are distinguishable from keep-alive
+	// transients.
+	frozen bool
+
+	// inFlightDelta sums the deltas of update packets actually travelling
+	// the fabric: poolTarget == live sum + inFlightDelta is the audited
+	// conservation invariant.
+	inFlightDelta int64
+	poolTarget    int64
+	lockedCount   int
+	retries       uint64
+	locksBroken   uint64
+	nbrsPruned    int
+	tilesDead     int
+	auditRepairs  uint64
+	coinsMinted   int64
+	coinsBurned   int64
+
 	// onChange, when set, observes every applied coin-count change. The
 	// SoC harness uses it to drive each tile's LUT and UVFR regulator.
 	onChange func(tile int, has int64)
@@ -134,7 +214,12 @@ type Emulator struct {
 func NewEmulator(cfg Config, src *rng.Source) *Emulator {
 	cfg = cfg.withDefaults()
 	k := &sim.Kernel{}
-	return NewEmulatorOn(k, noc.New(k, cfg.Mesh, cfg.NoC), cfg, src)
+	e := NewEmulatorOn(k, noc.New(k, cfg.Mesh, cfg.NoC), cfg, src)
+	if cfg.Faults != nil && cfg.Faults.Enabled() {
+		e.AttachFaults(fault.NewInjector(*cfg.Faults))
+		e.armInjector = true
+	}
+	return e
 }
 
 // NewEmulatorOn builds an emulator over an existing kernel and network, for
@@ -165,8 +250,29 @@ func NewEmulatorOn(k *sim.Kernel, net *noc.Network, cfg Config, src *rng.Source)
 		i := i
 		e.net.SetHandler(i, noc.PlanePM, func(p *noc.Packet) { e.onPacket(i, p) })
 	}
+	e.hardened = cfg.Harden
 	return e
 }
+
+// AttachFaults wires a fault injector into the emulator: the network
+// consults it per packet, and the emulator reacts to tile kills, stuck coin
+// registers, and fail-slow activations. Attaching an injector turns the
+// recovery machinery on. Call before Init; the caller arms the injector
+// (NewEmulator with cfg.Faults does both itself).
+func (e *Emulator) AttachFaults(in *fault.Injector) {
+	if e.initialized {
+		panic("coin: AttachFaults after Init")
+	}
+	e.hardened = true
+	e.injector = in
+	e.net.AttachFaults(in)
+	in.OnTileKill(e.killTile)
+	in.OnStuckCounter(func(i int) { e.tiles[i].stuck = true })
+	in.OnFailSlow(func(i int, f float64) { e.tiles[i].slow = f })
+}
+
+// Faults returns the attached injector, or nil.
+func (e *Emulator) Faults() *fault.Injector { return e.injector }
 
 // observeNeighbor records a neighbor's reported coin count for the thermal
 // guard.
@@ -237,12 +343,19 @@ func (e *Emulator) Init(a Assignment) {
 	for i := range e.tiles {
 		e.tiles[i].has = a.Has[i]
 		e.tiles[i].max = a.Max[i]
+		e.poolTarget += a.Has[i]
+	}
+	if e.armInjector {
+		e.injector.Arm(e.kernel)
 	}
 	e.recomputeError()
 	e.checkConvergence()
 	for i := range e.tiles {
 		phase := sim.Cycles(e.src.Int63n(int64(e.cfg.RefreshInterval))) + 1
 		e.scheduleTickAfter(i, phase)
+	}
+	if e.hardened {
+		e.kernel.Schedule(e.cfg.AuditInterval, e.audit)
 	}
 }
 
@@ -271,8 +384,12 @@ func (e *Emulator) errTerm(has, max int64) float64 {
 // coin pool is conserved and targets only change through SetMax, so alpha is
 // constant between recomputations and per-exchange updates stay O(1).
 func (e *Emulator) recomputeError() {
-	e.sumHas, e.sumMax, e.activeCount = 0, 0, 0
+	e.sumHas, e.sumMax, e.activeCount, e.liveCount = 0, 0, 0, 0
 	for i := range e.tiles {
+		if e.tiles[i].dead {
+			continue
+		}
+		e.liveCount++
 		e.sumHas += e.tiles[i].has
 		e.sumMax += e.tiles[i].max
 		if e.tiles[i].max > 0 {
@@ -289,6 +406,10 @@ func (e *Emulator) recomputeError() {
 	}
 	e.errSum = 0
 	for i := range e.tiles {
+		if e.tiles[i].dead {
+			e.errTerms[i] = 0
+			continue
+		}
 		e.errTerms[i] = e.errTerm(e.tiles[i].has, e.tiles[i].max)
 		e.errSum += e.errTerms[i]
 	}
@@ -307,13 +428,22 @@ func (e *Emulator) GlobalErr() float64 {
 		}
 		return e.errSum / float64(n)
 	}
-	return e.errSum / float64(len(e.tiles))
+	n := e.liveCount
+	if n == 0 {
+		n = 1
+	}
+	return e.errSum / float64(n)
 }
 
 // setHas applies a coin-count change and maintains the error metric,
 // movement clock, and convergence detection.
 func (e *Emulator) setHas(i int, v int64) {
 	t := &e.tiles[i]
+	// A stuck coin register silently absorbs writes — the fault the audit
+	// exists to detect. A dead tile's register is gone entirely.
+	if t.stuck || t.dead {
+		return
+	}
 	if t.has == v {
 		return
 	}
@@ -359,6 +489,11 @@ func (e *Emulator) SetOnConverged(fn func(response sim.Cycles)) { e.onConverged 
 func (e *Emulator) SetMax(tile int, max int64) {
 	if max < 0 {
 		panic("coin: negative max")
+	}
+	// A dead tile has no target: its FSM is gone and its max is already
+	// excluded from the error metric.
+	if e.tiles[tile].dead {
+		return
 	}
 	e.tiles[tile].max = max
 	e.recomputeError()
@@ -406,6 +541,14 @@ func (e *Emulator) Kernel() *sim.Kernel { return e.kernel }
 // hotspot guard.
 func (e *Emulator) ThermalRejects() uint64 { return e.thermalRejects }
 
+// FlagCounts returns how many tiles are currently mid-exchange (busy) and
+// participation-locked. After a hardened Run both must be zero: the timeout
+// and watchdog machinery exists precisely so no fault strands a flag.
+func (e *Emulator) FlagCounts() (busy, locked int) { return e.busyCount, e.lockedCount }
+
+// TileDead reports whether tile i has fail-stopped.
+func (e *Emulator) TileDead(i int) bool { return e.tiles[i].dead }
+
 // NetworkStats returns the NoC statistics so far.
 func (e *Emulator) NetworkStats() noc.Stats { return e.net.Stats() }
 
@@ -418,7 +561,16 @@ func (e *Emulator) scheduleTickAfter(i int, d sim.Cycles) {
 // still in flight skips this slot, as the hardware FSM would.
 func (e *Emulator) tick(i int) {
 	t := &e.tiles[i]
-	defer e.scheduleTickAfter(i, t.interval)
+	// A dead tile's FSM is gone: stop the tick chain entirely.
+	if t.dead {
+		return
+	}
+	defer e.scheduleTickAfter(i, e.effInterval(t))
+	// Frozen: the end-of-run settle phase stops new initiations so in-flight
+	// exchanges can drain; the tick chain stays alive for later Run calls.
+	if e.frozen {
+		return
+	}
 	if t.busy || t.locked || len(t.neighbors) == 0 {
 		return
 	}
@@ -437,25 +589,43 @@ func (e *Emulator) tick(i int) {
 		return
 	}
 	partner := e.choosePartner(t, useRandom)
+	if partner < 0 {
+		// Every candidate partner is known dead; keep ticking — the audit
+		// still rebalances the pool around this tile.
+		return
+	}
 	e.startOneWay(t, partner)
 }
 
-// sendUpdate emits a coin-update packet and tracks nonzero deltas in flight.
-func (e *Emulator) sendUpdate(src, dst int, delta int64, ack bool) {
-	if delta != 0 {
-		e.nonzeroInFlight++
+// effInterval is the tile's exchange interval with any fail-slow stretch.
+func (e *Emulator) effInterval(t *tileState) sim.Cycles {
+	if t.slow > 1 {
+		return sim.Cycles(float64(t.interval) * t.slow)
 	}
-	e.net.Send(&noc.Packet{
+	return t.interval
+}
+
+// sendUpdate emits a coin-update packet and tracks nonzero deltas in flight.
+// Only packets the fabric actually carries are counted: this accounting is
+// the simulator's omniscient view (used for quiescence detection and the
+// conservation audit), not information available to any tile's FSM.
+func (e *Emulator) sendUpdate(src, dst int, delta int64, ack bool, seq uint64) {
+	sent := e.net.Send(&noc.Packet{
 		Plane:   noc.PlanePM,
 		Kind:    noc.KindCoinUpdate,
 		Src:     src,
 		Dst:     dst,
-		Payload: updateMsg{delta: delta, ack: ack},
+		Payload: updateMsg{delta: delta, ack: ack, seq: seq},
 	})
+	if sent && delta != 0 {
+		e.nonzeroInFlight++
+		e.inFlightDelta += delta
+	}
 }
 
 // choosePartner returns the next exchange partner: the round-robin neighbor,
-// or a non-neighbor under random pairing.
+// or a non-neighbor under random pairing. Partners pruned as dead are
+// excluded; -1 means no live candidate exists.
 func (e *Emulator) choosePartner(t *tileState, random bool) int {
 	if !random {
 		p := t.neighbors[t.rr%len(t.neighbors)]
@@ -481,26 +651,48 @@ func (e *Emulator) choosePartner(t *tileState, random bool) int {
 		t.rr++
 		return p
 	}
+	// With pruned partners the search loops need a bound: liveness is
+	// local knowledge, and a heavily damaged mesh may leave no eligible
+	// non-neighbor. The bound only engages once something was pruned, so
+	// healthy runs keep the original draw sequence exactly.
+	bounded := len(t.deadNbrs) > 0
 	switch e.cfg.Pairing {
 	case PairShiftRegister:
 		// Walk the offset register until it lands on a non-neighbor. The
 		// register visits every offset, guaranteeing any (a, b) pair with
 		// opposing errors is eventually paired (Sec. III-E).
-		for {
+		for tries := 0; ; tries++ {
 			j := (t.id + t.srOffset) % n
 			t.srOffset = t.srOffset%(n-1) + 1
-			if !isNeighbor(j) {
+			if !isNeighbor(j) && !t.deadNbrs[j] {
 				return j
+			}
+			if bounded && tries >= n {
+				return e.liveNeighborFallback(t)
 			}
 		}
 	default: // PairUniform
-		for {
+		for tries := 0; ; tries++ {
 			j := e.src.Intn(n)
-			if !isNeighbor(j) {
+			if !isNeighbor(j) && !t.deadNbrs[j] {
 				return j
+			}
+			if bounded && tries >= 4*n {
+				return e.liveNeighborFallback(t)
 			}
 		}
 	}
+}
+
+// liveNeighborFallback returns the round-robin neighbor when random pairing
+// finds no live non-neighbor, or -1 if the tile has no partners left.
+func (e *Emulator) liveNeighborFallback(t *tileState) int {
+	if len(t.neighbors) == 0 {
+		return -1
+	}
+	p := t.neighbors[t.rr%len(t.neighbors)]
+	t.rr++
+	return p
 }
 
 // startOneWay initiates Algorithm 2 with the chosen partner: send our
@@ -509,13 +701,16 @@ func (e *Emulator) choosePartner(t *tileState, random bool) int {
 func (e *Emulator) startOneWay(t *tileState, partner int) {
 	t.busy = true
 	e.busyCount++
+	t.seq++
+	t.curPartner = partner
 	e.net.Send(&noc.Packet{
 		Plane:   noc.PlanePM,
 		Kind:    noc.KindCoinStatus,
 		Src:     t.id,
 		Dst:     partner,
-		Payload: statusMsg{has: t.has, max: t.max},
+		Payload: statusMsg{has: t.has, max: t.max, seq: t.seq},
 	})
+	e.armExchangeTimeout(t)
 }
 
 // startFourWay initiates Algorithm 1: request status from every neighbor,
@@ -524,22 +719,119 @@ func (e *Emulator) startOneWay(t *tileState, partner int) {
 func (e *Emulator) startFourWay(t *tileState) {
 	t.busy = true
 	e.busyCount++
+	t.seq++
 	t.pending4 = make(map[int]statusMsg, len(t.neighbors))
 	for _, nb := range t.neighbors {
 		e.net.Send(&noc.Packet{
-			Plane: noc.PlanePM,
-			Kind:  noc.KindCoinRequest,
-			Src:   t.id,
-			Dst:   nb,
+			Plane:   noc.PlanePM,
+			Kind:    noc.KindCoinRequest,
+			Src:     t.id,
+			Dst:     nb,
+			Payload: requestMsg{seq: t.seq},
 		})
+	}
+	e.armExchangeTimeout(t)
+}
+
+// armExchangeTimeout schedules the hardened initiator's retry timer for the
+// exchange the tile just started.
+func (e *Emulator) armExchangeTimeout(t *tileState) {
+	if !e.hardened {
+		return
+	}
+	i, seq := t.id, t.seq
+	e.kernel.Schedule(e.cfg.ExchangeTimeout, func() { e.exchangeTimeout(i, seq) })
+}
+
+// exchangeTimeout abandons an exchange whose completion never arrived:
+// release busy so the tile's FSM is not stranded, back its interval off, and
+// strike the silent partner(s) for liveness tracking. Any late ack is
+// recognized as stale by its sequence number; any late delta still applies
+// (deltas always conserve), and the audit repairs whatever was lost in the
+// fabric.
+func (e *Emulator) exchangeTimeout(i int, seq uint64) {
+	t := &e.tiles[i]
+	if t.dead || !t.busy || t.seq != seq {
+		return
+	}
+	e.retries++
+	if t.pending4 != nil {
+		// Release the neighbors that did join the group with zero-delta
+		// updates, and strike the ones that never answered.
+		for _, nb := range t.neighbors {
+			st, answered := t.pending4[nb]
+			switch {
+			case !answered:
+				e.strikePartner(t, nb)
+			case !st.nack:
+				e.sendUpdate(t.id, nb, 0, false, seq)
+			}
+		}
+		t.pending4 = nil
+	} else {
+		e.strikePartner(t, t.curPartner)
+	}
+	t.busy = false
+	e.busyCount--
+	// Exponential retry back-off: a tile facing a lossy or partitioned
+	// fabric slows down instead of spamming it.
+	ni := sim.Cycles(float64(t.interval) * e.cfg.RetryBackoff)
+	if ni > e.cfg.MaxInterval {
+		ni = e.cfg.MaxInterval
+	}
+	t.interval = ni
+}
+
+// strikePartner records a timed-out exchange against a partner; after
+// NeighborDeadAfter consecutive strikes the partner is pruned from the
+// tile's pairing sets (wrap-around partners take over).
+func (e *Emulator) strikePartner(t *tileState, partner int) {
+	if partner < 0 {
+		return
+	}
+	if t.nbrFail == nil {
+		t.nbrFail = make(map[int]int)
+	}
+	t.nbrFail[partner]++
+	if t.nbrFail[partner] < e.cfg.NeighborDeadAfter {
+		return
+	}
+	if t.deadNbrs == nil {
+		t.deadNbrs = make(map[int]bool)
+	}
+	if !t.deadNbrs[partner] {
+		t.deadNbrs[partner] = true
+		e.nbrsPruned++
+	}
+	for k, nb := range t.neighbors {
+		if nb == partner {
+			t.neighbors = append(t.neighbors[:k], t.neighbors[k+1:]...)
+			break
+		}
 	}
 }
 
 // onPacket dispatches a delivered PM-plane packet.
 func (e *Emulator) onPacket(tile int, p *noc.Packet) {
 	t := &e.tiles[tile]
+	// A packet can be in flight when its destination fail-stops: the dead
+	// tile absorbs it. The omniscient in-flight accounting still settles —
+	// the coins it carried are gone, which the audit detects and re-mints.
+	if t.dead {
+		if p.Kind == noc.KindCoinUpdate {
+			if msg := p.Payload.(updateMsg); msg.delta != 0 && !p.Dup {
+				e.nonzeroInFlight--
+				e.inFlightDelta -= msg.delta
+			}
+		}
+		return
+	}
 	switch p.Kind {
 	case noc.KindCoinRequest:
+		var seq uint64
+		if m, ok := p.Payload.(requestMsg); ok {
+			seq = m.seq
+		}
 		// 4-way: join the center's group if free, else refuse. Joining
 		// freezes our coin count until the center's update releases us.
 		if t.busy || t.locked {
@@ -548,17 +840,17 @@ func (e *Emulator) onPacket(tile int, p *noc.Packet) {
 				Kind:    noc.KindCoinStatus,
 				Src:     tile,
 				Dst:     p.Src,
-				Payload: statusMsg{reply: true, nack: true},
+				Payload: statusMsg{reply: true, nack: true, seq: seq},
 			})
 			return
 		}
-		t.locked = true
+		e.lockTile(t, p.Src)
 		e.net.Send(&noc.Packet{
 			Plane:   noc.PlanePM,
 			Kind:    noc.KindCoinStatus,
 			Src:     tile,
 			Dst:     p.Src,
-			Payload: statusMsg{has: t.has, max: t.max, reply: true},
+			Payload: statusMsg{has: t.has, max: t.max, reply: true, seq: seq},
 		})
 	case noc.KindCoinStatus:
 		msg := p.Payload.(statusMsg)
@@ -569,22 +861,34 @@ func (e *Emulator) onPacket(tile int, p *noc.Packet) {
 		}
 	case noc.KindCoinUpdate:
 		msg := p.Payload.(updateMsg)
-		if msg.delta != 0 {
+		// A fault-injected duplicate applies its delta twice — that IS the
+		// fault — but the fabric accounting settles only once.
+		if msg.delta != 0 && !p.Dup {
 			e.nonzeroInFlight--
+			e.inFlightDelta -= msg.delta
 		}
 		e.setHas(tile, t.has+msg.delta)
 		if msg.ack {
-			// Completion of our 1-way initiation.
-			if t.busy && t.pending4 == nil {
+			// Completion of our 1-way initiation. The sequence check
+			// rejects a late ack for an attempt the timeout already
+			// abandoned (its delta above still applied — conservation).
+			if t.busy && t.pending4 == nil && msg.seq == t.seq {
 				t.busy = false
 				e.busyCount--
+				if t.nbrFail != nil {
+					delete(t.nbrFail, p.Src)
+				}
 				e.adjustTiming(t, msg.delta)
 			}
 		} else {
 			// A 4-way center's push releases our participation lock; a
 			// productive push also resets our back-off so the activity
-			// ripple propagates at full speed (Sec. III-D).
-			t.locked = false
+			// ripple propagates at full speed (Sec. III-D). Hardened: only
+			// the lock's owner may release it, so a straggler push from a
+			// center we already gave up on can't break a newer lock.
+			if !e.hardened || !t.locked || t.lockFrom == p.Src {
+				e.unlockTile(t)
+			}
 			e.adjustTiming(t, msg.delta)
 		}
 	case noc.KindRegAccess, noc.KindInterrupt, noc.KindOther:
@@ -596,13 +900,49 @@ func (e *Emulator) onPacket(tile int, p *noc.Packet) {
 	}
 }
 
+// lockTile freezes t's coins on behalf of a 4-way center. Hardened, a
+// watchdog frees the lock if the center dies before its update arrives.
+func (e *Emulator) lockTile(t *tileState, center int) {
+	t.locked = true
+	t.lockFrom = center
+	t.lockSeq++
+	e.lockedCount++
+	if e.hardened {
+		i, ls := t.id, t.lockSeq
+		e.kernel.Schedule(e.cfg.LockTimeout, func() { e.lockWatchdog(i, ls) })
+	}
+}
+
+// unlockTile releases t's participation lock if held.
+func (e *Emulator) unlockTile(t *tileState) {
+	if t.locked {
+		t.locked = false
+		e.lockedCount--
+	}
+}
+
+// lockWatchdog frees a tile whose 4-way center died (or whose release was
+// lost in the fabric): without it the tile would refuse every exchange
+// forever. The lock epoch guards against breaking a newer lock.
+func (e *Emulator) lockWatchdog(i int, lockSeq uint64) {
+	t := &e.tiles[i]
+	if t.dead || !t.locked || t.lockSeq != lockSeq {
+		return
+	}
+	e.unlockTile(t)
+	e.locksBroken++
+	// The center is suspect: strike it so a repeatedly dying or silent
+	// center is eventually pruned from our pairing sets.
+	e.strikePartner(t, t.lockFrom)
+}
+
 // onOneWayInitiate runs the receiver side of Algorithm 2: split against the
 // initiator's reported state, apply our half, return theirs as a delta.
 func (e *Emulator) onOneWayInitiate(t *tileState, from int, msg statusMsg) {
 	// A locked tile's coins are spoken for by a 4-way center; refuse the
 	// exchange with a zero-coin ack so the initiator completes cleanly.
 	if t.locked {
-		e.sendUpdate(t.id, from, 0, true)
+		e.sendUpdate(t.id, from, 0, true, msg.seq)
 		return
 	}
 	e.observeNeighbor(t, from, msg.has)
@@ -632,8 +972,16 @@ func (e *Emulator) onOneWayInitiate(t *tileState, from int, msg statusMsg) {
 	}
 	deltaI := newI - msg.has
 	deltaJ := newJ - t.has
+	// A stuck register cannot apply its side of the split: sending the
+	// initiator its full delta anyway would double those coins. Refuse the
+	// exchange instead (zero-delta ack); the drifted residue from splits
+	// that already happened is the audit's problem, not new exchanges'.
+	if t.stuck {
+		e.sendUpdate(t.id, from, 0, true, msg.seq)
+		return
+	}
 	e.setHas(t.id, newJ)
-	e.sendUpdate(t.id, from, deltaI, true)
+	e.sendUpdate(t.id, from, deltaI, true, msg.seq)
 	// The receiver also observes whether the exchange was productive, so
 	// both parties' dynamic timing reacts — a coin wave travelling across
 	// the mesh keeps every tile it touches at the fast exchange rate.
@@ -643,11 +991,21 @@ func (e *Emulator) onOneWayInitiate(t *tileState, from int, msg statusMsg) {
 // onFourWayStatus collects a neighbor's reply; when all neighbors have
 // answered, compute the group split and push each neighbor's delta.
 func (e *Emulator) onFourWayStatus(t *tileState, from int, msg statusMsg) {
-	if t.pending4 == nil {
-		return // stale reply after an aborted exchange; ignore
+	if t.pending4 == nil || msg.seq != t.seq {
+		// Stale reply: the attempt it answers was completed, aborted, or
+		// abandoned by timeout. Hardened, a non-nack straggler gets an
+		// immediate zero-delta release — the responder locked itself for
+		// nothing and should not have to wait for its watchdog.
+		if e.hardened && !msg.nack && msg.seq != t.seq {
+			e.sendUpdate(t.id, from, 0, false, msg.seq)
+		}
+		return
 	}
 	if !msg.nack {
 		e.observeNeighbor(t, from, msg.has)
+		if t.nbrFail != nil {
+			delete(t.nbrFail, from)
+		}
 	}
 	t.pending4[from] = msg
 	if len(t.pending4) < len(t.neighbors) {
@@ -664,9 +1022,12 @@ func (e *Emulator) onFourWayStatus(t *tileState, from int, msg statusMsg) {
 		}
 	}
 	if anyNack {
-		for nb, st := range t.pending4 {
-			if !st.nack {
-				e.sendUpdate(t.id, nb, 0, false)
+		// Iterate neighbors, not the pending4 map: map order would make
+		// the release-packet order — and thus NoC contention — vary
+		// between identically seeded runs.
+		for _, nb := range t.neighbors {
+			if st, ok := t.pending4[nb]; ok && !st.nack {
+				e.sendUpdate(t.id, nb, 0, false, t.seq)
 			}
 		}
 		t.pending4 = nil
@@ -691,7 +1052,7 @@ func (e *Emulator) onFourWayStatus(t *tileState, from int, msg statusMsg) {
 	for k, nb := range t.neighbors {
 		delta := out[k+1] - has[k+1]
 		moved += abs64(delta)
-		e.sendUpdate(t.id, nb, delta, false)
+		e.sendUpdate(t.id, nb, delta, false, t.seq)
 	}
 	t.pending4 = nil
 	t.busy = false
@@ -704,6 +1065,137 @@ func abs64(v int64) int64 {
 		return -v
 	}
 	return v
+}
+
+// killTile fail-stops a tile (injector callback): its FSM halts, its flags
+// release, and its coins leave the live pool — stranded budget the audit
+// re-mints onto survivors, so the full power budget stays allocatable.
+// The kill counts as an activity change: convergence re-arms and the next
+// threshold crossing measures the re-convergence after the fault.
+func (e *Emulator) killTile(i int) {
+	t := &e.tiles[i]
+	if t.dead {
+		return
+	}
+	t.dead = true
+	e.tilesDead++
+	if t.busy {
+		t.busy = false
+		e.busyCount--
+	}
+	e.unlockTile(t)
+	t.pending4 = nil
+	e.recomputeError()
+	e.converged = false
+	e.convergedAt = 0
+	e.lastChangeFrom = e.kernel.Now()
+	e.lastMovement = e.kernel.Now()
+	e.checkConvergence()
+}
+
+// audit is the periodic distributed coin-conservation check: compare the
+// live pool (plus deltas still travelling the fabric) against the initial
+// pool, then re-mint the leak or burn the surplus against each tile's local
+// target. In hardware each tile would fold its (has, max) into a spanning
+// accumulation wave on the PM plane; the emulator computes the same sums
+// directly. Repairs apply deterministically: most-deficient tiles receive
+// minted coins first, most-surplus tiles burn first, ties broken by index.
+func (e *Emulator) audit() {
+	if e.liveCount > 0 {
+		e.runAudit()
+	}
+	e.kernel.Schedule(e.cfg.AuditInterval, e.audit)
+}
+
+func (e *Emulator) runAudit() {
+	var liveSum int64
+	for i := range e.tiles {
+		if !e.tiles[i].dead {
+			liveSum += e.tiles[i].has
+		}
+	}
+	diff := e.poolTarget - liveSum - e.inFlightDelta
+	if diff == 0 {
+		return
+	}
+	e.auditRepairs++
+	// Candidates: live tiles with working registers. A stuck register
+	// cannot be repaired in place; its drift is repaired on its peers.
+	type cand struct {
+		id   int
+		need float64 // target minus has: positive wants coins
+	}
+	cands := make([]cand, 0, e.liveCount)
+	for i := range e.tiles {
+		t := &e.tiles[i]
+		if t.dead || t.stuck {
+			continue
+		}
+		target := e.alpha * float64(t.max)
+		if e.cfg.CoinCap > 0 && target > float64(e.cfg.CoinCap) {
+			target = float64(e.cfg.CoinCap)
+		}
+		cands = append(cands, cand{id: i, need: target - float64(t.has)})
+	}
+	if len(cands) == 0 {
+		return
+	}
+	if diff > 0 {
+		// Leak: re-mint onto the most deficient tiles, respecting the cap.
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].need != cands[b].need {
+				return cands[a].need > cands[b].need
+			}
+			return cands[a].id < cands[b].id
+		})
+		remaining := diff
+		for _, c := range cands {
+			if remaining == 0 {
+				break
+			}
+			t := &e.tiles[c.id]
+			grant := remaining
+			if e.cfg.CoinCap > 0 {
+				if room := e.cfg.CoinCap - t.has; room < grant {
+					grant = room
+				}
+			}
+			if grant <= 0 {
+				continue
+			}
+			e.setHas(c.id, t.has+grant)
+			e.coinsMinted += grant
+			remaining -= grant
+		}
+		// Any residue (every tile at cap) waits for the next audit.
+	} else {
+		// Duplication: burn the surplus from the most over-target tiles.
+		// This is what re-enforces the global power cap after a fault
+		// created coins from thin air.
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].need != cands[b].need {
+				return cands[a].need < cands[b].need
+			}
+			return cands[a].id < cands[b].id
+		})
+		remaining := -diff
+		for _, c := range cands {
+			if remaining == 0 {
+				break
+			}
+			t := &e.tiles[c.id]
+			take := remaining
+			if t.has < take {
+				take = t.has
+			}
+			if take <= 0 {
+				continue
+			}
+			e.setHas(c.id, t.has-take)
+			e.coinsBurned += take
+			remaining -= take
+		}
+	}
 }
 
 // adjustTiming applies the dynamic-timing rule (Sec. III-D): zero-coin
@@ -789,14 +1281,32 @@ func (e *Emulator) Run() Result {
 	if e.nonzeroInFlight > 0 {
 		e.kernel.RunUntil(func() bool { return e.nonzeroInFlight == 0 }, 1<<20)
 	}
+	// Hardened runs settle before reporting: freeze new exchange initiation
+	// and let the in-flight work drain. Every busy flag has an armed timeout
+	// and every lock has a watchdog, so the drain is bounded by
+	// LockTimeout plus flight time — a flag that survives it is genuinely
+	// stranded, not a keep-alive transient. A final audit then repairs any
+	// damage postdating the last periodic one.
+	if e.hardened {
+		e.frozen = true
+		if e.busyCount > 0 || e.lockedCount > 0 || e.nonzeroInFlight > 0 {
+			e.kernel.RunUntil(func() bool {
+				return e.busyCount == 0 && e.lockedCount == 0 && e.nonzeroInFlight == 0
+			}, 1<<20)
+		}
+		e.runAudit()
+		e.frozen = false
+	}
 
 	has, max = e.Snapshot()
-	finalErr, worst := GlobalError(has, max)
+	finalErr, worst := e.liveGlobalError(has, max)
 	var coinsEnd int64
-	for _, h := range has {
-		coinsEnd += h
+	for i, h := range has {
+		if !e.tiles[i].dead {
+			coinsEnd += h
+		}
 	}
-	return Result{
+	r := Result{
 		Converged:            e.converged,
 		ConvergenceCycles:    e.convergedAt,
 		PacketsToConvergence: e.pktsAtConv,
@@ -808,5 +1318,32 @@ func (e *Emulator) Run() Result {
 		Exchanges:            e.exchanges,
 		CoinsStart:           coinsStart,
 		CoinsEnd:             coinsEnd,
+		PoolViolation:        e.poolTarget - coinsEnd - e.inFlightDelta,
+		Dropped:              e.net.Stats().PerPlaneDropped[noc.PlanePM],
+		Retries:              e.retries,
+		LocksBroken:          e.locksBroken,
+		NbrsPruned:           e.nbrsPruned,
+		TilesDead:            e.tilesDead,
+		AuditRepairs:         e.auditRepairs,
+		CoinsMinted:          e.coinsMinted,
+		CoinsBurned:          e.coinsBurned,
 	}
+	return r
+}
+
+// liveGlobalError computes the end-of-run error over live tiles only: a
+// fail-stopped tile has neither a target nor a register to be wrong.
+func (e *Emulator) liveGlobalError(has, max []int64) (float64, float64) {
+	if e.tilesDead == 0 {
+		return GlobalError(has, max)
+	}
+	lh := make([]int64, 0, e.liveCount)
+	lm := make([]int64, 0, e.liveCount)
+	for i := range has {
+		if !e.tiles[i].dead {
+			lh = append(lh, has[i])
+			lm = append(lm, max[i])
+		}
+	}
+	return GlobalError(lh, lm)
 }

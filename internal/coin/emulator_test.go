@@ -61,6 +61,10 @@ func TestCoinConservationAcrossRun(t *testing.T) {
 				t.Fatalf("%v seed %d: coins %d -> %d (not conserved)",
 					mode, seed, res.CoinsStart, res.CoinsEnd)
 			}
+			if !res.Conserved() {
+				t.Fatalf("%v seed %d: pool violation %d on a healthy run",
+					mode, seed, res.PoolViolation)
+			}
 		}
 	}
 }
@@ -235,6 +239,9 @@ func TestSetMaxTriggersRedistribution(t *testing.T) {
 	}
 	if res.CoinsEnd != int64(n)*8 {
 		t.Fatalf("pool changed: %d", res.CoinsEnd)
+	}
+	if !res.Conserved() {
+		t.Fatalf("pool violation %d after SetMax churn", res.PoolViolation)
 	}
 }
 

@@ -120,6 +120,7 @@ const (
 	CSRFTarget      = 0x10 // current LUT output, MHz (read-only)
 	CSRROTrim       = 0x14 // ring-oscillator trim code
 	CSRStatus       = 0x18 // bit0: negative transient; bit1: saturated
+	CSRFaultStatus  = 0x1C // bit0: fail-stopped; bits 8..: exchange retries
 )
 
 // CSRFile is the memory-mapped register file reachable over NoC plane 5.
@@ -145,7 +146,9 @@ type TilePM struct {
 	CSRs    *CSRFile
 	Reg     *uvfr.Regulator
 
-	curve *power.Curve
+	curve   *power.Curve
+	dead    bool
+	retries uint32
 }
 
 // NewTilePM wires a PM unit for an accelerator with the given
@@ -165,6 +168,9 @@ func NewTilePM(curve *power.Curve, mWPerCoin float64) *TilePM {
 // regulator through the LUT — steps (1), (2) and (4) of the Sec. IV-A
 // control flow.
 func (t *TilePM) SetCoins(coins int64) {
+	if t.dead {
+		return
+	}
 	t.Counter.Set(coins)
 	f := t.LUT.Lookup(t.Counter.Get())
 	t.Reg.SetTargetMHz(f)
@@ -185,6 +191,9 @@ func (t *TilePM) SetCoins(coins int64) {
 // centralized baselines, whose controllers compute allocations in watts; the
 // decentralized path goes through SetCoins and the LUT.
 func (t *TilePM) SetPowerMW(mw float64) {
+	if t.dead {
+		return
+	}
 	f := t.curve.FreqAtPower(mw)
 	t.Reg.SetTargetMHz(f)
 	t.CSRs.Write(CSRFTarget, uint32(f))
@@ -201,12 +210,39 @@ func (t *TilePM) FreqMHz() float64 { return t.Reg.FreqMHz() }
 
 // PowerMW returns the tile's current power draw at its present frequency,
 // per the tile's characterization curve; an idle tile (coins at or below
-// zero and a zero target) draws the deep-idle power.
+// zero and a zero target) draws the deep-idle power. A fail-stopped tile
+// draws nothing.
 func (t *TilePM) PowerMW(active bool) float64 {
+	if t.dead {
+		return 0
+	}
 	if !active {
 		return t.curve.IdlePowerMW()
 	}
 	return t.curve.PowerAt(t.FreqMHz())
+}
+
+// Kill fail-stops the tile's PM unit: the regulator collapses to zero, the
+// CSR fault bit latches, and all later coin updates are ignored. Used by
+// fault-injection experiments; there is no un-kill.
+func (t *TilePM) Kill() {
+	if t.dead {
+		return
+	}
+	t.dead = true
+	t.Reg.SetTargetMHz(0)
+	t.CSRs.Write(CSREnable, 0)
+	t.CSRs.Write(CSRFaultStatus, t.CSRs.Read(CSRFaultStatus)|1)
+}
+
+// Alive reports whether the PM unit is still running.
+func (t *TilePM) Alive() bool { return !t.dead }
+
+// RecordRetry counts one abandoned-and-retried exchange into the fault CSR,
+// mirroring the emulator's timeout machinery into the tile's register file.
+func (t *TilePM) RecordRetry() {
+	t.retries++
+	t.CSRs.Write(CSRFaultStatus, t.CSRs.Read(CSRFaultStatus)&0xFF|t.retries<<8)
 }
 
 // Curve exposes the tile's characterization.

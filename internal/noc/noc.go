@@ -20,6 +20,7 @@ package noc
 import (
 	"fmt"
 
+	"blitzcoin/internal/fault"
 	"blitzcoin/internal/mesh"
 	"blitzcoin/internal/sim"
 )
@@ -85,6 +86,10 @@ type Packet struct {
 	Departed  sim.Cycles // time the packet won injection arbitration
 	Delivered sim.Cycles // time the destination handler ran
 	Hops      int
+	// Dup marks a fault-injected duplicate delivery of an earlier packet.
+	// Receivers that keep in-flight accounting must not double-count it;
+	// protocol state machines still process it (that is the fault).
+	Dup bool
 }
 
 // Latency returns the injection-to-delivery latency in cycles.
@@ -103,6 +108,12 @@ type Stats struct {
 	PerKindSent   [numKinds]uint64
 	MaxLatency    sim.Cycles
 	ContentionCyc uint64 // cycles spent waiting for busy links/ports
+
+	// Fault-injection effects (zero on a healthy fabric).
+	Dropped         uint64 // packets lost to any injected fault
+	PerPlaneDropped [NumPlanes]uint64
+	Duplicated      uint64 // extra deliveries injected by duplication faults
+	Delayed         uint64 // deliveries postponed by delay faults
 }
 
 // MeanLatency returns the average delivery latency in cycles.
@@ -149,6 +160,7 @@ type Network struct {
 	handlers [NumPlanes][]Handler
 	nextID   uint64
 	stats    Stats
+	faults   *fault.Injector
 }
 
 type linkKey struct {
@@ -183,10 +195,22 @@ func (n *Network) SetHandler(tile int, plane Plane, h Handler) {
 	n.handlers[plane][tile] = h
 }
 
+// AttachFaults connects a fault injector; every subsequent Send consults it.
+// Attach before any traffic flows so the fault schedule is reproducible.
+func (n *Network) AttachFaults(in *fault.Injector) { n.faults = in }
+
+// Faults returns the attached injector, or nil on a healthy fabric.
+func (n *Network) Faults() *fault.Injector { return n.faults }
+
 // Send injects a packet. The packet's Src, Dst, Plane, and Kind must be set;
 // the network assigns ID and timing fields. Delivery happens via the
 // destination handler after routing latency, including any contention.
-func (n *Network) Send(p *Packet) {
+//
+// The return value reports whether the packet will be delivered: false means
+// an injected fault discarded it in the fabric. It exists for conservation
+// accounting only — a real tile cannot observe an in-fabric drop, so protocol
+// logic must recover via timeouts, never by branching on this result.
+func (n *Network) Send(p *Packet) bool {
 	if p.Src == p.Dst {
 		panic("noc: packet addressed to its own tile")
 	}
@@ -202,6 +226,12 @@ func (n *Network) Send(p *Packet) {
 		n.stats.PerKindSent[p.Kind]++
 	}
 
+	route := n.mesh.XYRoute(p.Src, p.Dst)
+	var v fault.Verdict
+	if n.faults != nil {
+		v = n.faults.PacketVerdict(int(p.Plane), p.Src, p.Dst, route)
+	}
+
 	// Injection arbitration: the port accepts one packet per cycle.
 	depart := p.Injected + n.cfg.RouterLatency
 	if free := n.inject[p.Plane][p.Src]; free > depart {
@@ -213,8 +243,8 @@ func (n *Network) Send(p *Packet) {
 
 	// Reserve each link along the XY route in order. Because reservations
 	// are made at send time in event order, two packets contending for a
-	// link serialize deterministically.
-	route := n.mesh.XYRoute(p.Src, p.Dst)
+	// link serialize deterministically. Doomed packets still reserve links:
+	// they occupy the fabric up to wherever they die.
 	t := depart
 	for i := 1; i < len(route); i++ {
 		dir := n.directionOf(route[i-1], route[i])
@@ -228,6 +258,16 @@ func (n *Network) Send(p *Packet) {
 		p.Hops++
 	}
 
+	if v.Drop {
+		n.stats.Dropped++
+		n.stats.PerPlaneDropped[p.Plane]++
+		return false
+	}
+	if v.ExtraDelay > 0 {
+		n.stats.Delayed++
+		t += v.ExtraDelay
+	}
+
 	// Ejection port serialization at the destination.
 	if free := n.eject[p.Plane][p.Dst]; free > t {
 		n.stats.ContentionCyc += uint64(free - t)
@@ -236,6 +276,22 @@ func (n *Network) Send(p *Packet) {
 	n.eject[p.Plane][p.Dst] = t + 1
 
 	n.kernel.At(t, func() { n.deliver(p) })
+
+	if v.Dup {
+		// The duplicate trails the original through the ejection port with
+		// the same payload; receivers see the message twice.
+		n.stats.Duplicated++
+		dup := *p
+		dup.Dup = true
+		td := t + 1
+		if free := n.eject[p.Plane][p.Dst]; free > td {
+			td = free
+		}
+		n.eject[p.Plane][p.Dst] = td + 1
+		dupp := &dup
+		n.kernel.At(td, func() { n.deliver(dupp) })
+	}
+	return true
 }
 
 // directionOf returns the link direction for a single hop between adjacent

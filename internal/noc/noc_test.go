@@ -3,6 +3,7 @@ package noc
 import (
 	"testing"
 
+	"blitzcoin/internal/fault"
 	"blitzcoin/internal/mesh"
 	"blitzcoin/internal/sim"
 )
@@ -179,5 +180,154 @@ func TestKindString(t *testing.T) {
 		if k.String() == "" {
 			t.Fatalf("kind %d has empty name", k)
 		}
+	}
+}
+
+// --- fault-injection behavior ------------------------------------------------
+
+func TestLinkFailureDropsAndCounts(t *testing.T) {
+	// 3x1 line: fail link 1<->2, then send 0->2 (routes across it) and 0->1
+	// (does not). The crossing packet must be reported dropped, not silently
+	// delivered, and the drop must be charged to its plane.
+	k, n := newNet(3, 1, false)
+	inj := fault.NewInjector(fault.Config{LinkFails: []fault.LinkFault{{A: 1, B: 2, At: 0}}})
+	n.AttachFaults(inj)
+	inj.Arm(k)
+	k.Run(1)
+
+	deliveries := 0
+	n.SetHandler(2, PlanePM, func(p *Packet) { deliveries++ })
+	n.SetHandler(1, PlanePM, func(p *Packet) { deliveries++ })
+	if ok := n.Send(&Packet{Plane: PlanePM, Kind: KindCoinUpdate, Src: 0, Dst: 2}); ok {
+		t.Fatal("Send across failed link reported delivered")
+	}
+	if ok := n.Send(&Packet{Plane: PlanePM, Kind: KindCoinStatus, Src: 0, Dst: 1}); !ok {
+		t.Fatal("Send on healthy link reported dropped")
+	}
+	// Reverse direction across the failed link is dead too.
+	if ok := n.Send(&Packet{Plane: PlaneDMA0, Kind: KindOther, Src: 2, Dst: 0}); ok {
+		t.Fatal("reverse direction of failed link reported delivered")
+	}
+	k.Drain()
+	if deliveries != 1 {
+		t.Fatalf("delivered %d packets, want 1", deliveries)
+	}
+	st := n.Stats()
+	if st.Sent != 3 || st.Delivered != 1 || st.Dropped != 2 {
+		t.Fatalf("sent=%d delivered=%d dropped=%d", st.Sent, st.Delivered, st.Dropped)
+	}
+	if st.PerPlaneDropped[PlanePM] != 1 || st.PerPlaneDropped[PlaneDMA0] != 1 {
+		t.Fatalf("per-plane drops = %v", st.PerPlaneDropped)
+	}
+}
+
+func TestDropRateDropsOnTargetPlaneOnly(t *testing.T) {
+	k, n := newNet(4, 4, true)
+	inj := fault.NewInjector(fault.Config{Seed: 11, DropRate: 1.0})
+	n.AttachFaults(inj)
+	inj.Arm(k)
+
+	if ok := n.Send(&Packet{Plane: PlanePM, Kind: KindCoinUpdate, Src: 0, Dst: 5}); ok {
+		t.Fatal("PM packet survived a 100% drop rate")
+	}
+	if ok := n.Send(&Packet{Plane: PlaneDMA0, Kind: KindOther, Src: 0, Dst: 5}); !ok {
+		t.Fatal("non-PM packet dropped by a plane-5 fault")
+	}
+	k.Drain()
+	st := n.Stats()
+	if st.PerPlaneDropped[PlanePM] != 1 || st.PerPlaneDropped[PlaneDMA0] != 0 {
+		t.Fatalf("per-plane drops = %v", st.PerPlaneDropped)
+	}
+}
+
+func TestDuplicationDeliversTwice(t *testing.T) {
+	k, n := newNet(3, 1, false)
+	inj := fault.NewInjector(fault.Config{Seed: 3, DupRate: 1.0})
+	n.AttachFaults(inj)
+	inj.Arm(k)
+
+	var got []*Packet
+	n.SetHandler(1, PlanePM, func(p *Packet) { got = append(got, p) })
+	n.Send(&Packet{Plane: PlanePM, Kind: KindCoinUpdate, Src: 0, Dst: 1})
+	k.Drain()
+	if len(got) != 2 {
+		t.Fatalf("delivered %d times, want 2", len(got))
+	}
+	if got[0].Dup || !got[1].Dup {
+		t.Fatalf("Dup flags = %v %v, want original then duplicate", got[0].Dup, got[1].Dup)
+	}
+	if got[0].ID != got[1].ID {
+		t.Fatalf("duplicate changed ID: %d vs %d", got[0].ID, got[1].ID)
+	}
+	if got[1].Delivered <= got[0].Delivered {
+		t.Fatalf("duplicate at %d not after original at %d", got[1].Delivered, got[0].Delivered)
+	}
+	st := n.Stats()
+	if st.Duplicated != 1 || st.Delivered != 2 || st.Sent != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestDelayPostponesDelivery(t *testing.T) {
+	k, n := newNet(3, 1, false)
+	inj := fault.NewInjector(fault.Config{Seed: 5, DelayRate: 1.0, DelayMax: 16})
+	n.AttachFaults(inj)
+	inj.Arm(k)
+
+	var got *Packet
+	n.SetHandler(1, PlanePM, func(p *Packet) { got = p })
+	n.Send(&Packet{Plane: PlanePM, Kind: KindCoinStatus, Src: 0, Dst: 1})
+	k.Drain()
+	if got == nil {
+		t.Fatal("delayed packet never delivered")
+	}
+	base := n.UnicastLatencyLowerBound(0, 1)
+	if got.Latency() <= base {
+		t.Fatalf("latency %d not above fault-free bound %d", got.Latency(), base)
+	}
+	if n.Stats().Delayed != 1 {
+		t.Fatalf("stats %+v", n.Stats())
+	}
+}
+
+func TestDeadTileSwallowsTraffic(t *testing.T) {
+	k, n := newNet(3, 3, true)
+	inj := fault.NewInjector(fault.Config{TileKills: []fault.TileFault{{Tile: 4, At: 0}}})
+	n.AttachFaults(inj)
+	inj.Arm(k)
+	k.Run(1)
+
+	n.SetHandler(4, PlanePM, func(p *Packet) { t.Fatal("dead tile received a packet") })
+	if ok := n.Send(&Packet{Plane: PlanePM, Kind: KindCoinRequest, Src: 0, Dst: 4}); ok {
+		t.Fatal("packet to dead tile reported delivered")
+	}
+	k.Drain()
+	if n.Stats().Dropped != 1 {
+		t.Fatalf("stats %+v", n.Stats())
+	}
+}
+
+func TestFaultFreeSendIdenticalWithNilInjector(t *testing.T) {
+	// Attaching no injector and attaching a zero-fault injector must produce
+	// identical traffic timing — the hardening must not perturb healthy runs.
+	run := func(attach bool) Stats {
+		k, n := newNet(4, 4, true)
+		if attach {
+			inj := fault.NewInjector(fault.Config{Seed: 9})
+			n.AttachFaults(inj)
+			inj.Arm(k)
+		}
+		for s := 0; s < 16; s++ {
+			for d := 0; d < 16; d++ {
+				if s != d {
+					n.Send(&Packet{Plane: PlanePM, Kind: KindCoinStatus, Src: s, Dst: d})
+				}
+			}
+		}
+		k.Drain()
+		return n.Stats()
+	}
+	if a, b := run(false), run(true); a != b {
+		t.Fatalf("stats diverged:\nnil injector: %+v\nzero-fault:   %+v", a, b)
 	}
 }

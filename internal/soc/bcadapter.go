@@ -5,6 +5,7 @@ import (
 
 	"blitzcoin/internal/coin"
 	"blitzcoin/internal/controller"
+	"blitzcoin/internal/fault"
 	"blitzcoin/internal/noc"
 	"blitzcoin/internal/rng"
 	"blitzcoin/internal/sim"
@@ -151,3 +152,12 @@ func (a *bcAdapter) ResponseSamples() []sim.Cycles { return a.responses }
 
 // MWPerCoin exposes the coin value for the harness's LUT construction.
 func (a *bcAdapter) MWPerCoin() float64 { return a.mWPerCoin }
+
+// attachFaults hardens the exchange fabric against the runner's fault
+// injector: the emulator registers its kill/stuck/slow reactions and enables
+// its timeout, watchdog, and audit machinery. Must be called before Start.
+func (a *bcAdapter) attachFaults(in *fault.Injector) { a.emu.AttachFaults(in) }
+
+// Emulator exposes the underlying coin emulator for degraded-mode inspection
+// (pool conservation, per-tile liveness) by tests and experiments.
+func (a *bcAdapter) Emulator() *coin.Emulator { return a.emu }

@@ -13,6 +13,7 @@ package soc
 import (
 	"fmt"
 
+	"blitzcoin/internal/fault"
 	"blitzcoin/internal/mesh"
 	"blitzcoin/internal/power"
 	"blitzcoin/internal/sim"
@@ -136,6 +137,15 @@ type Config struct {
 	ConvergenceThreshold float64
 	// MaxCycles bounds a run; zero selects 80M cycles (100 ms).
 	MaxCycles sim.Cycles
+
+	// Faults, when non-nil and enabled, injects the given fault model into
+	// the SoC: NoC-level packet faults plus tile kills that fail-stop both
+	// the tile's PM datapath and its running task (the task is re-queued
+	// onto a surviving tile of the same accelerator type). Under SchemeBC
+	// the coin-exchange fabric is hardened as well, so the survivors'
+	// budget is re-enforced by the audit; the centralized baselines have no
+	// recovery machinery and degrade as their protocols allow.
+	Faults *fault.Config
 }
 
 // Validate checks structural consistency.

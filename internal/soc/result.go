@@ -36,6 +36,10 @@ type Result struct {
 	// ActivityChanges counts task starts and ends.
 	ActivityChanges int
 
+	// Fault-injection outcome (zero on a healthy run).
+	TilesKilled   int // managed accelerator tiles fail-stopped mid-run
+	TasksRequeued int // tasks whose tile died and that were re-dispatched
+
 	// Recorder holds the per-tile power traces (Fig. 16-style).
 	Recorder *trace.Recorder
 	// Total is the SoC-level accelerator power trace.
@@ -103,6 +107,41 @@ func (r Result) CapExceeded(tolFrac float64) bool {
 	return r.PeakPowerMW > r.BudgetMW*(1+tolFrac)
 }
 
+// LongestCapExcursion returns the longest contiguous span of cycles during
+// which the SoC power trace exceeded the budget by more than tolFrac. This
+// is the degraded-mode metric: faults may cause overshoot, but the recovery
+// machinery must pull the survivors back under the cap within a bounded
+// window — a permanent excursion means a tile's allocation leaked.
+func (r Result) LongestCapExcursion(tolFrac float64) sim.Cycles {
+	if r.Total == nil {
+		return 0
+	}
+	limit := r.BudgetMW * (1 + tolFrac)
+	var longest, start sim.Cycles
+	above := false
+	closeSpan := func(at sim.Cycles) {
+		if above && at-start > longest {
+			longest = at - start
+		}
+		above = false
+	}
+	for _, p := range r.Total.Points {
+		at := sim.Cycles(p.Cycle)
+		if at >= r.ExecCycles {
+			break
+		}
+		if p.Value > limit {
+			if !above {
+				start, above = at, true
+			}
+		} else {
+			closeSpan(at)
+		}
+	}
+	closeSpan(r.ExecCycles)
+	return longest
+}
+
 // String renders the one-line summary the CLI tools print.
 func (r Result) String() string {
 	return fmt.Sprintf("%s %s %s %s: exec=%.1fus resp(mean)=%.2fus resp(max)=%.2fus avgP=%.1fmW util=%.1f%% changes=%d",
@@ -124,6 +163,8 @@ func (r *Runner) buildResult(g *workload.Graph, end sim.Cycles, completed bool) 
 		Responses:       append([]sim.Cycles(nil), r.ctrl.ResponseSamples()...),
 		BudgetMW:        r.ctrl.BudgetMW(),
 		ActivityChanges: r.activityChanges,
+		TilesKilled:     r.tilesKilled,
+		TasksRequeued:   r.tasksRequeued,
 		Recorder:        r.rec,
 		Total:           total,
 		NoC:             r.net.Stats(),

@@ -6,6 +6,7 @@ import (
 
 	"blitzcoin/internal/controller"
 	"blitzcoin/internal/core"
+	"blitzcoin/internal/fault"
 	"blitzcoin/internal/noc"
 	"blitzcoin/internal/power"
 	"blitzcoin/internal/rng"
@@ -28,8 +29,9 @@ type accelTile struct {
 	taskID       int
 	remaining    float64 // work cycles left in the running task
 	lastProgress sim.Cycles
-	compEpoch    int // guards stale completion events
-	memTile      int // nearest memory tile, for DMA
+	compEpoch    int  // guards stale completion events
+	memTile      int  // nearest memory tile, for DMA
+	dead         bool // fail-stopped by an injected fault
 }
 
 // dmaTransfer tracks one DMA burst; the last delivered flit fires done.
@@ -63,6 +65,10 @@ type Runner struct {
 	execEnd         sim.Cycles
 	activityChanges int
 	ran             bool
+
+	injector      *fault.Injector
+	tilesKilled   int
+	tasksRequeued int
 }
 
 // New builds a Runner for the configuration. It panics on invalid configs
@@ -92,6 +98,10 @@ func New(cfg Config) *Runner {
 		rec:     trace.NewRecorder(),
 		tiles:   make(map[int]*accelTile),
 		byAccel: make(map[string][]int),
+	}
+	if cfg.Faults != nil && cfg.Faults.Enabled() {
+		r.injector = fault.NewInjector(*cfg.Faults)
+		net.AttachFaults(r.injector)
 	}
 
 	catalog := power.Catalog()
@@ -179,7 +189,50 @@ func New(cfg Config) *Runner {
 		panic(fmt.Sprintf("soc: unknown scheme %v", cfg.Scheme))
 	}
 	r.ctrl.OnAllocation(r.onAllocation)
+	if r.injector != nil {
+		// Harden the coin fabric first (it registers its own kill reaction),
+		// then hook the harness-level consequences of a tile kill.
+		if bc, ok := r.ctrl.(*bcAdapter); ok {
+			bc.attachFaults(r.injector)
+		}
+		r.injector.OnTileKill(r.killTile)
+	}
 	return r
+}
+
+// killTile fail-stops a managed accelerator tile mid-run: the PM datapath
+// dies (power drops to zero, the fault CSR latches), any pending actuation
+// and completion events are cancelled, and a task caught on the tile is
+// re-queued so a surviving tile of the same accelerator type picks it up.
+// Kills addressed at unmanaged tiles only affect the NoC (the fault layer
+// already swallows their traffic).
+func (r *Runner) killTile(idx int) {
+	t, ok := r.tiles[idx]
+	if !ok || t.dead {
+		return
+	}
+	now := r.kernel.Now()
+	r.progressTo(t, now)
+	t.dead = true
+	r.tilesKilled++
+	t.pm.Kill()
+	t.freqEpoch++ // cancel in-flight actuation
+	t.compEpoch++ // cancel in-flight completion and DMA callbacks
+	t.freqMHz = 0
+	t.computing = false
+	if t.active {
+		t.active = false
+		t.taskID = -1
+		t.remaining = 0
+		r.tasksRequeued++
+		r.activityChanges++
+	}
+	// Release the tile's power claim. Under BlitzCoin the emulator ignores
+	// the dead tile and the audit re-mints its stranded coins; centralized
+	// schemes get told directly so they can reallocate.
+	r.ctrl.SetTarget(t.idx, 0)
+	r.recordPower(t)
+	r.dispatch()
 }
 
 // Controller exposes the PM scheme, mainly for tests.
@@ -241,9 +294,12 @@ func (r *Runner) startDMA(t *accelTile, toMem bool, flits int, done func()) {
 func (r *Runner) recordPower(t *accelTile) {
 	name := fmt.Sprintf("t%02d-%s", t.idx, t.accel)
 	var p float64
-	if t.active {
+	switch {
+	case t.dead:
+		p = 0
+	case t.active:
 		p = t.curve.PowerAt(t.freqMHz)
-	} else {
+	default:
 		p = t.curve.IdlePowerMW()
 	}
 	r.rec.Series(name).Record(r.kernel.Now(), p)
@@ -254,7 +310,7 @@ func (r *Runner) recordPower(t *accelTile) {
 // after the UVFR settling delay.
 func (r *Runner) onAllocation(tileIdx int, mw float64) {
 	t, ok := r.tiles[tileIdx]
-	if !ok {
+	if !ok || t.dead {
 		return
 	}
 	now := r.kernel.Now()
@@ -378,7 +434,7 @@ func (r *Runner) taskRunning(id int) bool {
 
 func (r *Runner) idleTileFor(accel string) *accelTile {
 	for _, idx := range r.byAccel[accel] {
-		if t := r.tiles[idx]; !t.active {
+		if t := r.tiles[idx]; !t.active && !t.dead {
 			return t
 		}
 	}
@@ -405,6 +461,9 @@ func (r *Runner) Run(g *workload.Graph) Result {
 	r.done = make(map[int]bool)
 
 	r.ctrl.Start()
+	if r.injector != nil {
+		r.injector.Arm(r.kernel)
+	}
 	for _, idx := range r.tileOrder {
 		r.recordPower(r.tiles[idx])
 	}

@@ -61,6 +61,12 @@ type SoCOptions struct {
 	// RelativeProportional selects the RP allocation strategy (default
 	// true, the paper's choice); false selects AP.
 	AbsoluteProportional bool
+	// Faults, when non-nil and non-empty, injects the given fault model
+	// into the SoC: NoC packet faults plus tile kills that fail-stop both
+	// a tile's PM datapath and its running task (the task is re-queued on
+	// a surviving tile of the same accelerator type). Under the BC scheme
+	// the coin-exchange fabric is hardened against the model as well.
+	Faults *FaultOptions
 	// Seed drives all randomness.
 	Seed uint64
 }
@@ -82,7 +88,18 @@ type SoCResult struct {
 	UtilizationPct                    float64
 	ActivityChanges                   int
 
+	// Fault-injection outcome (zero on a healthy run).
+	TilesKilled   int
+	TasksRequeued int
+
 	res soc.Result
+}
+
+// LongestCapExcursionCycles returns the longest contiguous span, in NoC
+// cycles, during which total power exceeded the budget by more than tolFrac
+// (e.g. 0.20 for 20%) — the degraded-mode recovery-bound metric.
+func (r SoCResult) LongestCapExcursionCycles(tolFrac float64) uint64 {
+	return r.res.LongestCapExcursion(tolFrac)
 }
 
 // String renders a one-line summary.
@@ -184,6 +201,7 @@ func RunSoC(o SoCOptions) SoCResult {
 	if o.AbsoluteProportional {
 		cfg.Strategy = soc.AbsoluteProportional
 	}
+	cfg.Faults = o.Faults.toInternal()
 
 	g := lookupWorkload(o.Workload)
 	if o.Repeat > 1 {
@@ -206,6 +224,8 @@ func RunSoC(o SoCOptions) SoCResult {
 		BudgetMW:             res.BudgetMW,
 		UtilizationPct:       res.UtilizationPct(),
 		ActivityChanges:      res.ActivityChanges,
+		TilesKilled:          res.TilesKilled,
+		TasksRequeued:        res.TasksRequeued,
 		res:                  res,
 	}
 }
