@@ -1,8 +1,13 @@
 # Standard entry points; CI runs `make verify`.
 
 GO ?= go
+SHORTSHA := $(shell git rev-parse --short HEAD)
+# The committed perf baseline `make benchcheck` gates against. Update it to
+# the freshly written BENCH_<sha>.json whenever a PR intentionally shifts
+# performance, and commit both.
+BENCH_BASELINE ?= BENCH_8e2b163.json
 
-.PHONY: build test vet race verify bench figures
+.PHONY: build test vet race verify bench benchcheck figures
 
 build:
 	$(GO) build ./...
@@ -16,12 +21,21 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# The gate every change must pass: static checks plus the full test suite
-# under the race detector.
-verify: vet race
+# The gate every change must pass: static checks, the full test suite under
+# the race detector, and the hot-path perf gate.
+verify: vet race benchcheck
 
+# bench snapshots the whole benchmark suite (3 samples each) into
+# BENCH_<sha>.json; commit the file to extend the perf trajectory.
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) test -bench=. -benchmem -run=^$$ -count=3 -benchtime=1x . \
+		| $(GO) run ./cmd/benchjson -sha $(SHORTSHA) -goversion "$$($(GO) env GOVERSION)" -out BENCH_$(SHORTSHA).json
+
+# benchcheck fails if the emulator hot path regressed more than 20% in
+# ns/op or allocs/op against the committed baseline snapshot.
+benchcheck:
+	$(GO) test -bench=BenchmarkExchangeThroughput -benchmem -run=^$$ -count=3 . \
+		| $(GO) run ./cmd/benchjson -baseline $(BENCH_BASELINE) -bench BenchmarkExchangeThroughput -max-regress 0.20
 
 figures:
 	$(GO) run ./cmd/blitzsim -fig all

@@ -1,0 +1,222 @@
+// Command benchjson turns `go test -bench` output into a committed JSON
+// snapshot, and gates regressions against a previous snapshot.
+//
+// Snapshot mode reads benchmark output on stdin and writes one JSON document
+// holding every benchmark's ns/op, B/op, allocs/op, and custom metrics, one
+// sample per -count repetition:
+//
+//	go test -bench=. -benchmem -count=3 . | benchjson -sha abc1234 -out BENCH_abc1234.json
+//
+// Check mode reads fresh benchmark output on stdin and compares one
+// benchmark's best ns/op and allocs/op against the committed baseline,
+// failing (exit 1) on a regression beyond -max-regress:
+//
+//	go test -bench=BenchmarkExchangeThroughput -benchmem . | \
+//	    benchjson -baseline BENCH_abc1234.json -bench BenchmarkExchangeThroughput -max-regress 0.20
+//
+// The perf trajectory of the repository is the sequence of committed
+// BENCH_<sha>.json files; `make bench` and `make benchcheck` drive the two
+// modes.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one benchmark's samples across -count repetitions.
+type Benchmark struct {
+	Name        string               `json:"name"`
+	Iterations  []int64              `json:"iterations"`
+	NsPerOp     []float64            `json:"ns_per_op"`
+	BytesPerOp  []float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp []float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string][]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is the committed JSON document.
+type Snapshot struct {
+	SHA        string       `json:"sha,omitempty"`
+	Go         string       `json:"go,omitempty"`
+	Benchmarks []*Benchmark `json:"benchmarks"`
+}
+
+func (s *Snapshot) find(name string) *Benchmark {
+	for _, b := range s.Benchmarks {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// parse consumes `go test -bench` output. Benchmark lines look like:
+//
+//	BenchmarkName-8  	 12	 97273245 ns/op	 916.4 custom-metric	 30659648 B/op	 943511 allocs/op
+//
+// i.e. name, iteration count, then (value, unit) pairs. Non-benchmark lines
+// (goos/goarch/pkg/PASS/ok) are skipped.
+func parse(lines []string) *Snapshot {
+	snap := &Snapshot{}
+	byName := map[string]*Benchmark{}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 4 {
+			continue
+		}
+		// Strip the -GOMAXPROCS suffix so snapshots from different machines
+		// key identically.
+		name := f[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := byName[name]
+		if b == nil {
+			b = &Benchmark{Name: name}
+			byName[name] = b
+			snap.Benchmarks = append(snap.Benchmarks, b)
+		}
+		b.Iterations = append(b.Iterations, iters)
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := f[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = append(b.NsPerOp, v)
+			case "B/op":
+				b.BytesPerOp = append(b.BytesPerOp, v)
+			case "allocs/op":
+				b.AllocsPerOp = append(b.AllocsPerOp, v)
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string][]float64{}
+				}
+				b.Metrics[unit] = append(b.Metrics[unit], v)
+			}
+		}
+	}
+	return snap
+}
+
+// best returns the minimum sample: the least-noisy stand-in for the true
+// cost, following benchstat's use of order statistics over means.
+func best(xs []float64) (float64, bool) {
+	if len(xs) == 0 {
+		return 0, false
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, true
+}
+
+func readStdin() []string {
+	var lines []string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	return lines
+}
+
+func check(baselinePath, bench string, maxRegress float64, cur *Snapshot) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var base Snapshot
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", baselinePath, err)
+	}
+	bb, cb := base.find(bench), cur.find(bench)
+	if bb == nil {
+		return fmt.Errorf("baseline %s has no %s", baselinePath, bench)
+	}
+	if cb == nil {
+		return fmt.Errorf("stdin output has no %s", bench)
+	}
+	fail := false
+	gate := func(metric string, baseVals, curVals []float64) {
+		b, okB := best(baseVals)
+		c, okC := best(curVals)
+		if !okB || !okC || b == 0 {
+			return
+		}
+		ratio := c / b
+		status := "ok"
+		if ratio > 1+maxRegress {
+			status = "REGRESSION"
+			fail = true
+		}
+		fmt.Printf("benchcheck %s %s: baseline=%.0f current=%.0f (%+.1f%%) %s\n",
+			bench, metric, b, c, 100*(ratio-1), status)
+	}
+	gate("ns/op", bb.NsPerOp, cb.NsPerOp)
+	gate("allocs/op", bb.AllocsPerOp, cb.AllocsPerOp)
+	if fail {
+		return fmt.Errorf("%s regressed more than %.0f%% vs %s", bench, 100*maxRegress, baselinePath)
+	}
+	return nil
+}
+
+func main() {
+	out := flag.String("out", "", "write parsed snapshot JSON to this file")
+	sha := flag.String("sha", "", "git short SHA to record in the snapshot")
+	goVersion := flag.String("goversion", "", "go version to record in the snapshot")
+	baseline := flag.String("baseline", "", "check mode: committed snapshot to compare against")
+	bench := flag.String("bench", "BenchmarkExchangeThroughput", "check mode: benchmark to gate on")
+	maxRegress := flag.Float64("max-regress", 0.20, "check mode: allowed fractional regression")
+	flag.Parse()
+
+	snap := parse(readStdin())
+	snap.SHA = *sha
+	snap.Go = *goVersion
+	if len(snap.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	if *baseline != "" {
+		if err := check(*baseline, *bench, *maxRegress, snap); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	enc, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(snap.Benchmarks), *out)
+}

@@ -9,15 +9,22 @@
 //
 //	blitzsim -fig 3 [-trials 100] [-seed 1] [-dmax 20]
 //	blitzsim -fig 7 [-trials 1000]
-//	blitzsim -fig all
+//	blitzsim -fig all [-parallel 8]
+//	blitzsim -fig 3 -cpuprofile cpu.out -memprofile mem.out
+//
+// Trials fan out across -parallel worker goroutines (0 = GOMAXPROCS);
+// every parallelism level prints byte-identical rows.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"blitzcoin/internal/experiments"
+	"blitzcoin/internal/sweep"
 )
 
 func main() {
@@ -25,7 +32,39 @@ func main() {
 	trials := flag.Int("trials", 0, "Monte Carlo trials per point (default: figure-specific)")
 	seed := flag.Uint64("seed", 1, "base random seed")
 	dmax := flag.Int("dmax", 20, "largest mesh dimension d (N = d*d)")
+	parallel := flag.Int("parallel", 0, "worker goroutines per sweep (0 = GOMAXPROCS); any value yields identical output")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+	sweep.SetDefaultParallelism(*parallel)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "blitzsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "blitzsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "blitzsim: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // profile retained allocations, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "blitzsim: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	dims := []int{}
 	for d := 4; d <= *dmax; d += 4 {

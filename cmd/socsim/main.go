@@ -8,7 +8,12 @@
 //
 //	socsim -fig 17 [-seed 1]
 //	socsim -fig 16 -outdir traces/    # writes per-run CSV power traces
-//	socsim -fig all
+//	socsim -fig all [-parallel 8]
+//	socsim -fig 17 -cpuprofile cpu.out -memprofile mem.out
+//
+// Independent SoC runs within an experiment fan out across -parallel
+// worker goroutines (0 = GOMAXPROCS); every parallelism level prints
+// byte-identical rows.
 package main
 
 import (
@@ -17,15 +22,50 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"blitzcoin/internal/experiments"
+	"blitzcoin/internal/sweep"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "experiment: 13, 16, 17, 18, ap-rp, degraded, or all")
 	seed := flag.Uint64("seed", 1, "random seed")
 	outdir := flag.String("outdir", "", "directory for Fig. 16 CSV power traces (optional)")
+	parallel := flag.Int("parallel", 0, "worker goroutines per sweep (0 = GOMAXPROCS); any value yields identical output")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+	sweep.SetDefaultParallelism(*parallel)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "socsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "socsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "socsim: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // profile retained allocations, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "socsim: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	csvSink := func(name string) io.Writer {
 		if *outdir == "" {

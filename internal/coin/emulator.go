@@ -3,6 +3,7 @@ package coin
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 
 	"blitzcoin/internal/fault"
@@ -11,45 +12,44 @@ import (
 	"blitzcoin/internal/sim"
 )
 
-// requestMsg is a 4-way center's status request. seq identifies the center's
-// exchange attempt so late replies to a timed-out attempt are discarded.
-type requestMsg struct {
-	seq uint64
-}
+// The coin message types travel as noc.CoinMsg, stored inline in the packet
+// (no payload boxing):
+//
+//   - request (KindCoinRequest): a 4-way center asks a neighbor for status.
+//     Seq identifies the center's attempt so late replies to a timed-out
+//     attempt are discarded.
+//   - status (KindCoinStatus): a tile's (Has, Max) state. Reply distinguishes
+//     a 4-way status reply from a 1-way exchange initiation; Nack means the
+//     responder is mid-exchange and refuses to join the group — the conflict
+//     case the paper notes the 4-way arithmetic needs synchronization
+//     primitives for (Sec. III-B).
+//   - update (KindCoinUpdate): a signed coin transfer. Expressing updates as
+//     deltas — rather than absolute counts — makes the protocol conserve
+//     coins exactly even when exchanges interleave; the transient negative
+//     counts this can produce are the ones the hardware's sign bit absorbs
+//     (Sec. IV-A). Ack marks the completion of a 1-way initiation, as opposed
+//     to a 4-way delta push (which also releases the responder's
+//     participation lock); Seq lets a hardened initiator ignore an ack for an
+//     exchange it already timed out.
 
-// statusMsg carries a tile's (has, max) state. reply distinguishes a 4-way
-// status reply from a 1-way exchange initiation; nack means the responder is
-// mid-exchange and refuses to join the group — the conflict case the paper
-// notes the 4-way arithmetic needs synchronization primitives for
-// (Sec. III-B). seq echoes the initiator's exchange sequence number.
-type statusMsg struct {
-	has, max int64
-	reply    bool
-	nack     bool
-	seq      uint64
-}
-
-// updateMsg carries a signed coin transfer. Expressing updates as deltas —
-// rather than absolute counts — makes the protocol conserve coins exactly
-// even when exchanges interleave; the transient negative counts this can
-// produce are the ones the hardware's sign bit absorbs (Sec. IV-A). ack
-// marks the completion of a 1-way initiation, as opposed to a 4-way delta
-// push (which also releases the responder's participation lock). seq lets a
-// hardened initiator ignore an ack for an exchange it already timed out.
-type updateMsg struct {
-	delta int64
-	ack   bool
-	seq   uint64
-}
+// maxNbrs is the mesh degree: a tile has at most four distinct neighbors, so
+// all per-neighbor state lives in fixed-size slot arrays indexed by the
+// neighbor's position in N/E/S/W order — no maps on the exchange hot path.
+const maxNbrs = 4
 
 // tileState is the per-tile emulator state: the has/max registers, the
 // round-robin neighbor pointer, the dynamic-timing interval, and the
 // random-pairing counters.
 type tileState struct {
-	id         int
-	has, max   int64
-	neighbors  []int // distinct neighbors, N/E/S/W order
-	rr         int   // round-robin index into neighbors
+	id       int
+	has, max int64
+	// nbrs[:nbrCount] are the distinct neighbors in N/E/S/W order. Slots are
+	// never removed; a partner pruned as dead is tombstoned in nbrDead so
+	// any held slot index stays valid.
+	nbrs       [maxNbrs]int
+	nbrCount   int
+	liveNbrs   int // neighbors not tombstoned
+	rr         int // round-robin slot cursor
 	interval   sim.Cycles
 	exchanges  int  // initiated exchanges, for random-pairing cadence
 	srOffset   int  // shift-register state for PairShiftRegister
@@ -61,8 +61,14 @@ type tileState struct {
 	// technique.
 	locked bool
 
-	// pending4 collects 4-way status replies until all neighbors answered.
-	pending4 map[int]statusMsg
+	// pend collects 4-way status replies per neighbor slot; pendMask has a
+	// bit per answered slot, pendWant is the number of replies the attempt
+	// is waiting for, and pendActive marks a 4-way attempt in flight. The
+	// storage is reused across attempts — no per-exchange allocation.
+	pend       [maxNbrs]noc.CoinMsg
+	pendMask   uint8
+	pendWant   int
+	pendActive bool
 
 	// seq numbers this tile's initiated exchanges; acks and 4-way replies
 	// echo it so responses to a timed-out attempt are recognizably stale.
@@ -80,17 +86,51 @@ type tileState struct {
 	stuck bool    // coin register frozen: setHas is a silent no-op
 	slow  float64 // fail-slow factor (> 1 stretches intervals), 0 if none
 
-	// nbrFail counts consecutive timed-out exchanges per partner; deadNbrs
-	// holds partners pruned after NeighborDeadAfter strikes. Both are nil
-	// until hardening records a failure, so healthy runs pay nothing.
-	nbrFail  map[int]int
-	deadNbrs map[int]bool
+	// Liveness tracking. Neighbor partners use the slot arrays; random
+	// pairing can also strike non-neighbor partners, which go to the lazy
+	// far maps — nil until a failure is recorded, so healthy runs pay
+	// nothing. pruned flags that any partner (near or far) was tombstoned,
+	// which is what bounds the random-pairing search loops.
+	nbrFailCnt [maxNbrs]int
+	nbrDead    [maxNbrs]bool
+	farFail    map[int]int
+	farDead    map[int]bool
+	pruned     bool
 
-	// nbrHas caches the last coin count observed from each neighbor (from
-	// status messages), the information the thermal guard consults. The
-	// hardware gets this for free: it is the same status traffic the
-	// exchange already carries.
-	nbrHas map[int]int64
+	// nbrHas caches the last coin count observed from each neighbor slot
+	// (from status messages), the information the thermal guard consults.
+	// The hardware gets this for free: it is the same status traffic the
+	// exchange already carries. nbrSeen marks slots that have reported.
+	nbrHas  [maxNbrs]int64
+	nbrSeen [maxNbrs]bool
+}
+
+// slotOf returns the neighbor-slot index of tile j, or -1 when j is not a
+// neighbor.
+func (t *tileState) slotOf(j int) int {
+	for s := 0; s < t.nbrCount; s++ {
+		if t.nbrs[s] == j {
+			return s
+		}
+	}
+	return -1
+}
+
+// nextRRPartner advances the round-robin cursor to the next live neighbor
+// and returns it, or -1 when every neighbor is tombstoned. With no
+// tombstones the visit sequence is exactly the pre-tombstone emulator's.
+func (t *tileState) nextRRPartner() int {
+	if t.liveNbrs == 0 || t.nbrCount == 0 {
+		return -1
+	}
+	for k := 0; k < t.nbrCount; k++ {
+		s := t.rr % t.nbrCount
+		t.rr++
+		if !t.nbrDead[s] {
+			return t.nbrs[s]
+		}
+	}
+	return -1
 }
 
 // Result summarizes one emulator run.
@@ -207,6 +247,13 @@ type Emulator struct {
 	// onConverged, when set, observes each convergence event with the
 	// response time since the triggering activity change (or Init).
 	onConverged func(response sim.Cycles)
+
+	// tickFn is the single event callback all exchange ticks run through
+	// (the arg is the *tileState); allocating it once keeps the tick chain
+	// free of per-event closures.
+	tickFn func(any)
+	// gatherHas/gatherMax are reusable scratch for the 4-way group split.
+	gatherHas, gatherMax []int64
 }
 
 // NewEmulator builds an emulator for cfg, drawing randomness from src. It
@@ -238,18 +285,20 @@ func NewEmulatorOn(k *sim.Kernel, net *noc.Network, cfg Config, src *rng.Source)
 		src:    src,
 		tiles:  make([]tileState, cfg.Mesh.N()),
 	}
+	handler := func(p *noc.Packet) { e.onPacket(p.Dst, p) }
 	for i := range e.tiles {
 		t := &e.tiles[i]
 		t.id = i
-		t.neighbors = cfg.Mesh.DistinctNeighbors(i)
+		for _, nb := range cfg.Mesh.DistinctNeighbors(i) {
+			t.nbrs[t.nbrCount] = nb
+			t.nbrCount++
+		}
+		t.liveNbrs = t.nbrCount
 		t.interval = cfg.RefreshInterval
 		t.srOffset = 1
-		if cfg.ThermalCap > 0 {
-			t.nbrHas = make(map[int]int64, len(t.neighbors))
-		}
-		i := i
-		e.net.SetHandler(i, noc.PlanePM, func(p *noc.Packet) { e.onPacket(i, p) })
+		e.net.SetHandler(i, noc.PlanePM, handler)
 	}
+	e.tickFn = func(a any) { e.tick(a.(*tileState)) }
 	e.hardened = cfg.Harden
 	return e
 }
@@ -277,14 +326,12 @@ func (e *Emulator) Faults() *fault.Injector { return e.injector }
 // observeNeighbor records a neighbor's reported coin count for the thermal
 // guard.
 func (e *Emulator) observeNeighbor(t *tileState, from int, has int64) {
-	if t.nbrHas == nil {
+	if e.cfg.ThermalCap <= 0 {
 		return
 	}
-	for _, nb := range t.neighbors {
-		if nb == from {
-			t.nbrHas[from] = has
-			return
-		}
+	if s := t.slotOf(from); s >= 0 {
+		t.nbrHas[s] = has
+		t.nbrSeen[s] = true
 	}
 }
 
@@ -292,8 +339,10 @@ func (e *Emulator) observeNeighbor(t *tileState, from int, has int64) {
 // counts of its neighbors — the quantity the thermal cap bounds.
 func (e *Emulator) neighborhoodLoad(t *tileState) int64 {
 	load := t.has
-	for _, h := range t.nbrHas {
-		load += h
+	for s := 0; s < t.nbrCount; s++ {
+		if t.nbrSeen[s] {
+			load += t.nbrHas[s]
+		}
 	}
 	return load
 }
@@ -303,12 +352,12 @@ func (e *Emulator) neighborhoodLoad(t *tileState) int64 {
 // of the tile's and its neighbors' current counts.
 func (e *Emulator) NeighborhoodLoad(i int) int64 {
 	t := &e.tiles[i]
-	if t.nbrHas != nil {
+	if e.cfg.ThermalCap > 0 {
 		return e.neighborhoodLoad(t)
 	}
 	load := t.has
-	for _, nb := range t.neighbors {
-		load += e.tiles[nb].has
+	for s := 0; s < t.nbrCount; s++ {
+		load += e.tiles[t.nbrs[s]].has
 	}
 	return load
 }
@@ -352,7 +401,7 @@ func (e *Emulator) Init(a Assignment) {
 	e.checkConvergence()
 	for i := range e.tiles {
 		phase := sim.Cycles(e.src.Int63n(int64(e.cfg.RefreshInterval))) + 1
-		e.scheduleTickAfter(i, phase)
+		e.scheduleTickAfter(&e.tiles[i], phase)
 	}
 	if e.hardened {
 		e.kernel.Schedule(e.cfg.AuditInterval, e.audit)
@@ -508,7 +557,7 @@ func (e *Emulator) SetMax(tile int, max int64) {
 	t := &e.tiles[tile]
 	t.interval = e.cfg.RefreshInterval
 	if e.initialized && !t.busy && !t.locked {
-		e.kernel.Schedule(1, func() { e.tick(tile) })
+		e.kernel.ScheduleCall(1, e.tickFn, t)
 	}
 	e.checkConvergence()
 }
@@ -552,26 +601,25 @@ func (e *Emulator) TileDead(i int) bool { return e.tiles[i].dead }
 // NetworkStats returns the NoC statistics so far.
 func (e *Emulator) NetworkStats() noc.Stats { return e.net.Stats() }
 
-// scheduleTickAfter schedules tile i's next exchange attempt.
-func (e *Emulator) scheduleTickAfter(i int, d sim.Cycles) {
-	e.kernel.Schedule(d, func() { e.tick(i) })
+// scheduleTickAfter schedules tile t's next exchange attempt.
+func (e *Emulator) scheduleTickAfter(t *tileState, d sim.Cycles) {
+	e.kernel.ScheduleCall(d, e.tickFn, t)
 }
 
-// tick is one exchange attempt by tile i. A tile whose previous exchange is
+// tick is one exchange attempt by tile t. A tile whose previous exchange is
 // still in flight skips this slot, as the hardware FSM would.
-func (e *Emulator) tick(i int) {
-	t := &e.tiles[i]
+func (e *Emulator) tick(t *tileState) {
 	// A dead tile's FSM is gone: stop the tick chain entirely.
 	if t.dead {
 		return
 	}
-	defer e.scheduleTickAfter(i, e.effInterval(t))
+	defer e.scheduleTickAfter(t, e.effInterval(t))
 	// Frozen: the end-of-run settle phase stops new initiations so in-flight
 	// exchanges can drain; the tick chain stays alive for later Run calls.
 	if e.frozen {
 		return
 	}
-	if t.busy || t.locked || len(t.neighbors) == 0 {
+	if t.busy || t.locked || t.liveNbrs == 0 {
 		return
 	}
 	useRandom := e.cfg.RandomPairing && (t.exchanges+1)%e.cfg.RandomPairingEvery == 0
@@ -610,13 +658,8 @@ func (e *Emulator) effInterval(t *tileState) sim.Cycles {
 // the simulator's omniscient view (used for quiescence detection and the
 // conservation audit), not information available to any tile's FSM.
 func (e *Emulator) sendUpdate(src, dst int, delta int64, ack bool, seq uint64) {
-	sent := e.net.Send(&noc.Packet{
-		Plane:   noc.PlanePM,
-		Kind:    noc.KindCoinUpdate,
-		Src:     src,
-		Dst:     dst,
-		Payload: updateMsg{delta: delta, ack: ack, seq: seq},
-	})
+	sent := e.net.SendCoin(noc.PlanePM, noc.KindCoinUpdate, src, dst,
+		noc.CoinMsg{Delta: delta, Ack: ack, Seq: seq})
 	if sent && delta != 0 {
 		e.nonzeroInFlight++
 		e.inFlightDelta += delta
@@ -628,34 +671,22 @@ func (e *Emulator) sendUpdate(src, dst int, delta int64, ack bool, seq uint64) {
 // excluded; -1 means no live candidate exists.
 func (e *Emulator) choosePartner(t *tileState, random bool) int {
 	if !random {
-		p := t.neighbors[t.rr%len(t.neighbors)]
-		t.rr++
-		return p
+		return t.nextRRPartner()
 	}
 	n := len(e.tiles)
 	isNeighbor := func(j int) bool {
-		if j == t.id {
-			return true
-		}
-		for _, k := range t.neighbors {
-			if k == j {
-				return true
-			}
-		}
-		return false
+		return j == t.id || t.slotOf(j) >= 0
 	}
 	// Small meshes can have every other tile as a neighbor; fall back to
 	// the round-robin neighbor.
-	if len(t.neighbors) >= n-1 {
-		p := t.neighbors[t.rr%len(t.neighbors)]
-		t.rr++
-		return p
+	if t.nbrCount >= n-1 {
+		return t.nextRRPartner()
 	}
 	// With pruned partners the search loops need a bound: liveness is
 	// local knowledge, and a heavily damaged mesh may leave no eligible
 	// non-neighbor. The bound only engages once something was pruned, so
 	// healthy runs keep the original draw sequence exactly.
-	bounded := len(t.deadNbrs) > 0
+	bounded := t.pruned
 	switch e.cfg.Pairing {
 	case PairShiftRegister:
 		// Walk the offset register until it lands on a non-neighbor. The
@@ -664,35 +695,24 @@ func (e *Emulator) choosePartner(t *tileState, random bool) int {
 		for tries := 0; ; tries++ {
 			j := (t.id + t.srOffset) % n
 			t.srOffset = t.srOffset%(n-1) + 1
-			if !isNeighbor(j) && !t.deadNbrs[j] {
+			if !isNeighbor(j) && !t.farDead[j] {
 				return j
 			}
 			if bounded && tries >= n {
-				return e.liveNeighborFallback(t)
+				return t.nextRRPartner()
 			}
 		}
 	default: // PairUniform
 		for tries := 0; ; tries++ {
 			j := e.src.Intn(n)
-			if !isNeighbor(j) && !t.deadNbrs[j] {
+			if !isNeighbor(j) && !t.farDead[j] {
 				return j
 			}
 			if bounded && tries >= 4*n {
-				return e.liveNeighborFallback(t)
+				return t.nextRRPartner()
 			}
 		}
 	}
-}
-
-// liveNeighborFallback returns the round-robin neighbor when random pairing
-// finds no live non-neighbor, or -1 if the tile has no partners left.
-func (e *Emulator) liveNeighborFallback(t *tileState) int {
-	if len(t.neighbors) == 0 {
-		return -1
-	}
-	p := t.neighbors[t.rr%len(t.neighbors)]
-	t.rr++
-	return p
 }
 
 // startOneWay initiates Algorithm 2 with the chosen partner: send our
@@ -703,32 +723,26 @@ func (e *Emulator) startOneWay(t *tileState, partner int) {
 	e.busyCount++
 	t.seq++
 	t.curPartner = partner
-	e.net.Send(&noc.Packet{
-		Plane:   noc.PlanePM,
-		Kind:    noc.KindCoinStatus,
-		Src:     t.id,
-		Dst:     partner,
-		Payload: statusMsg{has: t.has, max: t.max, seq: t.seq},
-	})
+	e.net.SendCoin(noc.PlanePM, noc.KindCoinStatus, t.id, partner,
+		noc.CoinMsg{Has: t.has, Max: t.max, Seq: t.seq})
 	e.armExchangeTimeout(t)
 }
 
-// startFourWay initiates Algorithm 1: request status from every neighbor,
-// then split the group's coins. Three messages per neighbor — 12 per
-// exchange on an interior tile.
+// startFourWay initiates Algorithm 1: request status from every live
+// neighbor, then split the group's coins. Three messages per neighbor — 12
+// per exchange on an interior tile.
 func (e *Emulator) startFourWay(t *tileState) {
 	t.busy = true
 	e.busyCount++
 	t.seq++
-	t.pending4 = make(map[int]statusMsg, len(t.neighbors))
-	for _, nb := range t.neighbors {
-		e.net.Send(&noc.Packet{
-			Plane:   noc.PlanePM,
-			Kind:    noc.KindCoinRequest,
-			Src:     t.id,
-			Dst:     nb,
-			Payload: requestMsg{seq: t.seq},
-		})
+	t.pendActive = true
+	t.pendMask = 0
+	t.pendWant = t.liveNbrs
+	for s := 0; s < t.nbrCount; s++ {
+		if !t.nbrDead[s] {
+			e.net.SendCoin(noc.PlanePM, noc.KindCoinRequest, t.id, t.nbrs[s],
+				noc.CoinMsg{Seq: t.seq})
+		}
 	}
 	e.armExchangeTimeout(t)
 }
@@ -755,19 +769,24 @@ func (e *Emulator) exchangeTimeout(i int, seq uint64) {
 		return
 	}
 	e.retries++
-	if t.pending4 != nil {
+	if t.pendActive {
 		// Release the neighbors that did join the group with zero-delta
-		// updates, and strike the ones that never answered.
-		for _, nb := range t.neighbors {
-			st, answered := t.pending4[nb]
+		// updates, and strike the ones that never answered. Tombstoning
+		// never moves slots, so this iteration is safe against the pruning
+		// strikePartner may do mid-loop.
+		for s := 0; s < t.nbrCount; s++ {
+			if t.nbrDead[s] {
+				continue
+			}
 			switch {
-			case !answered:
-				e.strikePartner(t, nb)
-			case !st.nack:
-				e.sendUpdate(t.id, nb, 0, false, seq)
+			case t.pendMask&(1<<s) == 0:
+				e.strikePartner(t, t.nbrs[s])
+			case !t.pend[s].Nack:
+				e.sendUpdate(t.id, t.nbrs[s], 0, false, seq)
 			}
 		}
-		t.pending4 = nil
+		t.pendActive = false
+		t.pendMask = 0
 	} else {
 		e.strikePartner(t, t.curPartner)
 	}
@@ -784,30 +803,39 @@ func (e *Emulator) exchangeTimeout(i int, seq uint64) {
 
 // strikePartner records a timed-out exchange against a partner; after
 // NeighborDeadAfter consecutive strikes the partner is pruned from the
-// tile's pairing sets (wrap-around partners take over).
+// tile's pairing sets (wrap-around partners take over). Neighbor partners
+// are tombstoned in place — their slot index stays valid for any iteration
+// or reply in flight — and non-neighbor partners (random pairing) go to the
+// lazy far maps.
 func (e *Emulator) strikePartner(t *tileState, partner int) {
 	if partner < 0 {
 		return
 	}
-	if t.nbrFail == nil {
-		t.nbrFail = make(map[int]int)
-	}
-	t.nbrFail[partner]++
-	if t.nbrFail[partner] < e.cfg.NeighborDeadAfter {
+	if s := t.slotOf(partner); s >= 0 {
+		t.nbrFailCnt[s]++
+		if t.nbrFailCnt[s] < e.cfg.NeighborDeadAfter || t.nbrDead[s] {
+			return
+		}
+		t.nbrDead[s] = true
+		t.liveNbrs--
+		t.pruned = true
+		e.nbrsPruned++
 		return
 	}
-	if t.deadNbrs == nil {
-		t.deadNbrs = make(map[int]bool)
+	if t.farFail == nil {
+		t.farFail = make(map[int]int)
 	}
-	if !t.deadNbrs[partner] {
-		t.deadNbrs[partner] = true
+	t.farFail[partner]++
+	if t.farFail[partner] < e.cfg.NeighborDeadAfter {
+		return
+	}
+	if t.farDead == nil {
+		t.farDead = make(map[int]bool)
+	}
+	if !t.farDead[partner] {
+		t.farDead[partner] = true
+		t.pruned = true
 		e.nbrsPruned++
-	}
-	for k, nb := range t.neighbors {
-		if nb == partner {
-			t.neighbors = append(t.neighbors[:k], t.neighbors[k+1:]...)
-			break
-		}
 	}
 }
 
@@ -819,66 +847,54 @@ func (e *Emulator) onPacket(tile int, p *noc.Packet) {
 	// the coins it carried are gone, which the audit detects and re-mints.
 	if t.dead {
 		if p.Kind == noc.KindCoinUpdate {
-			if msg := p.Payload.(updateMsg); msg.delta != 0 && !p.Dup {
+			if d := p.Coin.Delta; d != 0 && !p.Dup {
 				e.nonzeroInFlight--
-				e.inFlightDelta -= msg.delta
+				e.inFlightDelta -= d
 			}
 		}
 		return
 	}
 	switch p.Kind {
 	case noc.KindCoinRequest:
-		var seq uint64
-		if m, ok := p.Payload.(requestMsg); ok {
-			seq = m.seq
-		}
+		seq := p.Coin.Seq
 		// 4-way: join the center's group if free, else refuse. Joining
 		// freezes our coin count until the center's update releases us.
 		if t.busy || t.locked {
-			e.net.Send(&noc.Packet{
-				Plane:   noc.PlanePM,
-				Kind:    noc.KindCoinStatus,
-				Src:     tile,
-				Dst:     p.Src,
-				Payload: statusMsg{reply: true, nack: true, seq: seq},
-			})
+			e.net.SendCoin(noc.PlanePM, noc.KindCoinStatus, tile, p.Src,
+				noc.CoinMsg{Reply: true, Nack: true, Seq: seq})
 			return
 		}
 		e.lockTile(t, p.Src)
-		e.net.Send(&noc.Packet{
-			Plane:   noc.PlanePM,
-			Kind:    noc.KindCoinStatus,
-			Src:     tile,
-			Dst:     p.Src,
-			Payload: statusMsg{has: t.has, max: t.max, reply: true, seq: seq},
-		})
+		e.net.SendCoin(noc.PlanePM, noc.KindCoinStatus, tile, p.Src,
+			noc.CoinMsg{Has: t.has, Max: t.max, Reply: true, Seq: seq})
 	case noc.KindCoinStatus:
-		msg := p.Payload.(statusMsg)
-		if msg.reply {
-			e.onFourWayStatus(t, p.Src, msg)
+		if p.Coin.Reply {
+			e.onFourWayStatus(t, p.Src, p.Coin)
 		} else {
-			e.onOneWayInitiate(t, p.Src, msg)
+			e.onOneWayInitiate(t, p.Src, p.Coin)
 		}
 	case noc.KindCoinUpdate:
-		msg := p.Payload.(updateMsg)
+		msg := p.Coin
 		// A fault-injected duplicate applies its delta twice — that IS the
 		// fault — but the fabric accounting settles only once.
-		if msg.delta != 0 && !p.Dup {
+		if msg.Delta != 0 && !p.Dup {
 			e.nonzeroInFlight--
-			e.inFlightDelta -= msg.delta
+			e.inFlightDelta -= msg.Delta
 		}
-		e.setHas(tile, t.has+msg.delta)
-		if msg.ack {
+		e.setHas(tile, t.has+msg.Delta)
+		if msg.Ack {
 			// Completion of our 1-way initiation. The sequence check
 			// rejects a late ack for an attempt the timeout already
 			// abandoned (its delta above still applied — conservation).
-			if t.busy && t.pending4 == nil && msg.seq == t.seq {
+			if t.busy && !t.pendActive && msg.Seq == t.seq {
 				t.busy = false
 				e.busyCount--
-				if t.nbrFail != nil {
-					delete(t.nbrFail, p.Src)
+				if s := t.slotOf(p.Src); s >= 0 {
+					t.nbrFailCnt[s] = 0
+				} else if t.farFail != nil {
+					delete(t.farFail, p.Src)
 				}
-				e.adjustTiming(t, msg.delta)
+				e.adjustTiming(t, msg.Delta)
 			}
 		} else {
 			// A 4-way center's push releases our participation lock; a
@@ -889,7 +905,7 @@ func (e *Emulator) onPacket(tile int, p *noc.Packet) {
 			if !e.hardened || !t.locked || t.lockFrom == p.Src {
 				e.unlockTile(t)
 			}
-			e.adjustTiming(t, msg.delta)
+			e.adjustTiming(t, msg.Delta)
 		}
 	case noc.KindRegAccess, noc.KindInterrupt, noc.KindOther:
 		// Non-coin plane-5 traffic (CSR accesses, interrupts) shares the
@@ -938,15 +954,15 @@ func (e *Emulator) lockWatchdog(i int, lockSeq uint64) {
 
 // onOneWayInitiate runs the receiver side of Algorithm 2: split against the
 // initiator's reported state, apply our half, return theirs as a delta.
-func (e *Emulator) onOneWayInitiate(t *tileState, from int, msg statusMsg) {
+func (e *Emulator) onOneWayInitiate(t *tileState, from int, msg noc.CoinMsg) {
 	// A locked tile's coins are spoken for by a 4-way center; refuse the
 	// exchange with a zero-coin ack so the initiator completes cleanly.
 	if t.locked {
-		e.sendUpdate(t.id, from, 0, true, msg.seq)
+		e.sendUpdate(t.id, from, 0, true, msg.Seq)
 		return
 	}
-	e.observeNeighbor(t, from, msg.has)
-	newI, newJ := PairSplit(msg.has, msg.max, t.has, t.max)
+	e.observeNeighbor(t, from, msg.Has)
+	newI, newJ := PairSplit(msg.Has, msg.Max, t.has, t.max)
 	// The hardware coin register cannot hold more than the cap; the
 	// residue of a clamped transfer stays with the partner, conserving the
 	// pool.
@@ -970,91 +986,97 @@ func (e *Emulator) onOneWayInitiate(t *tileState, from int, msg statusMsg) {
 			newI = total - newJ
 		}
 	}
-	deltaI := newI - msg.has
+	deltaI := newI - msg.Has
 	deltaJ := newJ - t.has
 	// A stuck register cannot apply its side of the split: sending the
 	// initiator its full delta anyway would double those coins. Refuse the
 	// exchange instead (zero-delta ack); the drifted residue from splits
 	// that already happened is the audit's problem, not new exchanges'.
 	if t.stuck {
-		e.sendUpdate(t.id, from, 0, true, msg.seq)
+		e.sendUpdate(t.id, from, 0, true, msg.Seq)
 		return
 	}
 	e.setHas(t.id, newJ)
-	e.sendUpdate(t.id, from, deltaI, true, msg.seq)
+	e.sendUpdate(t.id, from, deltaI, true, msg.Seq)
 	// The receiver also observes whether the exchange was productive, so
 	// both parties' dynamic timing reacts — a coin wave travelling across
 	// the mesh keeps every tile it touches at the fast exchange rate.
 	e.adjustTiming(t, deltaJ)
 }
 
-// onFourWayStatus collects a neighbor's reply; when all neighbors have
-// answered, compute the group split and push each neighbor's delta.
-func (e *Emulator) onFourWayStatus(t *tileState, from int, msg statusMsg) {
-	if t.pending4 == nil || msg.seq != t.seq {
+// onFourWayStatus collects a neighbor's reply; when all polled neighbors
+// have answered, compute the group split and push each neighbor's delta.
+func (e *Emulator) onFourWayStatus(t *tileState, from int, msg noc.CoinMsg) {
+	slot := t.slotOf(from)
+	if !t.pendActive || msg.Seq != t.seq || slot < 0 {
 		// Stale reply: the attempt it answers was completed, aborted, or
 		// abandoned by timeout. Hardened, a non-nack straggler gets an
 		// immediate zero-delta release — the responder locked itself for
 		// nothing and should not have to wait for its watchdog.
-		if e.hardened && !msg.nack && msg.seq != t.seq {
-			e.sendUpdate(t.id, from, 0, false, msg.seq)
+		if e.hardened && !msg.Nack && msg.Seq != t.seq {
+			e.sendUpdate(t.id, from, 0, false, msg.Seq)
 		}
 		return
 	}
-	if !msg.nack {
-		e.observeNeighbor(t, from, msg.has)
-		if t.nbrFail != nil {
-			delete(t.nbrFail, from)
-		}
+	if !msg.Nack {
+		e.observeNeighbor(t, from, msg.Has)
+		t.nbrFailCnt[slot] = 0
 	}
-	t.pending4[from] = msg
-	if len(t.pending4) < len(t.neighbors) {
+	t.pend[slot] = msg
+	t.pendMask |= 1 << slot
+	if bits.OnesCount8(t.pendMask) < t.pendWant {
 		return
 	}
 	// If any neighbor refused, abort: release the ones that did join with
 	// zero-delta updates and retry on a later tick. This is the conflict
-	// resolution that makes overlapping group exchanges safe.
+	// resolution that makes overlapping group exchanges safe. Slots are
+	// visited in N/E/S/W order, so the release-packet order — and thus NoC
+	// contention — is identical between identically seeded runs.
 	anyNack := false
-	for _, st := range t.pending4 {
-		if st.nack {
+	for s := 0; s < t.nbrCount; s++ {
+		if t.pendMask&(1<<s) != 0 && t.pend[s].Nack {
 			anyNack = true
 			break
 		}
 	}
 	if anyNack {
-		// Iterate neighbors, not the pending4 map: map order would make
-		// the release-packet order — and thus NoC contention — vary
-		// between identically seeded runs.
-		for _, nb := range t.neighbors {
-			if st, ok := t.pending4[nb]; ok && !st.nack {
-				e.sendUpdate(t.id, nb, 0, false, t.seq)
+		for s := 0; s < t.nbrCount; s++ {
+			if t.pendMask&(1<<s) != 0 && !t.pend[s].Nack {
+				e.sendUpdate(t.id, t.nbrs[s], 0, false, t.seq)
 			}
 		}
-		t.pending4 = nil
+		t.pendActive = false
+		t.pendMask = 0
 		t.busy = false
 		e.busyCount--
 		e.adjustTiming(t, 0)
 		return
 	}
-	has := make([]int64, 0, len(t.neighbors)+1)
-	max := make([]int64, 0, len(t.neighbors)+1)
-	has = append(has, t.has)
-	max = append(max, t.max)
-	for _, nb := range t.neighbors {
-		st := t.pending4[nb]
-		has = append(has, st.has)
-		max = append(max, st.max)
+	has := append(e.gatherHas[:0], t.has)
+	max := append(e.gatherMax[:0], t.max)
+	for s := 0; s < t.nbrCount; s++ {
+		if t.pendMask&(1<<s) != 0 {
+			has = append(has, t.pend[s].Has)
+			max = append(max, t.pend[s].Max)
+		}
 	}
+	e.gatherHas, e.gatherMax = has, max
 	out := GroupSplit(has, max)
 	var moved int64
 	e.setHas(t.id, out[0])
 	moved += abs64(out[0] - has[0])
-	for k, nb := range t.neighbors {
-		delta := out[k+1] - has[k+1]
+	k := 0
+	for s := 0; s < t.nbrCount; s++ {
+		if t.pendMask&(1<<s) == 0 {
+			continue
+		}
+		k++
+		delta := out[k] - has[k]
 		moved += abs64(delta)
-		e.sendUpdate(t.id, nb, delta, false, t.seq)
+		e.sendUpdate(t.id, t.nbrs[s], delta, false, t.seq)
 	}
-	t.pending4 = nil
+	t.pendActive = false
+	t.pendMask = 0
 	t.busy = false
 	e.busyCount--
 	e.adjustTiming(t, moved)
@@ -1084,7 +1106,8 @@ func (e *Emulator) killTile(i int) {
 		e.busyCount--
 	}
 	e.unlockTile(t)
-	t.pending4 = nil
+	t.pendActive = false
+	t.pendMask = 0
 	e.recomputeError()
 	e.converged = false
 	e.convergedAt = 0

@@ -1,0 +1,109 @@
+package coin
+
+import (
+	"testing"
+
+	"blitzcoin/internal/mesh"
+	"blitzcoin/internal/noc"
+	"blitzcoin/internal/rng"
+)
+
+// strikeCfg is a hardened 4-way config that prunes a partner on its first
+// silent timeout, so a single exchangeTimeout exercises the pruning path for
+// every struck neighbor at once.
+func strikeCfg() Config {
+	return Config{
+		Mesh:              mesh.Square(3, false),
+		Mode:              FourWay,
+		Harden:            true,
+		NeighborDeadAfter: 1,
+	}
+}
+
+// Regression test: strikePartner used to delete the struck partner from the
+// neighbor slice in place while exchangeTimeout was ranging over that same
+// slice, shifting the not-yet-visited elements under the iteration — so of
+// four silent neighbors only alternate ones were struck. Tombstoning must
+// prune all four in one timeout pass, without invalidating any slot index.
+func TestTimeoutStrikesEverySilentNeighbor(t *testing.T) {
+	e := NewEmulator(strikeCfg(), rng.New(1))
+	center := 4 // interior tile of the 3x3: four distinct neighbors
+	ts := &e.tiles[center]
+	if ts.nbrCount != 4 {
+		t.Fatalf("center has %d neighbor slots, want 4", ts.nbrCount)
+	}
+	e.startFourWay(ts)
+	if !ts.busy || !ts.pendActive {
+		t.Fatal("startFourWay did not mark the exchange in flight")
+	}
+	e.exchangeTimeout(center, ts.seq)
+
+	if ts.liveNbrs != 0 {
+		t.Fatalf("liveNbrs = %d after all-silent timeout, want 0", ts.liveNbrs)
+	}
+	for s := 0; s < ts.nbrCount; s++ {
+		if !ts.nbrDead[s] {
+			t.Fatalf("neighbor slot %d (tile %d) not tombstoned", s, ts.nbrs[s])
+		}
+	}
+	if e.nbrsPruned != 4 {
+		t.Fatalf("nbrsPruned = %d, want 4", e.nbrsPruned)
+	}
+	// Tombstones must not move or remove slots: any held index stays valid.
+	if ts.nbrCount != 4 {
+		t.Fatalf("nbrCount = %d after pruning, want 4 (slots are never deleted)", ts.nbrCount)
+	}
+	if ts.busy {
+		t.Fatal("timeout left the center busy")
+	}
+}
+
+// A partial timeout must strike only the silent neighbors and release the
+// joined (non-nack) ones with a zero-delta update.
+func TestTimeoutPartialAnswersStrikeOnlySilent(t *testing.T) {
+	e := NewEmulator(strikeCfg(), rng.New(1))
+	center := 4
+	ts := &e.tiles[center]
+	e.startFourWay(ts)
+	joined, nacked := ts.nbrs[0], ts.nbrs[1]
+	e.onFourWayStatus(ts, joined, noc.CoinMsg{Has: 3, Max: 8, Reply: true, Seq: ts.seq})
+	e.onFourWayStatus(ts, nacked, noc.CoinMsg{Reply: true, Nack: true, Seq: ts.seq})
+
+	sentBefore := e.net.Stats().Sent
+	e.exchangeTimeout(center, ts.seq)
+	if e.nbrsPruned != 2 {
+		t.Fatalf("nbrsPruned = %d, want 2 (the two silent neighbors)", e.nbrsPruned)
+	}
+	if ts.nbrDead[0] || ts.nbrDead[1] {
+		t.Fatal("an answering neighbor was tombstoned")
+	}
+	if !ts.nbrDead[2] || !ts.nbrDead[3] {
+		t.Fatal("a silent neighbor was not tombstoned")
+	}
+	// Exactly one release packet: the joined neighbor. The nack'd one never
+	// locked itself and must not be released.
+	if got := e.net.Stats().Sent - sentBefore; got != 1 {
+		t.Fatalf("timeout sent %d packets, want 1 (zero-delta release to the joined neighbor)", got)
+	}
+}
+
+// The round-robin cursor must skip tombstoned slots and keep cycling the
+// survivors in slot order.
+func TestNextRRPartnerSkipsTombstones(t *testing.T) {
+	ts := tileState{nbrs: [maxNbrs]int{10, 11, 12, 13}, nbrCount: 4, liveNbrs: 4}
+	ts.nbrDead[1] = true
+	ts.liveNbrs--
+	want := []int{10, 12, 13, 10, 12, 13}
+	for i, w := range want {
+		if got := ts.nextRRPartner(); got != w {
+			t.Fatalf("draw %d = %d, want %d", i, got, w)
+		}
+	}
+	for s := range ts.nbrDead {
+		ts.nbrDead[s] = true
+	}
+	ts.liveNbrs = 0
+	if got := ts.nextRRPartner(); got != -1 {
+		t.Fatalf("all-dead draw = %d, want -1", got)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"blitzcoin/internal/mesh"
 	"blitzcoin/internal/rng"
 	"blitzcoin/internal/stats"
+	"blitzcoin/internal/sweep"
 )
 
 // ConvergenceRow is one point of a convergence-scaling experiment
@@ -49,19 +50,36 @@ func runConvergence(label string, d, trials int, seed uint64,
 	if mut != nil {
 		mut(&cfg)
 	}
-	var cyc, pkt stats.Sample
-	var startErr stats.Running
-	converged := 0
-	for t := 0; t < trials; t++ {
+	// Each trial derives its RNG from the trial index alone, so the fan-out
+	// is order-independent; the stats are then accumulated serially in trial
+	// order, making the row bit-identical to the serial loop at any
+	// parallelism.
+	type trialResult struct {
+		startErr        float64
+		converged       bool
+		cycles, packets float64
+	}
+	results := sweep.Map(trials, 0, func(t int) trialResult {
 		src := rng.New(seed + uint64(t)*7919)
 		e := coin.NewEmulator(cfg, src)
 		e.Init(initFn(src, cfg.Mesh.N()))
 		res := e.Run()
-		startErr.Add(res.StartErr)
-		if res.Converged {
+		return trialResult{
+			startErr:  res.StartErr,
+			converged: res.Converged,
+			cycles:    float64(res.ConvergenceCycles),
+			packets:   float64(res.PacketsToConvergence),
+		}
+	})
+	var cyc, pkt stats.Sample
+	var startErr stats.Running
+	converged := 0
+	for _, r := range results {
+		startErr.Add(r.startErr)
+		if r.converged {
 			converged++
-			cyc.Add(float64(res.ConvergenceCycles))
-			pkt.Add(float64(res.PacketsToConvergence))
+			cyc.Add(r.cycles)
+			pkt.Add(r.packets)
 		}
 	}
 	row := ConvergenceRow{
@@ -191,8 +209,7 @@ func Fig07(ns []int, trials int, seed uint64) []Fig07Row {
 			}
 			row := Fig07Row{N: d * d, RandomPairing: pairing, Trials: trials,
 				Hist: stats.NewHistogram(0, 16, 64)}
-			var worst stats.Running
-			for t := 0; t < trials; t++ {
+			worstErrs := sweep.Map(trials, 0, func(t int) float64 {
 				src := rng.New(seed + uint64(t)*104729)
 				e := coin.NewEmulator(cfg, src)
 				// Sparse activity: half the tiles active, which is what
@@ -204,10 +221,13 @@ func Fig07(ns []int, trials int, seed uint64) []Fig07Row {
 					}
 				}
 				e.Init(coin.HotspotAssignment(src, maxes, int64(d*d)*8))
-				res := e.Run()
-				row.Hist.Add(res.WorstTileErr)
-				worst.Add(res.WorstTileErr)
-				if res.WorstTileErr < 1.5 {
+				return e.Run().WorstTileErr
+			})
+			var worst stats.Running
+			for _, w := range worstErrs {
+				row.Hist.Add(w)
+				worst.Add(w)
+				if w < 1.5 {
 					row.WithinOneCoin++
 				}
 			}
@@ -247,9 +267,12 @@ func Fig04(ds []int, trials int, seed uint64) []Fig04Row {
 			MeanCycles: cr.MeanCycles, P95Cycles: cr.P95Cycles, MaxCycles: cr.MaxCycles})
 	}
 	for _, d := range ds {
+		cycles := sweep.Map(trials, 0, func(t int) float64 {
+			return float64(tokenSmartConvergence(d, seed+uint64(t)*37))
+		})
 		var cyc stats.Sample
-		for t := 0; t < trials; t++ {
-			cyc.Add(float64(tokenSmartConvergence(d, seed+uint64(t)*37)))
+		for _, c := range cycles {
+			cyc.Add(c)
 		}
 		rows = append(rows, Fig04Row{Label: "TS", D: d, N: d * d, Trials: trials,
 			MeanCycles: cyc.Mean(), P95Cycles: cyc.Quantile(0.95), MaxCycles: cyc.Max()})

@@ -10,6 +10,7 @@ import (
 	"blitzcoin/internal/sim"
 	"blitzcoin/internal/soc"
 	"blitzcoin/internal/stats"
+	"blitzcoin/internal/sweep"
 	"blitzcoin/internal/workload"
 )
 
@@ -50,9 +51,7 @@ func FaultStudy(ds []int, dropRates []float64, trials int, seed uint64) []FaultR
 	for _, d := range ds {
 		for _, rate := range dropRates {
 			row := FaultRow{D: d, N: d * d, DropRate: rate, Trials: trials}
-			var cyc stats.Sample
-			var finalErr, dropped, retries, repairs stats.Running
-			for t := 0; t < trials; t++ {
+			results := sweep.Map(trials, 0, func(t int) coin.Result {
 				cfg := coin.Config{
 					Mesh:            mesh.Square(d, true),
 					Mode:            coin.OneWay,
@@ -72,7 +71,11 @@ func FaultStudy(ds []int, dropRates []float64, trials int, seed uint64) []FaultR
 				src := rng.New(seed + uint64(t)*7919)
 				e := coin.NewEmulator(cfg, src)
 				e.Init(hotspotInit(src, cfg.Mesh.N()))
-				res := e.Run()
+				return e.Run()
+			})
+			var cyc stats.Sample
+			var finalErr, dropped, retries, repairs stats.Running
+			for _, res := range results {
 				if res.Converged {
 					row.Converged++
 					cyc.Add(float64(res.ConvergenceCycles))
@@ -133,19 +136,17 @@ var degradedKills = []fault.TileFault{
 // re-mints their stranded coins back into the live pool.
 func DegradedSoC(seed uint64) []DegradedRow {
 	g := workload.Repeat(workload.AutonomousVehicleParallel(), 4)
-	var rows []DegradedRow
-	for k := 0; k <= len(degradedKills); k++ {
+	return sweep.Map(len(degradedKills)+1, 0, func(k int) DegradedRow {
 		cfg := soc.SoC3x3(120, soc.SchemeBC, seed)
 		if k > 0 {
 			cfg.Faults = &fault.Config{TileKills: degradedKills[:k]}
 		}
 		res := soc.New(cfg).Run(g)
-		rows = append(rows, DegradedRow{
+		return DegradedRow{
 			Kills: k,
 			Res:   res,
 			Exc20: res.LongestCapExcursion(0.20),
 			Exc35: res.LongestCapExcursion(0.35),
-		})
-	}
-	return rows
+		}
+	})
 }

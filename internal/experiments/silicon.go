@@ -10,6 +10,7 @@ import (
 	"blitzcoin/internal/rng"
 	"blitzcoin/internal/sim"
 	"blitzcoin/internal/soc"
+	"blitzcoin/internal/sweep"
 	"blitzcoin/internal/trace"
 	"blitzcoin/internal/workload"
 )
@@ -245,8 +246,7 @@ func ContentionStudy(d int, rates []int, trials int, seed uint64) []ContentionRo
 	var rows []ContentionRow
 	for _, rate := range rates {
 		row := ContentionRow{BackgroundPktPerKCycle: rate, Trials: trials}
-		var cyc, pkt float64
-		for tr := 0; tr < trials; tr++ {
+		results := sweep.Map(trials, 0, func(tr int) coin.Result {
 			src := rng.New(seed + uint64(tr)*131)
 			cfg := coin.Config{
 				Mesh:              mesh.Square(d, true),
@@ -301,7 +301,10 @@ func ContentionStudy(d int, rates []int, trials int, seed uint64) []ContentionRo
 
 			maxes := coin.UniformMaxes(n, 32)
 			e.Init(coin.HotspotAssignment(src.Split(), maxes, int64(n)*16))
-			res := e.Run()
+			return e.Run()
+		})
+		var cyc, pkt float64
+		for _, res := range results {
 			if res.Converged {
 				row.Converged++
 				cyc += float64(res.ConvergenceCycles)

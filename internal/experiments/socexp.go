@@ -12,6 +12,7 @@ import (
 	"blitzcoin/internal/scaling"
 	"blitzcoin/internal/sim"
 	"blitzcoin/internal/soc"
+	"blitzcoin/internal/sweep"
 	"blitzcoin/internal/workload"
 )
 
@@ -66,18 +67,19 @@ func (r SoCRow) String() string {
 		r.Res.ExecMicros(), r.Res.MeanResponseMicros(), r.Res.UtilizationPct())
 }
 
-// evalSchemes runs one workload across schemes at one budget.
+// evalSchemes runs one workload across schemes at one budget. The schemes
+// fan out across the sweep pool: every run owns a private kernel/network/RNG
+// and the workload graph is read-only, so the runs are independent and the
+// returned rows keep the schemes' order.
 func evalSchemes(mk func(s soc.Scheme) soc.Config, g *workload.Graph, schemes []soc.Scheme) []SoCRow {
-	var rows []SoCRow
-	for _, s := range schemes {
-		cfg := mk(s)
+	return sweep.Map(len(schemes), 0, func(i int) SoCRow {
+		cfg := mk(schemes[i])
 		res := soc.New(cfg).Run(g)
-		rows = append(rows, SoCRow{
+		return SoCRow{
 			SoC: cfg.Name, Scheme: res.Scheme, BudgetMW: cfg.BudgetMW,
 			Workload: g.Name, Res: res,
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // repeat3 lengthens a workload to several frames so that steady-state
@@ -132,20 +134,24 @@ func (r APvsRPRow) String() string {
 // for budgets from 60 to 120 mW).
 func APvsRP(budgets []float64, seed uint64) []APvsRPRow {
 	g := repeat3(workload.AutonomousVehicleParallel())
-	var rows []APvsRPRow
-	for _, b := range budgets {
-		run := func(st soc.Strategy) soc.Result {
-			cfg := soc.SoC3x3(b, soc.SchemeBC, seed)
-			cfg.Strategy = st
-			return soc.New(cfg).Run(g)
+	// Fan out over (budget, strategy) pairs so the AP and RP runs of one
+	// budget also overlap, then pair them back up in order.
+	execUs := sweep.Map(2*len(budgets), 0, func(i int) float64 {
+		cfg := soc.SoC3x3(budgets[i/2], soc.SchemeBC, seed)
+		cfg.Strategy = soc.AbsoluteProportional
+		if i%2 == 1 {
+			cfg.Strategy = soc.RelativeProportional
 		}
-		ap := run(soc.AbsoluteProportional)
-		rp := run(soc.RelativeProportional)
+		return soc.New(cfg).Run(g).ExecMicros()
+	})
+	var rows []APvsRPRow
+	for i, b := range budgets {
+		ap, rp := execUs[2*i], execUs[2*i+1]
 		rows = append(rows, APvsRPRow{
 			BudgetMW:         b,
-			APExecUs:         ap.ExecMicros(),
-			RPExecUs:         rp.ExecMicros(),
-			RPImprovementPct: 100 * (ap.ExecMicros() - rp.ExecMicros()) / ap.ExecMicros(),
+			APExecUs:         ap,
+			RPExecUs:         rp,
+			RPImprovementPct: 100 * (ap - rp) / ap,
 		})
 	}
 	return rows
@@ -156,7 +162,6 @@ func APvsRP(budgets []float64, seed uint64) []APvsRPRow {
 // non-nil and returning the rows.
 func Fig16(seed uint64, csv func(name string) io.Writer) []SoCRow {
 	schemes := []soc.Scheme{soc.SchemeBC, soc.SchemeBCC, soc.SchemeCRR}
-	var rows []SoCRow
 	runs := []struct {
 		budget float64
 		g      *workload.Graph
@@ -164,18 +169,22 @@ func Fig16(seed uint64, csv func(name string) io.Writer) []SoCRow {
 		{120, repeat3(workload.AutonomousVehicleParallel())},
 		{60, repeat3(workload.AutonomousVehicleDependent())},
 	}
-	for _, rn := range runs {
-		for _, s := range schemes {
-			cfg := soc.SoC3x3(rn.budget, s, seed)
-			res := soc.New(cfg).Run(rn.g)
-			rows = append(rows, SoCRow{SoC: cfg.Name, Scheme: res.Scheme,
-				BudgetMW: rn.budget, Workload: rn.g.Name, Res: res})
-			if csv != nil {
-				name := fmt.Sprintf("fig16_%s_%.0fmW_%s.csv", res.Scheme, rn.budget, rn.g.Name)
-				if w := csv(name); w != nil {
-					if err := res.Recorder.WriteCSV(w); err != nil {
-						panic(err)
-					}
+	// Fan the (run, scheme) grid out in one sweep; the CSV side effects then
+	// replay serially in grid order so the files are written exactly as the
+	// nested loops wrote them.
+	rows := sweep.Map(len(runs)*len(schemes), 0, func(i int) SoCRow {
+		rn, s := runs[i/len(schemes)], schemes[i%len(schemes)]
+		cfg := soc.SoC3x3(rn.budget, s, seed)
+		res := soc.New(cfg).Run(rn.g)
+		return SoCRow{SoC: cfg.Name, Scheme: res.Scheme,
+			BudgetMW: rn.budget, Workload: rn.g.Name, Res: res}
+	})
+	if csv != nil {
+		for _, row := range rows {
+			name := fmt.Sprintf("fig16_%s_%.0fmW_%s.csv", row.Scheme, row.BudgetMW, row.Workload)
+			if w := csv(name); w != nil {
+				if err := row.Res.Recorder.WriteCSV(w); err != nil {
+					panic(err)
 				}
 			}
 		}
@@ -204,8 +213,11 @@ func (r SiliconRow) String() string {
 // allocation for the 7, 5, 4, and 3-accelerator workloads (paper: 27%, 26%,
 // 26%, 19% with 97% utilization).
 func Fig19(budgetMW float64, seed uint64) []SiliconRow {
-	var rows []SiliconRow
-	for _, n := range []int{7, 5, 4, 3} {
+	sizes := []int{7, 5, 4, 3}
+	// Fan out over (size, scheme) pairs — even index BC, odd index the
+	// static baseline of the same size — then pair them back up in order.
+	results := sweep.Map(2*len(sizes), 0, func(i int) soc.Result {
+		n := sizes[i/2]
 		var g *workload.Graph
 		if n == 7 {
 			// The utilization/throughput phase is measured while all
@@ -215,8 +227,15 @@ func Fig19(budgetMW float64, seed uint64) []SiliconRow {
 			g = workload.SiliconSubset(n)
 		}
 		g = workload.Repeat(g, 3)
-		bc := soc.New(soc.SoC6x6(budgetMW, soc.SchemeBC, seed)).Run(g)
-		st := soc.New(soc.SoC6x6(budgetMW, soc.SchemeStatic, seed)).Run(g)
+		scheme := soc.SchemeBC
+		if i%2 == 1 {
+			scheme = soc.SchemeStatic
+		}
+		return soc.New(soc.SoC6x6(budgetMW, scheme, seed)).Run(g)
+	})
+	var rows []SiliconRow
+	for i, n := range sizes {
+		bc, st := results[2*i], results[2*i+1]
 		rows = append(rows, SiliconRow{
 			Accelerators:      n,
 			Scheme:            "BC",
@@ -246,42 +265,50 @@ func (r Fig20Row) String() string {
 // 7-accelerator workload across BC, BC-C, and C-RR.
 func Fig20(budgetMW float64, seed uint64) []Fig20Row {
 	g := workload.Repeat(workload.SevenAcceleratorSilicon(), 2)
-	var rows []Fig20Row
-	for _, s := range []soc.Scheme{soc.SchemeBC, soc.SchemeBCC, soc.SchemeCRR} {
-		res := soc.New(soc.SoC6x6(budgetMW, s, seed)).Run(g)
-		rows = append(rows, Fig20Row{
+	schemes := []soc.Scheme{soc.SchemeBC, soc.SchemeBCC, soc.SchemeCRR}
+	return sweep.Map(len(schemes), 0, func(i int) Fig20Row {
+		res := soc.New(soc.SoC6x6(budgetMW, schemes[i], seed)).Run(g)
+		return Fig20Row{
 			Scheme:         res.Scheme,
 			MeanResponseUs: res.MeanResponseMicros(),
 			MaxResponseUs:  res.MaxResponseMicros(),
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // FitScalingModels fits the response-time laws of Sec. V-E from measured
 // SoC responses at N = 6 (3x3), N = 13 (4x4), and N = 7 (6x6 PM cluster),
 // mirroring how the paper derives tau_BC, tau_BCC, tau_CRR (Sec. VI-D).
 func FitScalingModels(seed uint64) map[string]scaling.Model {
-	type meas struct {
-		n   float64
-		cfg soc.Config
-		g   *workload.Graph
+	schemes := []soc.Scheme{soc.SchemeBC, soc.SchemeBCC, soc.SchemeCRR, soc.SchemeTS, soc.SchemePT}
+	sizes := []float64{6, 13, 7}
+	// The full (scheme, SoC) measurement grid fans out in one sweep; the
+	// point lists then accumulate serially in grid order, matching the
+	// nested loops.
+	type fitResult struct {
+		scheme string
+		n      float64
+		respUs float64
 	}
+	results := sweep.Map(len(schemes)*len(sizes), 0, func(i int) fitResult {
+		s := schemes[i/len(sizes)]
+		var cfg soc.Config
+		var g *workload.Graph
+		switch i % len(sizes) {
+		case 0:
+			cfg, g = soc.SoC3x3(120, s, seed), repeat3(workload.AutonomousVehicleParallel())
+		case 1:
+			cfg, g = soc.SoC4x4(450, s, seed), repeat3(workload.ComputerVisionParallel())
+		default:
+			cfg, g = soc.SoC6x6(200, s, seed), workload.Repeat(workload.SevenAcceleratorSilicon(), 2)
+		}
+		res := soc.New(cfg).Run(g)
+		return fitResult{scheme: res.Scheme, n: sizes[i%len(sizes)], respUs: res.MeanResponseMicros()}
+	})
 	points := map[string][]scaling.Point{}
-	add := func(name string, n float64, res soc.Result) {
-		if us := res.MeanResponseMicros(); us > 0 {
-			points[name] = append(points[name], scaling.Point{N: n, Response: us})
-		}
-	}
-	for _, s := range []soc.Scheme{soc.SchemeBC, soc.SchemeBCC, soc.SchemeCRR, soc.SchemeTS, soc.SchemePT} {
-		runs := []meas{
-			{6, soc.SoC3x3(120, s, seed), repeat3(workload.AutonomousVehicleParallel())},
-			{13, soc.SoC4x4(450, s, seed), repeat3(workload.ComputerVisionParallel())},
-			{7, soc.SoC6x6(200, s, seed), workload.Repeat(workload.SevenAcceleratorSilicon(), 2)},
-		}
-		for _, m := range runs {
-			res := soc.New(m.cfg).Run(m.g)
-			add(res.Scheme, m.n, res)
+	for _, r := range results {
+		if r.respUs > 0 {
+			points[r.scheme] = append(points[r.scheme], scaling.Point{N: r.n, Response: r.respUs})
 		}
 	}
 	out := map[string]scaling.Model{}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"blitzcoin/internal/soc"
+	"blitzcoin/internal/sweep"
 	"blitzcoin/internal/workload"
 )
 
@@ -39,12 +40,15 @@ func (r Table1Row) String() string {
 // 3.7-6.4 us, TS 2.9 us.
 func Table1(seed uint64) []Table1Row {
 	g := workload.Repeat(workload.ComputerVisionParallel(), 3)
+	schemes := []soc.Scheme{soc.SchemeBC, soc.SchemeBCC, soc.SchemeCRR, soc.SchemeTS, soc.SchemePT}
+	// The mean includes the instant already-at-target responses that
+	// would pull a median to zero for BC.
+	means := sweep.Map(len(schemes), 0, func(i int) float64 {
+		return soc.New(soc.SoC4x4(450, schemes[i], seed)).Run(g).MeanResponseMicros()
+	})
 	resp := map[soc.Scheme]float64{}
-	for _, s := range []soc.Scheme{soc.SchemeBC, soc.SchemeBCC, soc.SchemeCRR, soc.SchemeTS, soc.SchemePT} {
-		res := soc.New(soc.SoC4x4(450, s, seed)).Run(g)
-		// The mean includes the instant already-at-target responses that
-		// would pull a median to zero for BC.
-		resp[s] = res.MeanResponseMicros()
+	for i, s := range schemes {
+		resp[s] = means[i]
 	}
 	return []Table1Row{
 		{

@@ -200,36 +200,60 @@ func (m Mesh) MaxHopDistance() int {
 	return (m.W - 1) + (m.H - 1)
 }
 
+// stepAxis advances cur one hop toward target along an axis of length n,
+// taking the shorter way around on a torus (ties go forward). It returns the
+// new coordinate and whether the hop was in the +1 direction.
+func (m Mesh) stepAxis(cur, target, n int) (int, bool) {
+	if m.Torus {
+		fwd := mod(target-cur, n)
+		if fwd <= n-fwd {
+			return mod(cur+1, n), true
+		}
+		return mod(cur-1, n), false
+	}
+	if target > cur {
+		return cur + 1, true
+	}
+	return cur - 1, false
+}
+
 // XYRoute returns the sequence of tile indices from a to b (inclusive of
 // both) under XY routing: X first, then Y, taking the shorter wrap on a
 // torus. The route length is HopDistance(a,b)+1.
 func (m Mesh) XYRoute(a, b int) []int {
-	ca, cb := m.Coord(a), m.Coord(b)
 	route := []int{a}
-	cur := ca
-	stepAxis := func(cur, target, n int) int {
-		if cur == target {
-			return cur
-		}
-		fwd := mod(target-cur, n)
-		if m.Torus {
-			if fwd <= n-fwd {
-				return mod(cur+1, n)
-			}
-			return mod(cur-1, n)
-		}
-		if target > cur {
-			return cur + 1
-		}
-		return cur - 1
-	}
-	for cur.X != cb.X {
-		cur.X = stepAxis(cur.X, cb.X, m.W)
-		route = append(route, m.Index(cur))
-	}
-	for cur.Y != cb.Y {
-		cur.Y = stepAxis(cur.Y, cb.Y, m.H)
-		route = append(route, m.Index(cur))
+	cur := a
+	for cur != b {
+		cur, _ = m.NextHopXY(cur, b)
+		route = append(route, cur)
 	}
 	return route
+}
+
+// NextHopXY returns the next tile on the XY route from cur toward dst and the
+// link direction of that hop, without materializing the route. The direction
+// is the one the hardware's port selection resolves to: when a 2-wide torus
+// axis makes both ports reach the same tile, X hops use East and Y hops use
+// North (the first match in N, E, S, W port order).
+//
+// It panics when cur == dst; a zero-hop packet has no next hop.
+func (m Mesh) NextHopXY(cur, dst int) (int, Direction) {
+	cc, cd := m.Coord(cur), m.Coord(dst)
+	if cc.X != cd.X {
+		nx, fwd := m.stepAxis(cc.X, cd.X, m.W)
+		cc.X = nx
+		if fwd {
+			return m.Index(cc), East
+		}
+		return m.Index(cc), West
+	}
+	if cc.Y != cd.Y {
+		ny, fwd := m.stepAxis(cc.Y, cd.Y, m.H)
+		cc.Y = ny
+		if !fwd || (m.Torus && m.H == 2) {
+			return m.Index(cc), North
+		}
+		return m.Index(cc), South
+	}
+	panic(fmt.Sprintf("mesh: NextHopXY(%d, %d): already at destination", cur, dst))
 }

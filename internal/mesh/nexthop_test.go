@@ -1,0 +1,69 @@
+package mesh
+
+import "testing"
+
+// referenceDirection resolves a single hop's link direction the way the
+// original NoC model did: scan the four ports in N, E, S, W order and return
+// the first whose Neighbor is the hop target.
+func referenceDirection(t *testing.T, m Mesh, from, to int) Direction {
+	t.Helper()
+	for d := North; d < numDirections; d++ {
+		if j, ok := m.Neighbor(from, d); ok && j == to {
+			return d
+		}
+	}
+	t.Fatalf("%dx%d torus=%v: %d -> %d is not a single hop", m.W, m.H, m.Torus, from, to)
+	return 0
+}
+
+// NextHopXY must walk exactly the XYRoute path, and each hop's direction
+// must match the N/E/S/W port scan — including the 2-wide torus axes where
+// both ports reach the same tile and the scan order decides.
+func TestNextHopXYMatchesXYRouteAndPortScan(t *testing.T) {
+	shapes := []struct {
+		w, h  int
+		torus bool
+	}{
+		{3, 3, false}, {3, 3, true},
+		{4, 4, true}, {5, 3, false}, {3, 5, true},
+		{2, 2, true}, {2, 4, true}, {4, 2, true}, {2, 3, false},
+		{1, 6, false}, {6, 1, true},
+	}
+	for _, s := range shapes {
+		m := New(s.w, s.h, s.torus)
+		for a := 0; a < m.N(); a++ {
+			for b := 0; b < m.N(); b++ {
+				if a == b {
+					continue
+				}
+				route := m.XYRoute(a, b)
+				cur := a
+				for i := 1; i < len(route); i++ {
+					next, dir := m.NextHopXY(cur, b)
+					if next != route[i] {
+						t.Fatalf("%dx%d torus=%v %d->%d hop %d: next = %d, route says %d",
+							s.w, s.h, s.torus, a, b, i, next, route[i])
+					}
+					if want := referenceDirection(t, m, cur, next); dir != want {
+						t.Fatalf("%dx%d torus=%v hop %d->%d: direction = %v, port scan says %v",
+							s.w, s.h, s.torus, cur, next, dir, want)
+					}
+					cur = next
+				}
+				if cur != b {
+					t.Fatalf("%dx%d torus=%v: walk from %d ended at %d, want %d",
+						s.w, s.h, s.torus, a, cur, b)
+				}
+			}
+		}
+	}
+}
+
+func TestNextHopXYPanicsAtDestination(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NextHopXY(i, i) did not panic")
+		}
+	}()
+	New(3, 3, true).NextHopXY(4, 4)
+}

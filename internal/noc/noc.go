@@ -74,13 +74,31 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
+// CoinMsg is the payload of the three coin-exchange message kinds, stored
+// inline in the Packet so the PM hot path never boxes a payload into an
+// interface. The fields mirror the few-dozen-bit hardware message: coin
+// state (Has, Max), a coin movement (Delta), protocol flags, and the
+// exchange sequence number used to pair replies with requests.
+type CoinMsg struct {
+	Has   int64  // sender's coin count (status)
+	Max   int64  // sender's max additional coins it can absorb (status)
+	Delta int64  // coins moved, positive toward the receiver (update)
+	Seq   uint64 // exchange sequence number
+	Reply bool   // status sent in response to a request
+	Nack  bool   // status declines the exchange (locked/busy)
+	Ack   bool   // update acknowledges a received update
+}
+
 // Packet is a single-flit NoC message. PM messages are a few dozen bits
 // (two 7-bit coin fields plus headers) and fit one flit.
 type Packet struct {
-	ID        uint64
-	Plane     Plane
-	Kind      Kind
-	Src, Dst  int
+	ID       uint64
+	Plane    Plane
+	Kind     Kind
+	Src, Dst int
+	// Coin carries the payload of coin-exchange kinds inline; Payload is the
+	// escape hatch for every other message class.
+	Coin      CoinMsg
 	Payload   interface{}
 	Injected  sim.Cycles // time Send was called
 	Departed  sim.Cycles // time the packet won injection arbitration
@@ -90,6 +108,10 @@ type Packet struct {
 	// Receivers that keep in-flight accounting must not double-count it;
 	// protocol state machines still process it (that is the fault).
 	Dup bool
+	// pooled marks packets owned by the network's free list (SendCoin);
+	// deliver returns them to the pool after the handler runs, so handlers
+	// must not retain them.
+	pooled bool
 }
 
 // Latency returns the injection-to-delivery latency in cycles.
@@ -148,9 +170,10 @@ type Network struct {
 	mesh   mesh.Mesh
 	cfg    Config
 
-	// links[plane] maps a directed link (from-tile index, direction) to the
-	// first cycle at which the link is free. One flit per cycle per plane.
-	links [NumPlanes]map[linkKey]sim.Cycles
+	// links[plane][from*NumDirections+dir] is the first cycle at which the
+	// directed link out of tile `from` through port `dir` is free. One flit
+	// per cycle per plane; a flat slice because every send touches it.
+	links [NumPlanes][]sim.Cycles
 	// inject[plane][tile] is the injection port's next free cycle: the
 	// per-tile round-robin arbiter serializes sources within a tile.
 	inject [NumPlanes][]sim.Cycles
@@ -161,11 +184,12 @@ type Network struct {
 	nextID   uint64
 	stats    Stats
 	faults   *fault.Injector
-}
 
-type linkKey struct {
-	from int
-	dir  mesh.Direction
+	// deliverFn is the single event callback all deliveries run through;
+	// allocating it once keeps Send free of per-packet closures.
+	deliverFn func(any)
+	// pool recycles packets created by SendCoin.
+	pool []*Packet
 }
 
 // New builds a network over the given mesh using kernel for timing.
@@ -175,11 +199,12 @@ func New(k *sim.Kernel, m mesh.Mesh, cfg Config) *Network {
 	}
 	n := &Network{kernel: k, mesh: m, cfg: cfg}
 	for p := Plane(0); p < NumPlanes; p++ {
-		n.links[p] = make(map[linkKey]sim.Cycles)
+		n.links[p] = make([]sim.Cycles, m.N()*mesh.NumDirections)
 		n.inject[p] = make([]sim.Cycles, m.N())
 		n.eject[p] = make([]sim.Cycles, m.N())
 		n.handlers[p] = make([]Handler, m.N())
 	}
+	n.deliverFn = func(a any) { n.deliver(a.(*Packet)) }
 	return n
 }
 
@@ -226,10 +251,11 @@ func (n *Network) Send(p *Packet) bool {
 		n.stats.PerKindSent[p.Kind]++
 	}
 
-	route := n.mesh.XYRoute(p.Src, p.Dst)
+	// The route is only materialized when a fault injector needs to inspect
+	// it; the healthy path walks hops with NextHopXY and allocates nothing.
 	var v fault.Verdict
 	if n.faults != nil {
-		v = n.faults.PacketVerdict(int(p.Plane), p.Src, p.Dst, route)
+		v = n.faults.PacketVerdict(int(p.Plane), p.Src, p.Dst, n.mesh.XYRoute(p.Src, p.Dst))
 	}
 
 	// Injection arbitration: the port accepts one packet per cycle.
@@ -246,16 +272,18 @@ func (n *Network) Send(p *Packet) bool {
 	// link serialize deterministically. Doomed packets still reserve links:
 	// they occupy the fabric up to wherever they die.
 	t := depart
-	for i := 1; i < len(route); i++ {
-		dir := n.directionOf(route[i-1], route[i])
-		key := linkKey{from: route[i-1], dir: dir}
-		if free := n.links[p.Plane][key]; free > t {
+	links := n.links[p.Plane]
+	for cur := p.Src; cur != p.Dst; {
+		next, dir := n.mesh.NextHopXY(cur, p.Dst)
+		li := cur*mesh.NumDirections + int(dir)
+		if free := links[li]; free > t {
 			n.stats.ContentionCyc += uint64(free - t)
 			t = free
 		}
-		n.links[p.Plane][key] = t + 1
+		links[li] = t + 1
 		t += n.cfg.HopLatency
 		p.Hops++
+		cur = next
 	}
 
 	if v.Drop {
@@ -275,7 +303,7 @@ func (n *Network) Send(p *Packet) bool {
 	}
 	n.eject[p.Plane][p.Dst] = t + 1
 
-	n.kernel.At(t, func() { n.deliver(p) })
+	n.kernel.AtCall(t, n.deliverFn, p)
 
 	if v.Dup {
 		// The duplicate trails the original through the ejection port with
@@ -288,21 +316,33 @@ func (n *Network) Send(p *Packet) bool {
 			td = free
 		}
 		n.eject[p.Plane][p.Dst] = td + 1
-		dupp := &dup
-		n.kernel.At(td, func() { n.deliver(dupp) })
+		n.kernel.AtCall(td, n.deliverFn, &dup)
 	}
 	return true
 }
 
-// directionOf returns the link direction for a single hop between adjacent
-// tiles, honoring torus wrap.
-func (n *Network) directionOf(from, to int) mesh.Direction {
-	for d := mesh.North; d < mesh.Direction(mesh.NumDirections); d++ {
-		if j, ok := n.mesh.Neighbor(from, d); ok && j == to {
-			return d
-		}
+// SendCoin injects a coin-exchange packet drawn from the network's free
+// list; the packet is recycled automatically once the destination handler
+// returns (or immediately if a fault drops it), so the per-packet allocation
+// of Send disappears from the exchange hot path. The return value matches
+// Send's: false means an injected fault discarded the packet.
+func (n *Network) SendCoin(plane Plane, kind Kind, src, dst int, msg CoinMsg) bool {
+	var p *Packet
+	if k := len(n.pool) - 1; k >= 0 {
+		p = n.pool[k]
+		n.pool[k] = nil
+		n.pool = n.pool[:k]
+		*p = Packet{}
+	} else {
+		p = new(Packet)
 	}
-	panic(fmt.Sprintf("noc: %d -> %d is not a single hop", from, to))
+	p.pooled = true
+	p.Plane, p.Kind, p.Src, p.Dst, p.Coin = plane, kind, src, dst, msg
+	ok := n.Send(p)
+	if !ok {
+		n.pool = append(n.pool, p)
+	}
+	return ok
 }
 
 func (n *Network) deliver(p *Packet) {
@@ -315,6 +355,9 @@ func (n *Network) deliver(p *Packet) {
 	}
 	if h := n.handlers[p.Plane][p.Dst]; h != nil {
 		h(p)
+	}
+	if p.pooled {
+		n.pool = append(n.pool, p)
 	}
 }
 

@@ -1,0 +1,58 @@
+package sim
+
+import "testing"
+
+// AtCall/ScheduleCall events must interleave with plain At/Schedule events
+// in (time, sequence) order — they share one queue, not two.
+func TestAtCallInterleavesWithSchedule(t *testing.T) {
+	var k Kernel
+	var got []int
+	push := func(a any) { got = append(got, a.(int)) }
+	k.Schedule(10, func() { got = append(got, 2) })
+	k.ScheduleCall(5, push, 1)
+	k.AtCall(10, push, 3) // same time as the Schedule(10): FIFO by seq
+	k.Schedule(20, func() { got = append(got, 4) })
+	k.Drain()
+	want := []int{1, 2, 3, 4}
+	for i, w := range want {
+		if i >= len(got) || got[i] != w {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAtCallPastPanics(t *testing.T) {
+	var k Kernel
+	k.Schedule(10, func() {})
+	k.Step()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AtCall in the past did not panic")
+		}
+	}()
+	k.AtCall(5, func(any) {}, nil)
+}
+
+// The steady-state schedule/execute cycle must not allocate: the event heap
+// reuses its slice capacity and ScheduleCall's pointer arg boxes without
+// allocation. This is the property that removes the per-packet event cost
+// from the emulator hot path.
+func TestScheduleCallSteadyStateDoesNotAllocate(t *testing.T) {
+	var k Kernel
+	fn := func(any) {}
+	arg := &struct{ x int }{}
+	// Warm the heap capacity.
+	for i := 0; i < 64; i++ {
+		k.ScheduleCall(Cycles(i), fn, arg)
+	}
+	k.Drain()
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 32; i++ {
+			k.ScheduleCall(Cycles(i+1), fn, arg)
+		}
+		k.Drain()
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state ScheduleCall+Drain allocates %v per run, want 0", avg)
+	}
+}

@@ -7,9 +7,14 @@
 // so simultaneous events run in the order they were scheduled. This makes
 // every simulation deterministic for a given seed, which the Monte Carlo
 // experiments (Figs. 3-8) rely on.
+//
+// The event queue is a hand-rolled binary heap over a value slice: pushing an
+// event allocates nothing in steady state (the slice's capacity is reused),
+// which matters because the emulator schedules one event per packet and per
+// exchange tick. ScheduleCall/AtCall carry a callback argument through the
+// event, so hot callers can use a single long-lived closure instead of
+// allocating a fresh one per event.
 package sim
-
-import "container/heap"
 
 // Cycles is a simulated time stamp or duration, counted in NoC clock cycles.
 type Cycles = uint64
@@ -30,39 +35,21 @@ func MicrosToCycles(us float64) Cycles {
 	return Cycles(us*NoCFrequencyHz/1e6 + 0.5)
 }
 
-// event is a pending callback.
+// event is a pending callback: either a plain thunk (fn) or an
+// argument-carrying callback (afn, arg). Exactly one of fn/afn is set.
 type event struct {
 	at  Cycles
 	seq uint64
 	fn  func()
-}
-
-// eventHeap orders events by (time, insertion sequence).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	afn func(any)
+	arg any
 }
 
 // Kernel is a discrete-event scheduler. The zero value is ready to use.
 type Kernel struct {
 	now    Cycles
 	seq    uint64
-	events eventHeap
+	events []event // binary min-heap ordered by (at, seq)
 	// executed counts events run, exposed for tests and runaway detection.
 	executed uint64
 }
@@ -82,6 +69,14 @@ func (k *Kernel) Schedule(delay Cycles, fn func()) {
 	k.At(k.now+delay, fn)
 }
 
+// ScheduleCall runs fn(arg) after delay cycles. It exists for hot paths: a
+// caller that would otherwise close over a per-event value can instead keep
+// one long-lived fn and pass the value through arg, avoiding a closure
+// allocation per event. Pointer-shaped args do not allocate when boxed.
+func (k *Kernel) ScheduleCall(delay Cycles, fn func(any), arg any) {
+	k.AtCall(k.now+delay, fn, arg)
+}
+
 // At runs fn at absolute time t. Scheduling in the past panics: it always
 // indicates a model bug, and silently reordering would corrupt causality.
 func (k *Kernel) At(t Cycles, fn func()) {
@@ -89,7 +84,66 @@ func (k *Kernel) At(t Cycles, fn func()) {
 		panic("sim: event scheduled in the past")
 	}
 	k.seq++
-	heap.Push(&k.events, &event{at: t, seq: k.seq, fn: fn})
+	k.push(event{at: t, seq: k.seq, fn: fn})
+}
+
+// AtCall runs fn(arg) at absolute time t; the argument-carrying sibling of
+// At, with the same past-scheduling rule.
+func (k *Kernel) AtCall(t Cycles, fn func(any), arg any) {
+	if t < k.now {
+		panic("sim: event scheduled in the past")
+	}
+	k.seq++
+	k.push(event{at: t, seq: k.seq, afn: fn, arg: arg})
+}
+
+// less orders the heap by (time, insertion sequence).
+func (k *Kernel) less(i, j int) bool {
+	if k.events[i].at != k.events[j].at {
+		return k.events[i].at < k.events[j].at
+	}
+	return k.events[i].seq < k.events[j].seq
+}
+
+// push appends e and restores the heap invariant (sift-up).
+func (k *Kernel) push(e event) {
+	k.events = append(k.events, e)
+	i := len(k.events) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !k.less(i, parent) {
+			break
+		}
+		k.events[i], k.events[parent] = k.events[parent], k.events[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest event (sift-down).
+func (k *Kernel) pop() event {
+	h := k.events
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // release closure/arg references held by the vacated slot
+	k.events = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		c := l
+		if r < n && k.less(r, l) {
+			c = r
+		}
+		if !k.less(c, i) {
+			break
+		}
+		k.events[i], k.events[c] = k.events[c], k.events[i]
+		i = c
+	}
+	return top
 }
 
 // Step executes the next pending event and advances time to it. It reports
@@ -98,10 +152,14 @@ func (k *Kernel) Step() bool {
 	if len(k.events) == 0 {
 		return false
 	}
-	e := heap.Pop(&k.events).(*event)
+	e := k.pop()
 	k.now = e.at
 	k.executed++
-	e.fn()
+	if e.afn != nil {
+		e.afn(e.arg)
+	} else {
+		e.fn()
+	}
 	return true
 }
 

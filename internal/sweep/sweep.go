@@ -1,0 +1,105 @@
+// Package sweep is the parallel experiment engine: it fans the independent
+// trials of a Monte Carlo experiment across a worker pool.
+//
+// The paper's evaluation (Figs. 3-8, 16-21) is embarrassingly parallel at
+// the trial level — every (config, seed) trial owns a private kernel,
+// network, and RNG — but a naive parallel loop would make results depend on
+// scheduling. The engine avoids that by construction:
+//
+//   - Each trial derives its own seed from the trial index alone (the
+//     callers' existing seed-derivation formulas, e.g. seed + t*7919), never
+//     from a shared RNG stream, so trial t computes the same result no
+//     matter which worker runs it or in what order.
+//   - Map writes each trial's result into its index slot and the caller
+//     accumulates statistics by walking the slice in index order, so the
+//     reduction is bit-identical to the serial loop at any parallelism.
+//
+// Together these make a sweep's output rows byte-for-byte identical at
+// Parallelism 1, 4, 8, or GOMAXPROCS — the property the determinism tests
+// in internal/experiments pin down.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultParallelism is the worker count used when Map is called with
+// parallelism 0; 0 here means "use GOMAXPROCS". It is a process-wide knob
+// (set from the CLIs' -parallel flag) so experiment code never threads a
+// parallelism parameter through every figure function.
+var defaultParallelism atomic.Int64
+
+// SetDefaultParallelism sets the worker count Map uses for parallelism 0.
+// p <= 0 restores the GOMAXPROCS default.
+func SetDefaultParallelism(p int) {
+	if p < 0 {
+		p = 0
+	}
+	defaultParallelism.Store(int64(p))
+}
+
+// DefaultParallelism returns the effective default worker count.
+func DefaultParallelism() int {
+	if p := int(defaultParallelism.Load()); p > 0 {
+		return p
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs fn(i) for every i in [0, n) across a pool of parallelism
+// goroutines and returns the results in index order. parallelism 0 uses the
+// process default (GOMAXPROCS unless overridden); parallelism 1 runs inline
+// with no goroutines at all. fn must derive any randomness from i alone —
+// then the returned slice is identical at every parallelism level, and a
+// serial index-order reduction over it is bit-identical to the serial loop.
+//
+// A panic in any trial is re-raised on the calling goroutine after the pool
+// drains, like a serial loop's panic but without leaking workers.
+func Map[T any](n, parallelism int, fn func(trial int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	if parallelism <= 0 {
+		parallelism = DefaultParallelism()
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism <= 1 {
+		for i := range out {
+			out[i] = fn(i)
+		}
+		return out
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicked any
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+	return out
+}

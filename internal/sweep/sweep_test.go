@@ -1,0 +1,75 @@
+package sweep
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// The result slice must be identical at every parallelism level when fn
+// depends only on the trial index — the property the experiment figures
+// rely on.
+func TestMapOrderedAndParallelismInvariant(t *testing.T) {
+	fn := func(i int) int { return i*i + 7 }
+	want := Map(100, 1, fn)
+	for _, p := range []int{2, 3, 4, 8, 16, 200} {
+		got := Map(100, p, fn)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("parallelism %d: result[%d] = %d, want %d", p, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMapRunsEveryTrialOnce(t *testing.T) {
+	var calls [64]atomic.Int32
+	Map(len(calls), 8, func(i int) struct{} {
+		calls[i].Add(1)
+		return struct{}{}
+	})
+	for i := range calls {
+		if n := calls[i].Load(); n != 1 {
+			t.Fatalf("trial %d ran %d times, want 1", i, n)
+		}
+	}
+}
+
+func TestMapZeroTrials(t *testing.T) {
+	if got := Map(0, 4, func(int) int { return 1 }); got != nil {
+		t.Fatalf("Map(0, ...) = %v, want nil", got)
+	}
+}
+
+// A trial panic must surface on the caller after the pool drains, not kill
+// the process from a worker goroutine.
+func TestMapPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "trial 5 exploded" {
+			t.Fatalf("recovered %v, want the trial's panic value", r)
+		}
+	}()
+	Map(16, 4, func(i int) int {
+		if i == 5 {
+			panic("trial 5 exploded")
+		}
+		return i
+	})
+	t.Fatal("Map returned instead of panicking")
+}
+
+func TestDefaultParallelism(t *testing.T) {
+	defer SetDefaultParallelism(0)
+	SetDefaultParallelism(0)
+	if got := DefaultParallelism(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("default = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	SetDefaultParallelism(3)
+	if got := DefaultParallelism(); got != 3 {
+		t.Fatalf("after Set(3): default = %d, want 3", got)
+	}
+	SetDefaultParallelism(-1)
+	if got := DefaultParallelism(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("after Set(-1): default = %d, want GOMAXPROCS", got)
+	}
+}
