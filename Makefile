@@ -5,7 +5,7 @@ SHORTSHA := $(shell git rev-parse --short HEAD)
 # The committed perf baseline `make benchcheck` gates against. Update it to
 # the freshly written BENCH_<sha>.json whenever a PR intentionally shifts
 # performance, and commit both.
-BENCH_BASELINE ?= BENCH_8e2b163.json
+BENCH_BASELINE ?= BENCH_8e2d083.json
 
 .PHONY: build test vet race verify bench benchcheck figures
 
