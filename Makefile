@@ -7,7 +7,7 @@ SHORTSHA := $(shell git rev-parse --short HEAD)
 # performance, and commit both.
 BENCH_BASELINE ?= BENCH_8e2d083.json
 
-.PHONY: build test vet race verify bench benchcheck figures
+.PHONY: build test vet race verify bench benchcheck figures server-smoke
 
 build:
 	$(GO) build ./...
@@ -22,8 +22,13 @@ race:
 	$(GO) test -race ./...
 
 # The gate every change must pass: static checks, the full test suite under
-# the race detector, and the hot-path perf gate.
-verify: vet race benchcheck
+# the race detector, the hot-path perf gate, and the daemon smoke test.
+verify: vet race benchcheck server-smoke
+
+# server-smoke boots a real blitzd on an ephemeral port, runs one exchange
+# request twice through blitzctl, and asserts the repeat is a cache hit.
+server-smoke:
+	sh scripts/server_smoke.sh
 
 # bench snapshots the whole benchmark suite (3 samples each) into
 # BENCH_<sha>.json; commit the file to extend the perf trajectory.

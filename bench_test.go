@@ -8,6 +8,7 @@
 package blitzcoin
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -25,6 +26,8 @@ func metric(parts ...string) string {
 // benchDims are the mesh dimensions of the emulator sweeps (N = d*d up to
 // 400, the paper's largest emulated SoC).
 var benchDims = []int{4, 8, 12, 16, 20}
+
+var bctx = context.Background()
 
 // BenchmarkFig01_ScalabilityTrends regenerates the motivation plot:
 // response-time laws against the activity-change interval Tw/N.
@@ -47,7 +50,7 @@ func BenchmarkFig01_ScalabilityTrends(b *testing.B) {
 func BenchmarkFig03_OneWayVsFourWay(b *testing.B) {
 	var rows []experiments.ConvergenceRow
 	for i := 0; i < b.N; i++ {
-		rows = experiments.Fig03(benchDims, 5, 1)
+		rows = experiments.Fig03(bctx, benchDims, 5, 1)
 	}
 	for _, r := range rows {
 		if r.D == 20 {
@@ -62,7 +65,7 @@ func BenchmarkFig03_OneWayVsFourWay(b *testing.B) {
 func BenchmarkFig04_BCvsTokenSmart(b *testing.B) {
 	var rows []experiments.Fig04Row
 	for i := 0; i < b.N; i++ {
-		rows = experiments.Fig04(benchDims, 5, 1)
+		rows = experiments.Fig04(bctx, benchDims, 5, 1)
 	}
 	var bc20, ts20 float64
 	for _, r := range rows {
@@ -86,7 +89,7 @@ func BenchmarkFig04_BCvsTokenSmart(b *testing.B) {
 func BenchmarkFig06_DynamicTiming(b *testing.B) {
 	var rows []experiments.ConvergenceRow
 	for i := 0; i < b.N; i++ {
-		rows = experiments.Fig06(benchDims, 5, 1)
+		rows = experiments.Fig06(bctx, benchDims, 5, 1)
 	}
 	for _, r := range rows {
 		if r.D == 20 {
@@ -101,7 +104,7 @@ func BenchmarkFig06_DynamicTiming(b *testing.B) {
 func BenchmarkFig07_RandomPairingError(b *testing.B) {
 	var rows []experiments.Fig07Row
 	for i := 0; i < b.N; i++ {
-		rows = experiments.Fig07([]int{100, 400}, 10, 1)
+		rows = experiments.Fig07(bctx, []int{100, 400}, 10, 1)
 	}
 	for _, r := range rows {
 		label := "nopair"
@@ -119,7 +122,7 @@ func BenchmarkFig07_RandomPairingError(b *testing.B) {
 func BenchmarkFig08_Heterogeneity(b *testing.B) {
 	var rows []experiments.ConvergenceRow
 	for i := 0; i < b.N; i++ {
-		rows = experiments.Fig08([]int{8, 16}, []int{1, 4, 8}, 5, 1)
+		rows = experiments.Fig08(bctx, []int{8, 16}, []int{1, 4, 8}, 5, 1)
 	}
 	for _, r := range rows {
 		if r.D == 16 {
@@ -143,7 +146,7 @@ func BenchmarkFig13_PowerCurves(b *testing.B) {
 func BenchmarkFig16_PowerTraces3x3(b *testing.B) {
 	var rows []experiments.SoCRow
 	for i := 0; i < b.N; i++ {
-		rows = experiments.Fig16(1, nil)
+		rows = experiments.Fig16(bctx, 1, nil)
 	}
 	for _, r := range rows {
 		if r.BudgetMW == 120 {
@@ -156,7 +159,7 @@ func BenchmarkFig16_PowerTraces3x3(b *testing.B) {
 func BenchmarkFig17_Exec3x3(b *testing.B) {
 	var rows []experiments.SoCRow
 	for i := 0; i < b.N; i++ {
-		rows = experiments.Fig17(1)
+		rows = experiments.Fig17(bctx, 1)
 	}
 	report3SchemeRatios(b, rows, 120, "av-parallel-x3")
 }
@@ -165,7 +168,7 @@ func BenchmarkFig17_Exec3x3(b *testing.B) {
 func BenchmarkFig18_Exec4x4(b *testing.B) {
 	var rows []experiments.SoCRow
 	for i := 0; i < b.N; i++ {
-		rows = experiments.Fig18(1)
+		rows = experiments.Fig18(bctx, 1)
 	}
 	report3SchemeRatios(b, rows, 450, "cv-parallel-x3")
 }
@@ -200,7 +203,7 @@ func report3SchemeRatios(b *testing.B, rows []experiments.SoCRow, budget float64
 func BenchmarkFig19_SiliconProxy(b *testing.B) {
 	var rows []experiments.SiliconRow
 	for i := 0; i < b.N; i++ {
-		rows = experiments.Fig19(200, 1)
+		rows = experiments.Fig19(bctx, 200, 1)
 	}
 	for _, r := range rows {
 		if r.Accelerators == 7 {
@@ -215,7 +218,7 @@ func BenchmarkFig19_SiliconProxy(b *testing.B) {
 func BenchmarkFig20_ResponseTransition(b *testing.B) {
 	var rows []experiments.Fig20Row
 	for i := 0; i < b.N; i++ {
-		rows = experiments.Fig20(200, 1)
+		rows = experiments.Fig20(bctx, 200, 1)
 	}
 	for _, r := range rows {
 		b.ReportMetric(r.MeanResponseUs, metric(r.Scheme, "resp-us"))
@@ -227,7 +230,7 @@ func BenchmarkFig20_ResponseTransition(b *testing.B) {
 func BenchmarkFig21_NMax(b *testing.B) {
 	var models map[string]scaling.Model
 	for i := 0; i < b.N; i++ {
-		models = experiments.FitScalingModels(1)
+		models = experiments.FitScalingModels(bctx, 1)
 	}
 	bc, okBC := models["BC"]
 	crr, okCRR := models["C-RR"]
@@ -254,7 +257,7 @@ func BenchmarkFig21_PMOverhead(b *testing.B) {
 func BenchmarkTable1_Comparison(b *testing.B) {
 	var rows []experiments.Table1Row
 	for i := 0; i < b.N; i++ {
-		rows = experiments.Table1(1)
+		rows = experiments.Table1(bctx, 1)
 	}
 	for _, r := range rows {
 		b.ReportMetric(r.ResponseUs, metric(r.Reference, "resp-us@N13"))
@@ -266,7 +269,7 @@ func BenchmarkTable1_Comparison(b *testing.B) {
 func BenchmarkTableAPvsRP(b *testing.B) {
 	var rows []experiments.APvsRPRow
 	for i := 0; i < b.N; i++ {
-		rows = experiments.APvsRP([]float64{60, 120}, 1)
+		rows = experiments.APvsRP(bctx, []float64{60, 120}, 1)
 	}
 	for _, r := range rows {
 		if r.BudgetMW == 60 {
@@ -372,7 +375,7 @@ func BenchmarkAblationThermalCap(b *testing.B) {
 func BenchmarkContentionRobustness(b *testing.B) {
 	var rows []experiments.ContentionRow
 	for i := 0; i < b.N; i++ {
-		rows = experiments.ContentionStudy(12, []int{0, 100}, 3, 1)
+		rows = experiments.ContentionStudy(bctx, 12, []int{0, 100}, 3, 1)
 	}
 	b.ReportMetric(rows[0].MeanCycles, "cycles-quiet")
 	b.ReportMetric(rows[1].MeanCycles, "cycles-bg100")

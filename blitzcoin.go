@@ -9,12 +9,19 @@
 // with a response time that scales as O(sqrt(N)) instead of the O(N) of
 // centralized controllers, enabling SoCs with hundreds of accelerators.
 //
-// The package exposes three layers:
+// The package exposes one unified options surface and three layers beneath
+// it:
 //
+//   - Request / Execute is the versioned entry point: a JSON-serializable
+//     union over every computation the simulator offers (exchange sweeps,
+//     SoC runs, custom platforms, figure reproductions), with explicit
+//     defaults (Normalized), explicit validation (Validate), and a
+//     canonical content hash (CanonicalHash) that the blitzd daemon keys
+//     its result cache on;
 //   - SimulateExchange runs the coin-exchange algorithm itself on a
 //     simulated 2D-mesh NoC (the paper's Sec. III experiments);
-//   - RunSoC runs full-system simulations: accelerator tiles with
-//     power/frequency characterizations and UVFR regulators executing
+//   - RunSoC / RunCustomSoC run full-system simulations: accelerator tiles
+//     with power/frequency characterizations and UVFR regulators executing
 //     workload DAGs under BlitzCoin or one of the baseline controllers
 //     (Secs. V-VI);
 //   - FitScaling / ScalingModel project response times and maximum
@@ -27,224 +34,20 @@ package blitzcoin
 import (
 	"fmt"
 
-	"blitzcoin/internal/coin"
-	"blitzcoin/internal/mesh"
-	"blitzcoin/internal/rng"
+	"blitzcoin/internal/power"
 	"blitzcoin/internal/scaling"
 	"blitzcoin/internal/sim"
 )
-
-// ExchangeMode selects the exchange technique of Sec. III-B.
-type ExchangeMode string
-
-// Exchange techniques.
-const (
-	OneWay  ExchangeMode = "1-way" // pairwise, round-robin (the preferred embodiment)
-	FourWay ExchangeMode = "4-way" // all four neighbors at once
-)
-
-// InitDistribution selects the initial coin placement of an exchange
-// simulation.
-type InitDistribution string
-
-// Initial distributions.
-const (
-	// InitRandom scatters the pool uniformly at random across tiles.
-	InitRandom InitDistribution = "random"
-	// InitUniform draws each tile's coins uniformly in [0, max]: per-tile
-	// local imbalance.
-	InitUniform InitDistribution = "uniform"
-	// InitHotspot concentrates the pool in one corner region: the
-	// long-range transport case whose convergence shows the O(sqrt(N))
-	// scaling.
-	InitHotspot InitDistribution = "hotspot"
-)
-
-// ExchangeOptions configures SimulateExchange. The zero value is completed
-// with the defaults noted per field.
-type ExchangeOptions struct {
-	// Dim is the mesh dimension d; the SoC has N = Dim*Dim tiles.
-	// Default 8.
-	Dim int
-	// Torus enables wrap-around neighbors (Sec. III-D). Default as given.
-	Torus bool
-	// Mode selects 1-way or 4-way exchange. Default OneWay.
-	Mode ExchangeMode
-	// DynamicTiming enables the exponential back-off / acceleration of
-	// exchange intervals.
-	DynamicTiming bool
-	// RandomPairing enables intermittent exchanges with non-neighbors,
-	// which eliminates deadlocks (Sec. III-E). Default as given; the
-	// paper's experiments enable it.
-	RandomPairing bool
-	// RandomPairingEvery is the pairing cadence in exchanges; the paper
-	// found once every 16 exchanges sufficient. Default 16.
-	RandomPairingEvery int
-	// Threshold is the convergence criterion on the mean per-tile error
-	// Err. Default 1.5 (Fig. 3).
-	Threshold float64
-	// Init selects the initial coin placement. Default InitHotspot.
-	Init InitDistribution
-	// AccelTypes is the number of distinct accelerator types (Fig. 8);
-	// 1 means homogeneous. Default 1.
-	AccelTypes int
-	// TargetPerTile is the mean per-tile coin target. Default 32.
-	TargetPerTile int64
-	// CoinsPerTile is the mean per-tile pool share. Default
-	// TargetPerTile/2.
-	CoinsPerTile int64
-	// ThermalCap, when positive, enables the hotspot guard of Sec. III-B:
-	// no tile accepts coins that would push its own count plus its
-	// neighbors' observed counts above the cap.
-	ThermalCap int64
-	// Faults, when non-nil and non-empty, injects the given fault model
-	// and hardens the protocol against it. Faulted runs go to quiescence
-	// (bounded at 400k cycles) instead of stopping at the first threshold
-	// crossing, so the result reports the post-audit conservation verdict.
-	Faults *FaultOptions
-	// Seed drives all randomness. Runs with equal options and seed are
-	// identical.
-	Seed uint64
-}
-
-// ExchangeResult reports one exchange simulation.
-type ExchangeResult struct {
-	// Converged reports whether Err crossed the threshold.
-	Converged bool
-	// ConvergenceCycles and ConvergenceMicros time the first crossing.
-	ConvergenceCycles uint64
-	ConvergenceMicros float64
-	// PacketsToConvergence counts NoC packets up to the crossing.
-	PacketsToConvergence uint64
-	// StartErr and FinalErr are the mean per-tile errors at the start and
-	// end of the run; WorstTileErr is the largest residual per-tile error.
-	StartErr, FinalErr, WorstTileErr float64
-	// TotalPackets and Exchanges count all activity during the run.
-	TotalPackets, Exchanges uint64
-	// ThermalRejects counts exchanges clamped by the hotspot guard.
-	ThermalRejects uint64
-	// CoinsConserved confirms every coin of the initial pool ended
-	// accounted for on a live tile (after audit repair, under faults).
-	CoinsConserved bool
-
-	// Fault and recovery counters (all zero on a healthy run).
-	Dropped         uint64 // PM-plane packets lost in the fabric
-	Retries         uint64 // exchanges abandoned by timeout and retried
-	LocksBroken     uint64 // participation locks freed by the watchdog
-	NeighborsPruned int    // partners removed from pairing sets as dead
-	TilesDead       int    // tiles fail-stopped during the run
-	AuditRepairs    uint64 // audits that found and repaired a discrepancy
-	PoolViolation   int64  // unrepaired pool residue at the end of the run
-}
-
-// SimulateExchange runs the BlitzCoin coin-exchange algorithm on a
-// simulated 2D-mesh NoC and reports its convergence behavior. It panics on
-// invalid options (negative dimensions, unknown mode).
-func SimulateExchange(o ExchangeOptions) ExchangeResult {
-	if o.Dim == 0 {
-		o.Dim = 8
-	}
-	if o.Dim < 2 {
-		panic(fmt.Sprintf("blitzcoin: mesh dimension %d too small", o.Dim))
-	}
-	if o.Mode == "" {
-		o.Mode = OneWay
-	}
-	if o.Threshold == 0 {
-		o.Threshold = 1.5
-	}
-	if o.Init == "" {
-		o.Init = InitHotspot
-	}
-	if o.AccelTypes == 0 {
-		o.AccelTypes = 1
-	}
-	if o.TargetPerTile == 0 {
-		o.TargetPerTile = 32
-	}
-	if o.CoinsPerTile == 0 {
-		o.CoinsPerTile = o.TargetPerTile / 2
-	}
-
-	cfg := coin.Config{
-		Mesh:               mesh.Square(o.Dim, o.Torus),
-		RefreshInterval:    32,
-		DynamicTiming:      o.DynamicTiming,
-		RandomPairing:      o.RandomPairing,
-		RandomPairingEvery: o.RandomPairingEvery,
-		Threshold:          o.Threshold,
-		ThermalCap:         o.ThermalCap,
-		StopAtConvergence:  true,
-		Faults:             o.Faults.toInternal(),
-	}
-	if cfg.Faults != nil && cfg.Faults.Enabled() {
-		cfg.StopAtConvergence = false
-		cfg.MaxCycles = 400_000
-	}
-	switch o.Mode {
-	case OneWay:
-		cfg.Mode = coin.OneWay
-	case FourWay:
-		cfg.Mode = coin.FourWay
-	default:
-		panic(fmt.Sprintf("blitzcoin: unknown exchange mode %q", o.Mode))
-	}
-
-	src := rng.New(o.Seed)
-	n := cfg.Mesh.N()
-	var maxes []int64
-	if o.AccelTypes > 1 {
-		maxes = coin.HeterogeneousMaxes(src, n, o.AccelTypes, o.TargetPerTile/int64(o.AccelTypes)+1)
-	} else {
-		maxes = coin.UniformMaxes(n, o.TargetPerTile)
-	}
-	pool := int64(n) * o.CoinsPerTile
-	var a coin.Assignment
-	switch o.Init {
-	case InitRandom:
-		a = coin.RandomAssignment(src, maxes, pool)
-	case InitUniform:
-		a = coin.UniformRandomAssignment(src, maxes)
-	case InitHotspot:
-		a = coin.HotspotAssignment(src, maxes, pool)
-	default:
-		panic(fmt.Sprintf("blitzcoin: unknown init distribution %q", o.Init))
-	}
-
-	e := coin.NewEmulator(cfg, src)
-	e.Init(a)
-	res := e.Run()
-	return ExchangeResult{
-		Converged:            res.Converged,
-		ConvergenceCycles:    res.ConvergenceCycles,
-		ConvergenceMicros:    res.ConvergenceMicros(),
-		PacketsToConvergence: res.PacketsToConvergence,
-		StartErr:             res.StartErr,
-		FinalErr:             res.FinalErr,
-		WorstTileErr:         res.WorstTileErr,
-		TotalPackets:         res.TotalPackets,
-		Exchanges:            res.Exchanges,
-		ThermalRejects:       e.ThermalRejects(),
-		CoinsConserved:       res.Conserved(),
-		Dropped:              res.Dropped,
-		Retries:              res.Retries,
-		LocksBroken:          res.LocksBroken,
-		NeighborsPruned:      res.NbrsPruned,
-		TilesDead:            res.TilesDead,
-		AuditRepairs:         res.AuditRepairs,
-		PoolViolation:        res.PoolViolation,
-	}
-}
 
 // ScalingModel is a fitted response-time law T(N) for one PM scheme
 // (Sec. V-E).
 type ScalingModel struct {
 	// Name is the scheme ("BC", "BC-C", "C-RR", "TS", "PT", "SW").
-	Name string
+	Name string `json:"name"`
 	// Law is "O(N)" or "O(sqrt(N))".
-	Law string
+	Law string `json:"law"`
 	// TauMicros is the fitted scaling constant.
-	TauMicros float64
+	TauMicros float64 `json:"tau_micros"`
 }
 
 // Response returns the projected response time in microseconds for an
@@ -310,3 +113,25 @@ func FitScaling(name, law string, ns, responsesUs []float64) ScalingModel {
 
 // CyclesToMicros converts NoC cycles (800 MHz) to microseconds.
 func CyclesToMicros(c uint64) float64 { return sim.CyclesToMicros(c) }
+
+// AcceleratorPoint is one DVFS operating point of an accelerator's
+// characterization (Fig. 13).
+type AcceleratorPoint struct {
+	V    float64 `json:"v"`     // supply voltage (V)
+	FMHz float64 `json:"f_mhz"` // maximum frequency at V
+	PmW  float64 `json:"p_mw"`  // power at that point
+}
+
+// AcceleratorCurve returns the power/frequency characterization of one of
+// the six modeled accelerators: FFT, Viterbi, NVDLA, GEMM, Conv2D, Vision.
+func AcceleratorCurve(name string) ([]AcceleratorPoint, error) {
+	c, ok := power.Catalog()[name]
+	if !ok {
+		return nil, fmt.Errorf("blitzcoin: unknown accelerator %q", name)
+	}
+	out := make([]AcceleratorPoint, len(c.Points))
+	for i, p := range c.Points {
+		out[i] = AcceleratorPoint{V: p.V, FMHz: p.FMHz, PmW: p.PmW}
+	}
+	return out, nil
+}

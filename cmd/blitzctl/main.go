@@ -1,0 +1,122 @@
+// Command blitzctl is the blitzd client: it builds or forwards a
+// blitzcoin.Request, POSTs it to the daemon, and prints the response
+// envelope JSON (which embeds the result and the cached/coalesced serving
+// annotations).
+//
+// Usage:
+//
+//	blitzctl -addr 127.0.0.1:8425 -figure 7 [-trials 50] [-seed 1]
+//	blitzctl -exchange [-dim 8] [-trials 10] [-seed 1]
+//	blitzctl -soc 3x3 [-scheme BC] [-seed 1]
+//	blitzctl -req request.json      # or -req - for stdin
+//	blitzctl -figures               # list the figure registry
+//	blitzctl -metrics               # scrape /metrics
+//
+// Exit status is 0 on HTTP 200, 1 otherwise.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"blitzcoin"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8425", "blitzd address (host:port)")
+	reqFile := flag.String("req", "", "POST a request from this JSON file (- for stdin)")
+	figure := flag.String("figure", "", "reproduce a figure by registry name")
+	exchange := flag.Bool("exchange", false, "run an exchange sweep")
+	socName := flag.String("soc", "", "run a SoC simulation on this platform (3x3, 4x4, 6x6)")
+	scheme := flag.String("scheme", "", "PM scheme for -soc")
+	dim := flag.Int("dim", 0, "mesh dimension for -exchange")
+	trials := flag.Int("trials", 0, "trial count for -exchange / -figure")
+	seed := flag.Uint64("seed", 0, "base random seed")
+	metrics := flag.Bool("metrics", false, "scrape and print /metrics")
+	figures := flag.Bool("figures", false, "list the figure registry")
+	timeout := flag.Duration("timeout", 10*time.Minute, "request timeout")
+	flag.Parse()
+
+	base := "http://" + strings.TrimPrefix(*addr, "http://")
+	client := &http.Client{Timeout: *timeout}
+
+	switch {
+	case *metrics:
+		get(client, base+"/metrics")
+	case *figures:
+		get(client, base+"/v1/figures")
+	default:
+		body, err := buildRequest(*reqFile, *figure, *exchange, *socName, *scheme, *dim, *trials, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "blitzctl: %v\n", err)
+			os.Exit(1)
+		}
+		post(client, base+"/v1/sweep", body)
+	}
+}
+
+// buildRequest assembles the POST body from the selected mode.
+func buildRequest(reqFile, figure string, exchange bool, socName, scheme string, dim, trials int, seed uint64) ([]byte, error) {
+	modes := 0
+	for _, on := range []bool{reqFile != "", figure != "", exchange, socName != ""} {
+		if on {
+			modes++
+		}
+	}
+	if modes != 1 {
+		return nil, fmt.Errorf("pick exactly one of -req, -figure, -exchange, -soc (have %d)", modes)
+	}
+	switch {
+	case reqFile == "-":
+		return io.ReadAll(os.Stdin)
+	case reqFile != "":
+		return os.ReadFile(reqFile)
+	case figure != "":
+		return json.Marshal(blitzcoin.Request{Figure: &blitzcoin.FigureOptions{
+			Name: figure, Trials: trials, Seed: seed,
+		}})
+	case exchange:
+		return json.Marshal(blitzcoin.Request{Trials: trials, Exchange: &blitzcoin.ExchangeOptions{
+			Dim: dim, Torus: true, RandomPairing: true, Seed: seed,
+		}})
+	default:
+		return json.Marshal(blitzcoin.Request{SoC: &blitzcoin.SoCOptions{
+			SoC: socName, Scheme: blitzcoin.Scheme(scheme), Seed: seed,
+		}})
+	}
+}
+
+func get(client *http.Client, url string) {
+	resp, err := client.Get(url)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "blitzctl: %v\n", err)
+		os.Exit(1)
+	}
+	emit(resp)
+}
+
+func post(client *http.Client, url string, body []byte) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "blitzctl: %v\n", err)
+		os.Exit(1)
+	}
+	emit(resp)
+}
+
+// emit streams the response body to stdout and exits non-zero on non-200.
+func emit(resp *http.Response) {
+	defer resp.Body.Close()
+	io.Copy(os.Stdout, resp.Body) //nolint:errcheck // best effort to a pipe
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "blitzctl: HTTP %s\n", resp.Status)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,100 @@
+// Command blitzd is the batched, cached sweep-serving daemon: it accepts
+// blitzcoin.Request JSON over HTTP, schedules the computations on a
+// bounded worker pool, coalesces identical in-flight requests into one
+// computation, and serves repeats byte-identically from a content-
+// addressed result cache keyed on the canonical request hash and engine
+// version.
+//
+// Usage:
+//
+//	blitzd [-addr :8425] [-workers 2] [-parallel 0]
+//	       [-cache-entries 256] [-cache-mb 64]
+//	       [-addrfile path] [-drain-timeout 30s]
+//
+// Endpoints: POST /v1/sweep, GET /v1/figures, GET /healthz, GET /metrics,
+// and /debug/pprof. SIGINT/SIGTERM drain gracefully: in-flight sweeps
+// finish (up to -drain-timeout), new ones are refused.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"blitzcoin/internal/server"
+	"blitzcoin/internal/sweep"
+)
+
+func main() {
+	addr := flag.String("addr", ":8425", "listen address (use :0 for an ephemeral port)")
+	workers := flag.Int("workers", 2, "concurrent sweep computations")
+	parallel := flag.Int("parallel", 0, "worker goroutines per sweep (0 = GOMAXPROCS)")
+	cacheEntries := flag.Int("cache-entries", 256, "result-cache entry bound (<0 disables)")
+	cacheMB := flag.Int("cache-mb", 64, "result-cache size bound in MiB (<0 disables)")
+	addrFile := flag.String("addrfile", "", "write the bound address to this file (for scripts)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight sweeps")
+	flag.Parse()
+	sweep.SetDefaultParallelism(*parallel)
+
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	srv := server.New(server.Config{
+		Workers:      *workers,
+		CacheEntries: *cacheEntries,
+		CacheBytes:   int64(*cacheMB) << 20,
+		Logger:       log,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Error("listen", "addr", *addr, "error", err)
+		os.Exit(1)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			log.Error("addrfile", "path", *addrFile, "error", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("blitzd listening on %s\n", bound)
+
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		log.Error("serve", "error", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	log.Info("draining", "timeout", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop accepting and let in-flight HTTP exchanges finish, then drain
+	// the computation pool (detached leaders may outlive their clients).
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Warn("http shutdown", "error", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Warn("drain incomplete", "error", err)
+		os.Exit(1)
+	}
+	log.Info("bye")
+}

@@ -13,15 +13,20 @@
 //	blitzsim -fig 3 -cpuprofile cpu.out -memprofile mem.out
 //
 // Trials fan out across -parallel worker goroutines (0 = GOMAXPROCS);
-// every parallelism level prints byte-identical rows.
+// every parallelism level prints byte-identical rows. SIGINT cancels the
+// sweep in flight: already-finished trials are folded into the rows, which
+// print with a partial-results warning.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 
 	"blitzcoin/internal/experiments"
 	"blitzcoin/internal/sweep"
@@ -37,6 +42,12 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 	sweep.SetDefaultParallelism(*parallel)
+
+	// SIGINT/SIGTERM cancel the sweeps: no new trials are dispatched, the
+	// trials already running finish, and the partially filled rows print
+	// with a warning.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -80,54 +91,67 @@ func main() {
 	run := map[string]func(){
 		"3": func() {
 			fmt.Println("# Fig. 3 — 1-way vs 4-way: packets and cycles to convergence (Err < 1.5)")
-			for _, r := range experiments.Fig03(dims, pick(100), *seed) {
+			for _, r := range experiments.Fig03(ctx, dims, pick(100), *seed) {
 				fmt.Println(r)
 			}
 		},
 		"4": func() {
 			fmt.Println("# Fig. 4 — BlitzCoin vs TokenSmart convergence time")
-			for _, r := range experiments.Fig04(dims, pick(100), *seed) {
+			for _, r := range experiments.Fig04(ctx, dims, pick(100), *seed) {
 				fmt.Println(r)
 			}
 		},
 		"6": func() {
 			fmt.Println("# Fig. 6 — conventional vs dynamic-timing 1-way exchange (Err < 1.0)")
-			for _, r := range experiments.Fig06(dims, pick(100), *seed) {
+			for _, r := range experiments.Fig06(ctx, dims, pick(100), *seed) {
 				fmt.Println(r)
 			}
 		},
 		"7": func() {
 			fmt.Println("# Fig. 7 — worst-case residual error with/without random pairing")
-			for _, r := range experiments.Fig07([]int{100, 400}, pick(1000), *seed) {
+			for _, r := range experiments.Fig07(ctx, []int{100, 400}, pick(1000), *seed) {
 				fmt.Println(r)
 				fmt.Print(r.Hist)
 			}
 		},
 		"8": func() {
 			fmt.Println("# Fig. 8 — convergence time vs heterogeneity (accType) and size")
-			for _, r := range experiments.Fig08(dims, []int{1, 2, 4, 8}, pick(50), *seed) {
+			for _, r := range experiments.Fig08(ctx, dims, []int{1, 2, 4, 8}, pick(50), *seed) {
 				fmt.Println(r)
 			}
 		},
 		"contention": func() {
 			fmt.Println("# Extension — convergence under background plane-5 traffic")
-			for _, r := range experiments.ContentionStudy(12, []int{0, 20, 50, 100, 200}, pick(10), *seed) {
+			for _, r := range experiments.ContentionStudy(ctx, 12, []int{0, 20, 50, 100, 200}, pick(10), *seed) {
 				fmt.Println(r)
 			}
 		},
 		"faults": func() {
 			fmt.Println("# Extension — hardened exchange under PM-plane packet loss")
-			for _, r := range experiments.FaultStudy([]int{6, 10, 14},
+			for _, r := range experiments.FaultStudy(ctx, []int{6, 10, 14},
 				[]float64{0, 0.005, 0.01, 0.02, 0.05}, pick(10), *seed) {
 				fmt.Println(r)
 			}
 		},
 	}
 
+	// interrupted reports (and announces) a cancelled sweep: the rows
+	// printed so far fold only the trials that finished before SIGINT.
+	interrupted := func() bool {
+		if ctx.Err() == nil {
+			return false
+		}
+		fmt.Println("\nblitzsim: interrupted — partial results above (undispatched trials omitted)")
+		return true
+	}
+
 	if *fig == "all" {
 		for _, k := range []string{"3", "4", "6", "7", "8", "contention", "faults"} {
 			run[k]()
 			fmt.Println()
+			if interrupted() {
+				os.Exit(130)
+			}
 		}
 		return
 	}
@@ -137,4 +161,7 @@ func main() {
 		os.Exit(2)
 	}
 	f()
+	if interrupted() {
+		os.Exit(130)
+	}
 }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
@@ -30,12 +31,14 @@ func main() {
 		fatal(err)
 	}
 
+	ctx := context.Background()
+
 	dims := []int{4, 8, 12, 16, 20}
 
 	writeCSV(*outdir, "fig03_exchange_modes.csv",
 		[]string{"mode", "d", "N", "cycles_mean", "cycles_p95", "packets_mean"},
 		func(emit func(...string)) {
-			for _, r := range experiments.Fig03(dims, *trials, *seed) {
+			for _, r := range experiments.Fig03(ctx, dims, *trials, *seed) {
 				emit(r.Label, itoa(r.D), itoa(r.N),
 					ftoa(r.MeanCycles), ftoa(r.P95Cycles), ftoa(r.MeanPackets))
 			}
@@ -44,7 +47,7 @@ func main() {
 	writeCSV(*outdir, "fig04_bc_vs_tokensmart.csv",
 		[]string{"scheme", "d", "N", "cycles_mean", "cycles_p95", "cycles_max"},
 		func(emit func(...string)) {
-			for _, r := range experiments.Fig04(dims, *trials, *seed) {
+			for _, r := range experiments.Fig04(ctx, dims, *trials, *seed) {
 				emit(r.Label, itoa(r.D), itoa(r.N),
 					ftoa(r.MeanCycles), ftoa(r.P95Cycles), ftoa(r.MaxCycles))
 			}
@@ -53,7 +56,7 @@ func main() {
 	writeCSV(*outdir, "fig06_dynamic_timing.csv",
 		[]string{"variant", "d", "N", "cycles_mean", "packets_mean"},
 		func(emit func(...string)) {
-			for _, r := range experiments.Fig06(dims, *trials, *seed) {
+			for _, r := range experiments.Fig06(ctx, dims, *trials, *seed) {
 				emit(r.Label, itoa(r.D), itoa(r.N), ftoa(r.MeanCycles), ftoa(r.MeanPackets))
 			}
 		})
@@ -61,7 +64,7 @@ func main() {
 	writeCSV(*outdir, "fig07_residual_error.csv",
 		[]string{"N", "random_pairing", "bucket_center", "count"},
 		func(emit func(...string)) {
-			for _, r := range experiments.Fig07([]int{100, 400}, *trials, *seed) {
+			for _, r := range experiments.Fig07(ctx, []int{100, 400}, *trials, *seed) {
 				for i, c := range r.Hist.Counts {
 					if c == 0 {
 						continue
@@ -75,7 +78,7 @@ func main() {
 	writeCSV(*outdir, "fig08_heterogeneity.csv",
 		[]string{"acc_types", "d", "N", "cycles_mean", "start_error"},
 		func(emit func(...string)) {
-			for _, r := range experiments.Fig08(dims, []int{1, 2, 4, 8}, *trials, *seed) {
+			for _, r := range experiments.Fig08(ctx, dims, []int{1, 2, 4, 8}, *trials, *seed) {
 				emit(r.Label, itoa(r.D), itoa(r.N), ftoa(r.MeanCycles), ftoa(r.MeanStartErr))
 			}
 		})
@@ -89,7 +92,7 @@ func main() {
 		})
 
 	// Fig. 16 power traces: one file per run.
-	experiments.Fig16(*seed, func(name string) io.Writer {
+	experiments.Fig16(ctx, *seed, func(name string) io.Writer {
 		f, err := os.Create(filepath.Join(*outdir, name))
 		if err != nil {
 			fatal(err)
@@ -97,13 +100,13 @@ func main() {
 		return f
 	})
 
-	writeCSV(*outdir, "fig17_soc3x3.csv", socHeader(), socRows(experiments.Fig17(*seed)))
-	writeCSV(*outdir, "fig18_soc4x4.csv", socHeader(), socRows(experiments.Fig18(*seed)))
+	writeCSV(*outdir, "fig17_soc3x3.csv", socHeader(), socRows(experiments.Fig17(ctx, *seed)))
+	writeCSV(*outdir, "fig18_soc4x4.csv", socHeader(), socRows(experiments.Fig18(ctx, *seed)))
 
 	writeCSV(*outdir, "fig19_silicon.csv",
 		[]string{"accelerators", "exec_us", "utilization_pct", "gain_vs_static_pct", "resp_us"},
 		func(emit func(...string)) {
-			for _, r := range experiments.Fig19(200, *seed) {
+			for _, r := range experiments.Fig19(ctx, 200, *seed) {
 				emit(itoa(r.Accelerators), ftoa(r.ExecUs), ftoa(r.UtilizationPct),
 					ftoa(r.ThroughputGainPct), ftoa(r.MeanResponseUs))
 			}
@@ -122,7 +125,7 @@ func main() {
 	fmt.Printf("fig20 transition response: %.2f us\n", float64(resp)/800)
 
 	// Fig. 21: fitted models and projections.
-	models := experiments.FitScalingModels(*seed)
+	models := experiments.FitScalingModels(ctx, *seed)
 	writeCSV(*outdir, "fig21_scaling.csv",
 		[]string{"scheme", "law", "tau_us", "nmax_0p2ms", "nmax_1ms", "nmax_7ms", "nmax_10ms", "overhead_pct_n100_10ms"},
 		func(emit func(...string)) {
@@ -140,7 +143,7 @@ func main() {
 	writeCSV(*outdir, "table1_comparison.csv",
 		[]string{"strategy", "reference", "control", "allocation", "levels", "resp_us_n13", "scaling"},
 		func(emit func(...string)) {
-			for _, r := range experiments.Table1(*seed) {
+			for _, r := range experiments.Table1(ctx, *seed) {
 				emit(r.Strategy, r.Reference, r.Control, r.Allocation,
 					itoa(r.Levels), ftoa(r.ResponseUs), r.Scaling)
 			}
@@ -149,7 +152,7 @@ func main() {
 	writeCSV(*outdir, "ap_vs_rp.csv",
 		[]string{"budget_mw", "ap_exec_us", "rp_exec_us", "rp_gain_pct"},
 		func(emit func(...string)) {
-			for _, r := range experiments.APvsRP([]float64{60, 80, 100, 120}, *seed) {
+			for _, r := range experiments.APvsRP(ctx, []float64{60, 80, 100, 120}, *seed) {
 				emit(ftoa(r.BudgetMW), ftoa(r.APExecUs), ftoa(r.RPExecUs), ftoa(r.RPImprovementPct))
 			}
 		})

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +28,8 @@ func main() {
 	usePaper := flag.Bool("paper", false, "use the paper's fitted tau constants instead of refitting")
 	seed := flag.Uint64("seed", 1, "random seed for the fitting runs")
 	flag.Parse()
+
+	ctx := context.Background()
 
 	switch {
 	case *fig == "1":
@@ -45,7 +48,7 @@ func main() {
 			fmt.Println("# Fig. 21 — using the paper's tau constants")
 		} else {
 			fmt.Println("# Fig. 21 — fitting tau from this repo's measured SoC responses...")
-			models = experiments.FitScalingModels(*seed)
+			models = experiments.FitScalingModels(ctx, *seed)
 		}
 		names := make([]string, 0, len(models))
 		for n := range models {
@@ -79,7 +82,7 @@ func main() {
 		}
 	case *table == "1":
 		fmt.Println("# Table I — implemented state-of-the-art designs (response measured at N=13)")
-		for _, r := range experiments.Table1(*seed) {
+		for _, r := range experiments.Table1(ctx, *seed) {
 			fmt.Println(r)
 		}
 	default:

@@ -12,9 +12,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"blitzcoin/internal/experiments"
 )
@@ -26,10 +29,13 @@ func main() {
 	trace := flag.String("trace", "", "CSV path for the Fig. 20 coin-count trace (optional)")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	run := map[string]func(){
 		"19": func() {
 			fmt.Println("# Fig. 19 — silicon proxy: utilization and throughput vs static allocation")
-			for _, r := range experiments.Fig19(*budget, *seed) {
+			for _, r := range experiments.Fig19(ctx, *budget, *seed) {
 				fmt.Println(r)
 			}
 			fmt.Println("\n# Fig. 19 (bottom left) — coin allocation before/after convergence")
@@ -39,7 +45,7 @@ func main() {
 		},
 		"20": func() {
 			fmt.Println("# Fig. 20 — response to activity transitions, 7-accelerator workload")
-			for _, r := range experiments.Fig20(*budget, *seed) {
+			for _, r := range experiments.Fig20(ctx, *budget, *seed) {
 				fmt.Println(r)
 			}
 			rec, resp := experiments.Fig20Trace(*budget, *seed)

@@ -13,17 +13,21 @@
 //
 // Independent SoC runs within an experiment fan out across -parallel
 // worker goroutines (0 = GOMAXPROCS); every parallelism level prints
-// byte-identical rows.
+// byte-identical rows. SIGINT cancels the runs in flight and prints a
+// partial-results warning.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 
 	"blitzcoin/internal/experiments"
 	"blitzcoin/internal/sweep"
@@ -38,6 +42,11 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 	sweep.SetDefaultParallelism(*parallel)
+
+	// SIGINT/SIGTERM cancel the experiment sweeps: runs already started
+	// finish, undispatched ones are skipped, and the output is flagged.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -94,7 +103,7 @@ func main() {
 		},
 		"16": func() {
 			fmt.Println("# Fig. 16 — 3x3 power traces (WL-Par @120mW, WL-Dep @60mW)")
-			for _, r := range experiments.Fig16(*seed, csvSink) {
+			for _, r := range experiments.Fig16(ctx, *seed, csvSink) {
 				fmt.Println(r)
 			}
 			if *outdir != "" {
@@ -103,34 +112,45 @@ func main() {
 		},
 		"17": func() {
 			fmt.Println("# Fig. 17 — 3x3 SoC: execution and response time, BC vs BC-C vs C-RR")
-			for _, r := range experiments.Fig17(*seed) {
+			for _, r := range experiments.Fig17(ctx, *seed) {
 				fmt.Println(r)
 			}
 		},
 		"18": func() {
 			fmt.Println("# Fig. 18 — 4x4 SoC: execution and response time, BC vs BC-C vs C-RR")
-			for _, r := range experiments.Fig18(*seed) {
+			for _, r := range experiments.Fig18(ctx, *seed) {
 				fmt.Println(r)
 			}
 		},
 		"ap-rp": func() {
 			fmt.Println("# Sec. VI-A — Absolute vs Relative Proportional allocation (3x3, BC)")
-			for _, r := range experiments.APvsRP([]float64{60, 80, 100, 120}, *seed) {
+			for _, r := range experiments.APvsRP(ctx, []float64{60, 80, 100, 120}, *seed) {
 				fmt.Println(r)
 			}
 		},
 		"degraded": func() {
 			fmt.Println("# Extension — degraded mode: 3x3 BC with 0..3 tiles killed mid-workload")
-			for _, r := range experiments.DegradedSoC(*seed) {
+			for _, r := range experiments.DegradedSoC(ctx, *seed) {
 				fmt.Println(r)
 			}
 		},
+	}
+
+	interrupted := func() bool {
+		if ctx.Err() == nil {
+			return false
+		}
+		fmt.Println("\nsocsim: interrupted — partial results above (undispatched runs omitted)")
+		return true
 	}
 
 	if *fig == "all" {
 		for _, k := range []string{"13", "16", "17", "18", "ap-rp", "degraded"} {
 			run[k]()
 			fmt.Println()
+			if interrupted() {
+				os.Exit(130)
+			}
 		}
 		return
 	}
@@ -140,4 +160,7 @@ func main() {
 		os.Exit(2)
 	}
 	f()
+	if interrupted() {
+		os.Exit(130)
+	}
 }

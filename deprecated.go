@@ -1,0 +1,20 @@
+package blitzcoin
+
+// Aliases kept for source compatibility with the pre-daemon API, where the
+// fault-schedule types carried an At suffix. New code should use the
+// canonical names.
+
+// TileFaultAt is the former name of TileFault.
+//
+// Deprecated: use TileFault.
+type TileFaultAt = TileFault
+
+// LinkFaultAt is the former name of LinkFault.
+//
+// Deprecated: use LinkFault.
+type LinkFaultAt = LinkFault
+
+// SlowFaultAt is the former name of SlowFault.
+//
+// Deprecated: use SlowFault.
+type SlowFaultAt = SlowFault

@@ -9,11 +9,11 @@ import (
 // input to the power-proxy extension (Sec. IV-C via Floyd [18] and
 // Huang [75]).
 type CPUActivityWindow struct {
-	Cycles     uint64
-	Instr      uint64
-	MemOps     uint64
-	FPOps      uint64
-	BranchMiss uint64
+	Cycles     uint64 `json:"cycles"`
+	Instr      uint64 `json:"instr"`
+	MemOps     uint64 `json:"mem_ops"`
+	FPOps      uint64 `json:"fp_ops"`
+	BranchMiss uint64 `json:"branch_miss"`
 }
 
 // CPUPowerProxy derives a CPU tile's BlitzCoin coin target from observed
@@ -56,14 +56,14 @@ func (p *CPUPowerProxy) EstimateMW() float64 { return p.mgr.Proxy.EstimateMW() }
 // power all the time.
 type DroopComparison struct {
 	// UVFRFreqBeforeMHz and UVFRFreqDuringMHz show the clock stretching.
-	UVFRFreqBeforeMHz float64
-	UVFRFreqDuringMHz float64
+	UVFRFreqBeforeMHz float64 `json:"uvfr_freq_before_mhz"`
+	UVFRFreqDuringMHz float64 `json:"uvfr_freq_during_mhz"`
 	// ConventionalViolated reports whether the droop breached the
 	// conventional design's guardband (a potential timing failure).
-	ConventionalViolated bool
+	ConventionalViolated bool `json:"conventional_violated"`
 	// GuardbandPowerPenaltyPct is the steady-state dynamic-power overhead
 	// the conventional guardband costs; the UVFR's equivalent is zero.
-	GuardbandPowerPenaltyPct float64
+	GuardbandPowerPenaltyPct float64 `json:"guardband_power_penalty_pct"`
 }
 
 // CompareDroop runs both actuators to a settled operating point at

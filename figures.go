@@ -1,0 +1,413 @@
+package blitzcoin
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"blitzcoin/internal/experiments"
+)
+
+// FigureOptions selects one of the paper's figures or tables by registry
+// name and overrides its sweep parameters. Every field except Name is
+// optional; zero values take the figure's own defaults (the same defaults
+// the CLIs use), so a bare {"name": "7"} reproduces the published plot.
+type FigureOptions struct {
+	// Name is the registry key: "1", "3", "4", "6", "7", "8", "13", "16",
+	// "17", "18", "19", "20", "21", "ap-rp", "contention", "degraded",
+	// "faults", "nopm", "table1". FigureNames lists them.
+	Name string `json:"name"`
+	// Trials overrides the Monte Carlo trials per point where the figure
+	// sweeps (default: figure-specific, matching the CLIs).
+	Trials int `json:"trials,omitempty"`
+	// Seed is the base random seed. Default 1.
+	Seed uint64 `json:"seed,omitempty"`
+	// Dims overrides the mesh-dimension sweep of the exchange figures.
+	Dims []int `json:"dims,omitempty"`
+	// Ns overrides the tile counts of Fig. 7 / SoC sizes of Fig. 1.
+	Ns []int `json:"ns,omitempty"`
+	// AccelTypes overrides the heterogeneity sweep of Fig. 8.
+	AccelTypes []int `json:"accel_types,omitempty"`
+	// BudgetMW overrides the PM budget of the silicon figures (19, 20).
+	BudgetMW float64 `json:"budget_mw,omitempty"`
+	// BudgetsMW overrides the budget sweep of the AP-vs-RP study.
+	BudgetsMW []float64 `json:"budgets_mw,omitempty"`
+	// DropRates overrides the packet-loss sweep of the fault study.
+	DropRates []float64 `json:"drop_rates,omitempty"`
+	// BgRates overrides the background-traffic sweep of the contention
+	// study (packets per 1000 cycles per tile).
+	BgRates []int `json:"bg_rates,omitempty"`
+	// Dim overrides the mesh dimension of the contention study.
+	Dim int `json:"dim,omitempty"`
+	// TwsMs overrides the workload phase durations of Figs. 1 and 21.
+	TwsMs []float64 `json:"tws_ms,omitempty"`
+}
+
+// figureSpec is one registry entry: the heading, the per-figure defaults,
+// and the runner that renders the deterministic report lines.
+type figureSpec struct {
+	title    string
+	defaults func(*FigureOptions)
+	run      func(ctx context.Context, o FigureOptions) []string
+}
+
+// stringRows renders any row slice whose elements implement Stringer.
+func stringRows[T fmt.Stringer](rows []T) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r.String()
+	}
+	return out
+}
+
+var paperDims = []int{4, 8, 12, 16, 20}
+
+// figureRegistry maps registry names to their specs. Runners mirror the
+// CLI output byte for byte, so a served figure equals the printed one.
+var figureRegistry = map[string]figureSpec{
+	"1": {
+		title: "Fig. 1 — response time vs activity-change interval Tw/N",
+		defaults: func(o *FigureOptions) {
+			if len(o.Ns) == 0 {
+				o.Ns = []int{5, 10, 20, 50, 100, 200, 500, 1000}
+			}
+			if len(o.TwsMs) == 0 {
+				o.TwsMs = []float64{1, 5, 20}
+			}
+		},
+		run: func(_ context.Context, o FigureOptions) []string {
+			ns := make([]float64, len(o.Ns))
+			for i, n := range o.Ns {
+				ns[i] = float64(n)
+			}
+			lines := []string{"scheme   N     T(N) us    Tw(ms)  Tw/N us  supported"}
+			for _, r := range experiments.Fig01(ns, o.TwsMs) {
+				lines = append(lines, fmt.Sprintf("%-6s %5.0f %9.2f %8.0f %9.2f  %v",
+					r.Scheme, r.N, r.ResponseUs, r.TwMs, r.IntervalUs, r.Supported))
+			}
+			return lines
+		},
+	},
+	"3": {
+		title:    "Fig. 3 — 1-way vs 4-way: packets and cycles to convergence (Err < 1.5)",
+		defaults: func(o *FigureOptions) { figDimsTrials(o, 100) },
+		run: func(ctx context.Context, o FigureOptions) []string {
+			return stringRows(experiments.Fig03(ctx, o.Dims, o.Trials, o.Seed))
+		},
+	},
+	"4": {
+		title:    "Fig. 4 — BlitzCoin vs TokenSmart convergence time",
+		defaults: func(o *FigureOptions) { figDimsTrials(o, 100) },
+		run: func(ctx context.Context, o FigureOptions) []string {
+			return stringRows(experiments.Fig04(ctx, o.Dims, o.Trials, o.Seed))
+		},
+	},
+	"6": {
+		title:    "Fig. 6 — conventional vs dynamic-timing 1-way exchange (Err < 1.0)",
+		defaults: func(o *FigureOptions) { figDimsTrials(o, 100) },
+		run: func(ctx context.Context, o FigureOptions) []string {
+			return stringRows(experiments.Fig06(ctx, o.Dims, o.Trials, o.Seed))
+		},
+	},
+	"7": {
+		title: "Fig. 7 — worst-case residual error with/without random pairing",
+		defaults: func(o *FigureOptions) {
+			if len(o.Ns) == 0 {
+				o.Ns = []int{100, 400}
+			}
+			if o.Trials == 0 {
+				o.Trials = 1000
+			}
+		},
+		run: func(ctx context.Context, o FigureOptions) []string {
+			var lines []string
+			for _, r := range experiments.Fig07(ctx, o.Ns, o.Trials, o.Seed) {
+				lines = append(lines, r.String())
+				lines = append(lines, strings.Split(strings.TrimRight(r.Hist.String(), "\n"), "\n")...)
+			}
+			return lines
+		},
+	},
+	"8": {
+		title: "Fig. 8 — convergence time vs heterogeneity (accType) and size",
+		defaults: func(o *FigureOptions) {
+			figDimsTrials(o, 50)
+			if len(o.AccelTypes) == 0 {
+				o.AccelTypes = []int{1, 2, 4, 8}
+			}
+		},
+		run: func(ctx context.Context, o FigureOptions) []string {
+			return stringRows(experiments.Fig08(ctx, o.Dims, o.AccelTypes, o.Trials, o.Seed))
+		},
+	},
+	"13": {
+		title:    "Fig. 13 — accelerator power/frequency characterization",
+		defaults: func(o *FigureOptions) {},
+		run: func(_ context.Context, o FigureOptions) []string {
+			lines := []string{"accel   V      F(MHz)   P(mW)"}
+			for _, p := range experiments.Fig13() {
+				lines = append(lines, fmt.Sprintf("%-7s %.2f %8.1f %8.2f", p.Accel, p.V, p.FMHz, p.PmW))
+			}
+			return lines
+		},
+	},
+	"16": {
+		title:    "Fig. 16 — 3x3 power traces (WL-Par @120mW, WL-Dep @60mW)",
+		defaults: func(o *FigureOptions) {},
+		run: func(ctx context.Context, o FigureOptions) []string {
+			noCSV := func(string) io.Writer { return nil }
+			return stringRows(experiments.Fig16(ctx, o.Seed, noCSV))
+		},
+	},
+	"17": {
+		title:    "Fig. 17 — 3x3 SoC: execution and response time, BC vs BC-C vs C-RR",
+		defaults: func(o *FigureOptions) {},
+		run: func(ctx context.Context, o FigureOptions) []string {
+			return stringRows(experiments.Fig17(ctx, o.Seed))
+		},
+	},
+	"18": {
+		title:    "Fig. 18 — 4x4 SoC: execution and response time, BC vs BC-C vs C-RR",
+		defaults: func(o *FigureOptions) {},
+		run: func(ctx context.Context, o FigureOptions) []string {
+			return stringRows(experiments.Fig18(ctx, o.Seed))
+		},
+	},
+	"19": {
+		title:    "Fig. 19 — silicon proxy: utilization and throughput vs static allocation",
+		defaults: func(o *FigureOptions) { figBudget(o) },
+		run: func(ctx context.Context, o FigureOptions) []string {
+			lines := stringRows(experiments.Fig19(ctx, o.BudgetMW, o.Seed))
+			lines = append(lines, "# Fig. 19 (bottom left) — coin allocation before/after convergence")
+			return append(lines, stringRows(experiments.Fig19Coins(o.BudgetMW, o.Seed))...)
+		},
+	},
+	"20": {
+		title:    "Fig. 20 — response to activity transitions, 7-accelerator workload",
+		defaults: func(o *FigureOptions) { figBudget(o) },
+		run: func(ctx context.Context, o FigureOptions) []string {
+			lines := stringRows(experiments.Fig20(ctx, o.BudgetMW, o.Seed))
+			rec, resp := experiments.Fig20Trace(o.BudgetMW, o.Seed)
+			lines = append(lines, fmt.Sprintf("# coin counts across the end-of-NVDLA transition (response %.2f us)",
+				float64(resp)/800))
+			for _, name := range rec.Names() {
+				lines = append(lines, fmt.Sprintf("  %-14s final=%2.0f coins", name, rec.Series(name).Last()))
+			}
+			return lines
+		},
+	},
+	"21": {
+		title: "Fig. 21 — Nmax and PM-overhead projections from refitted models",
+		defaults: func(o *FigureOptions) {
+			if len(o.TwsMs) == 0 {
+				o.TwsMs = []float64{0.2, 1, 7, 10}
+			}
+		},
+		run: func(ctx context.Context, o FigureOptions) []string {
+			models := experiments.FitScalingModels(ctx, o.Seed)
+			names := make([]string, 0, len(models))
+			for n := range models {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			var lines []string
+			for _, n := range names {
+				m := models[n]
+				lines = append(lines, fmt.Sprintf("%-5s %-11s tau=%.3f us", m.Name, m.Law, m.Tau))
+			}
+			for _, r := range experiments.Fig21(models, o.TwsMs) {
+				lines = append(lines, fmt.Sprintf("%-5s Tw=%5.1fms Nmax=%8.0f overhead@N=100,Tw=10ms=%5.1f%%",
+					r.Scheme, r.TwMs, r.NMax, r.OverheadPct))
+			}
+			return lines
+		},
+	},
+	"ap-rp": {
+		title: "Sec. VI-A — Absolute vs Relative Proportional allocation (3x3, BC)",
+		defaults: func(o *FigureOptions) {
+			if len(o.BudgetsMW) == 0 {
+				o.BudgetsMW = []float64{60, 80, 100, 120}
+			}
+		},
+		run: func(ctx context.Context, o FigureOptions) []string {
+			return stringRows(experiments.APvsRP(ctx, o.BudgetsMW, o.Seed))
+		},
+	},
+	"contention": {
+		title: "Extension — convergence under background plane-5 traffic",
+		defaults: func(o *FigureOptions) {
+			if o.Dim == 0 {
+				o.Dim = 12
+			}
+			if len(o.BgRates) == 0 {
+				o.BgRates = []int{0, 20, 50, 100, 200}
+			}
+			if o.Trials == 0 {
+				o.Trials = 10
+			}
+		},
+		run: func(ctx context.Context, o FigureOptions) []string {
+			return stringRows(experiments.ContentionStudy(ctx, o.Dim, o.BgRates, o.Trials, o.Seed))
+		},
+	},
+	"degraded": {
+		title:    "Extension — degraded mode: 3x3 BC with 0..3 tiles killed mid-workload",
+		defaults: func(o *FigureOptions) {},
+		run: func(ctx context.Context, o FigureOptions) []string {
+			return stringRows(experiments.DegradedSoC(ctx, o.Seed))
+		},
+	},
+	"faults": {
+		title: "Extension — hardened exchange under PM-plane packet loss",
+		defaults: func(o *FigureOptions) {
+			if len(o.Dims) == 0 {
+				o.Dims = []int{6, 10, 14}
+			}
+			if len(o.DropRates) == 0 {
+				o.DropRates = []float64{0, 0.005, 0.01, 0.02, 0.05}
+			}
+			if o.Trials == 0 {
+				o.Trials = 10
+			}
+		},
+		run: func(ctx context.Context, o FigureOptions) []string {
+			return stringRows(experiments.FaultStudy(ctx, o.Dims, o.DropRates, o.Trials, o.Seed))
+		},
+	},
+	"nopm": {
+		title:    "Sec. VI-C — PM overhead: BlitzCoin vs the No-PM baseline tile",
+		defaults: func(o *FigureOptions) {},
+		run: func(_ context.Context, o FigureOptions) []string {
+			return []string{experiments.NoPMOverhead(o.Seed).String()}
+		},
+	},
+	"table1": {
+		title:    "Table I — implemented state-of-the-art designs (response measured at N=13)",
+		defaults: func(o *FigureOptions) {},
+		run: func(ctx context.Context, o FigureOptions) []string {
+			return stringRows(experiments.Table1(ctx, o.Seed))
+		},
+	},
+}
+
+// figDimsTrials applies the shared exchange-figure defaults.
+func figDimsTrials(o *FigureOptions, trials int) {
+	if len(o.Dims) == 0 {
+		o.Dims = append([]int(nil), paperDims...)
+	}
+	if o.Trials == 0 {
+		o.Trials = trials
+	}
+}
+
+// figBudget applies the silicon-figure budget default.
+func figBudget(o *FigureOptions) {
+	if o.BudgetMW == 0 {
+		o.BudgetMW = 200
+	}
+}
+
+// FigureNames lists the registry, sorted.
+func FigureNames() []string {
+	names := make([]string, 0, len(figureRegistry))
+	for n := range figureRegistry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FigureTitle returns the heading of a registered figure.
+func FigureTitle(name string) (string, bool) {
+	s, ok := figureRegistry[name]
+	if !ok {
+		return "", false
+	}
+	return s.title, true
+}
+
+// Normalized returns a copy with the seed and the figure's own sweep
+// defaults filled in. Unknown names pass through for Validate to report.
+func (o FigureOptions) Normalized() FigureOptions {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if s, ok := figureRegistry[o.Name]; ok {
+		o.Dims = append([]int(nil), o.Dims...)
+		o.Ns = append([]int(nil), o.Ns...)
+		o.AccelTypes = append([]int(nil), o.AccelTypes...)
+		o.BudgetsMW = append([]float64(nil), o.BudgetsMW...)
+		o.DropRates = append([]float64(nil), o.DropRates...)
+		o.BgRates = append([]int(nil), o.BgRates...)
+		o.TwsMs = append([]float64(nil), o.TwsMs...)
+		s.defaults(&o)
+	}
+	return o
+}
+
+// Validate reports whether the figure request is runnable.
+func (o FigureOptions) Validate() error {
+	o = o.Normalized()
+	if _, ok := figureRegistry[o.Name]; !ok {
+		return fmt.Errorf("blitzcoin: unknown figure %q (want one of %s)",
+			o.Name, strings.Join(FigureNames(), ", "))
+	}
+	if o.Trials < 0 {
+		return fmt.Errorf("blitzcoin: negative trial count %d", o.Trials)
+	}
+	for _, d := range append(append([]int(nil), o.Dims...), o.Dim) {
+		if d < 0 || (d > 0 && d < 2) {
+			return fmt.Errorf("blitzcoin: mesh dimension %d too small", d)
+		}
+	}
+	for _, n := range o.Ns {
+		if n < 1 {
+			return fmt.Errorf("blitzcoin: tile count %d < 1", n)
+		}
+	}
+	for _, a := range o.AccelTypes {
+		if a < 1 {
+			return fmt.Errorf("blitzcoin: accelerator type count %d < 1", a)
+		}
+	}
+	for _, r := range o.DropRates {
+		if r < 0 || r > 1 {
+			return fmt.Errorf("blitzcoin: drop rate %v outside [0,1]", r)
+		}
+	}
+	for _, r := range o.BgRates {
+		if r < 0 {
+			return fmt.Errorf("blitzcoin: negative background rate %d", r)
+		}
+	}
+	if o.BudgetMW < 0 {
+		return fmt.Errorf("blitzcoin: negative budget %v mW", o.BudgetMW)
+	}
+	for _, b := range o.BudgetsMW {
+		if b <= 0 {
+			return fmt.Errorf("blitzcoin: non-positive budget %v mW", b)
+		}
+	}
+	return nil
+}
+
+// RunFigure reproduces a registered figure and returns its report lines,
+// byte-identical to the corresponding CLI output at any parallelism. The
+// context cancels the figure's sweeps between runs; RunFigure itself does
+// not fail on cancellation — callers that must not serve partial figures
+// (Execute, the daemon) check ctx.Err() afterwards.
+func RunFigure(ctx context.Context, o FigureOptions) (FigureResult, error) {
+	o = o.Normalized()
+	if err := o.Validate(); err != nil {
+		return FigureResult{}, err
+	}
+	spec := figureRegistry[o.Name]
+	return FigureResult{
+		Meta:  newMeta(o.Seed, canonicalHash(string(KindFigure), o)),
+		Name:  o.Name,
+		Title: spec.title,
+		Lines: spec.run(ctx, o),
+	}, nil
+}

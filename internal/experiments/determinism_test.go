@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -37,10 +38,10 @@ func TestSweepParallelismDoesNotChangeRows(t *testing.T) {
 		run  func() string
 	}{
 		{"Fig03", func() string {
-			return renderRows(Fig03([]int{4, 8}, 6, 1))
+			return renderRows(Fig03(context.Background(), []int{4, 8}, 6, 1))
 		}},
 		{"Fig07", func() string {
-			rows := Fig07([]int{100}, 6, 1)
+			rows := Fig07(context.Background(), []int{100}, 6, 1)
 			var b strings.Builder
 			for _, r := range rows {
 				b.WriteString(r.String())
@@ -50,7 +51,7 @@ func TestSweepParallelismDoesNotChangeRows(t *testing.T) {
 			return b.String()
 		}},
 		{"FaultStudy", func() string {
-			return renderRows(FaultStudy([]int{6}, []float64{0, 0.01}, 4, 1))
+			return renderRows(FaultStudy(context.Background(), []int{6}, []float64{0, 0.01}, 4, 1))
 		}},
 	}
 	for _, tc := range cases {

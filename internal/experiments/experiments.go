@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"blitzcoin/internal/coin"
@@ -36,7 +37,7 @@ func (r ConvergenceRow) String() string {
 
 // runConvergence executes trials of the coin emulator with the given
 // configuration mutator and initialization, collecting convergence stats.
-func runConvergence(label string, d, trials int, seed uint64,
+func runConvergence(ctx context.Context, label string, d, trials int, seed uint64,
 	mut func(*coin.Config), initFn func(src *rng.Source, n int) coin.Assignment) ConvergenceRow {
 
 	cfg := coin.Config{
@@ -59,7 +60,7 @@ func runConvergence(label string, d, trials int, seed uint64,
 		converged       bool
 		cycles, packets float64
 	}
-	results := sweep.Map(trials, 0, func(t int) trialResult {
+	results := sweep.Map(ctx, trials, 0, func(t int) trialResult {
 		src := rng.New(seed + uint64(t)*7919)
 		e := coin.NewEmulator(cfg, src)
 		e.Init(initFn(src, cfg.Mesh.N()))
@@ -106,14 +107,14 @@ func hotspotInit(src *rng.Source, n int) coin.Assignment {
 // Fig03 compares the 1-way and 4-way exchange techniques: packets and NoC
 // cycles to convergence (Err < 1.5) across SoC dimensions, averaged over
 // random initializations.
-func Fig03(ds []int, trials int, seed uint64) []ConvergenceRow {
+func Fig03(ctx context.Context, ds []int, trials int, seed uint64) []ConvergenceRow {
 	var rows []ConvergenceRow
 	for _, d := range ds {
-		rows = append(rows, runConvergence("1-way", d, trials, seed,
+		rows = append(rows, runConvergence(ctx, "1-way", d, trials, seed,
 			func(c *coin.Config) { c.Mode = coin.OneWay }, hotspotInit))
 	}
 	for _, d := range ds {
-		rows = append(rows, runConvergence("4-way", d, trials, seed,
+		rows = append(rows, runConvergence(ctx, "4-way", d, trials, seed,
 			func(c *coin.Config) { c.Mode = coin.FourWay }, hotspotInit))
 	}
 	return rows
@@ -130,14 +131,14 @@ func uniformInit(src *rng.Source, n int) coin.Assignment {
 // Fig06 compares conventional 1-way exchange against 1-way with dynamic
 // timing (Err < 1.0): dynamic timing reduces both convergence time and
 // total packets.
-func Fig06(ds []int, trials int, seed uint64) []ConvergenceRow {
+func Fig06(ctx context.Context, ds []int, trials int, seed uint64) []ConvergenceRow {
 	var rows []ConvergenceRow
 	for _, d := range ds {
-		rows = append(rows, runConvergence("1-way conventional", d, trials, seed,
+		rows = append(rows, runConvergence(ctx, "1-way conventional", d, trials, seed,
 			func(c *coin.Config) { c.Threshold = 1.0 }, uniformInit))
 	}
 	for _, d := range ds {
-		rows = append(rows, runConvergence("1-way dynamic", d, trials, seed,
+		rows = append(rows, runConvergence(ctx, "1-way dynamic", d, trials, seed,
 			func(c *coin.Config) { c.Threshold = 1.0; c.DynamicTiming = true }, uniformInit))
 	}
 	return rows
@@ -146,13 +147,13 @@ func Fig06(ds []int, trials int, seed uint64) []ConvergenceRow {
 // Fig08 sweeps the degree of heterogeneity (number of distinct accelerator
 // types) and the SoC dimension, reporting convergence time and the initial
 // error (start_error grows with heterogeneity, lengthening convergence).
-func Fig08(ds []int, accTypes []int, trials int, seed uint64) []ConvergenceRow {
+func Fig08(ctx context.Context, ds []int, accTypes []int, trials int, seed uint64) []ConvergenceRow {
 	var rows []ConvergenceRow
 	for _, at := range accTypes {
 		at := at
 		for _, d := range ds {
 			label := fmt.Sprintf("accType=%d", at)
-			rows = append(rows, runConvergence(label, d, trials, seed, nil,
+			rows = append(rows, runConvergence(ctx, label, d, trials, seed, nil,
 				func(src *rng.Source, n int) coin.Assignment {
 					maxes := coin.HeterogeneousMaxes(src, n, at, 8)
 					var sum int64
@@ -187,7 +188,7 @@ func (r Fig07Row) String() string {
 // with and without random pairing, for N = 100 and 400: without pairing,
 // deadlocked local minima leave tiles off target; with pairing everything
 // converges to the 1-coin quantization limit.
-func Fig07(ns []int, trials int, seed uint64) []Fig07Row {
+func Fig07(ctx context.Context, ns []int, trials int, seed uint64) []Fig07Row {
 	var rows []Fig07Row
 	for _, n := range ns {
 		d := 1
@@ -209,7 +210,7 @@ func Fig07(ns []int, trials int, seed uint64) []Fig07Row {
 			}
 			row := Fig07Row{N: d * d, RandomPairing: pairing, Trials: trials,
 				Hist: stats.NewHistogram(0, 16, 64)}
-			worstErrs := sweep.Map(trials, 0, func(t int) float64 {
+			worstErrs := sweep.Map(ctx, trials, 0, func(t int) float64 {
 				src := rng.New(seed + uint64(t)*104729)
 				e := coin.NewEmulator(cfg, src)
 				// Sparse activity: half the tiles active, which is what
@@ -259,15 +260,15 @@ func (r Fig04Row) String() string {
 // initial allocations and compares time to convergence. BC scales with
 // sqrt(N); TS's sequential token passing scales with N and its greedy/fair
 // oscillation produces long-tail outliers.
-func Fig04(ds []int, trials int, seed uint64) []Fig04Row {
+func Fig04(ctx context.Context, ds []int, trials int, seed uint64) []Fig04Row {
 	var rows []Fig04Row
 	for _, d := range ds {
-		cr := runConvergence("BC", d, trials, seed, nil, hotspotInit)
+		cr := runConvergence(ctx, "BC", d, trials, seed, nil, hotspotInit)
 		rows = append(rows, Fig04Row{Label: "BC", D: d, N: d * d, Trials: trials,
 			MeanCycles: cr.MeanCycles, P95Cycles: cr.P95Cycles, MaxCycles: cr.MaxCycles})
 	}
 	for _, d := range ds {
-		cycles := sweep.Map(trials, 0, func(t int) float64 {
+		cycles := sweep.Map(ctx, trials, 0, func(t int) float64 {
 			return float64(tokenSmartConvergence(d, seed+uint64(t)*37))
 		})
 		var cyc stats.Sample

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"strings"
 	"testing"
@@ -12,8 +13,10 @@ import (
 // Small-parameter integration runs of every experiment, asserting the
 // paper-shape properties the full-size runs exhibit.
 
+var tctx = context.Background()
+
 func TestFig03ShapesHold(t *testing.T) {
-	rows := Fig03([]int{6, 12}, 5, 1)
+	rows := Fig03(tctx, []int{6, 12}, 5, 1)
 	byLabel := map[string][]ConvergenceRow{}
 	for _, r := range rows {
 		byLabel[r.Label] = append(byLabel[r.Label], r)
@@ -40,7 +43,7 @@ func TestFig03ShapesHold(t *testing.T) {
 }
 
 func TestFig04TokenSmartScalesLinearly(t *testing.T) {
-	rows := Fig04([]int{8, 16}, 5, 1)
+	rows := Fig04(tctx, []int{8, 16}, 5, 1)
 	var bc, ts []Fig04Row
 	for _, r := range rows {
 		if r.Label == "BC" {
@@ -68,7 +71,7 @@ func TestFig04TokenSmartScalesLinearly(t *testing.T) {
 }
 
 func TestFig06DynamicTimingWins(t *testing.T) {
-	rows := Fig06([]int{12}, 10, 1)
+	rows := Fig06(tctx, []int{12}, 10, 1)
 	var conv, dyn ConvergenceRow
 	for _, r := range rows {
 		if strings.Contains(r.Label, "dynamic") {
@@ -86,7 +89,7 @@ func TestFig06DynamicTimingWins(t *testing.T) {
 }
 
 func TestFig07RandomPairingEliminatesDeadlock(t *testing.T) {
-	rows := Fig07([]int{100}, 10, 1)
+	rows := Fig07(tctx, []int{100}, 10, 1)
 	var with, without Fig07Row
 	for _, r := range rows {
 		if r.RandomPairing {
@@ -108,7 +111,7 @@ func TestFig07RandomPairingEliminatesDeadlock(t *testing.T) {
 }
 
 func TestFig08HeterogeneityMonotone(t *testing.T) {
-	rows := Fig08([]int{8}, []int{1, 8}, 5, 1)
+	rows := Fig08(tctx, []int{8}, []int{1, 8}, 5, 1)
 	if len(rows) != 2 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -136,7 +139,7 @@ func TestFig13CoversAllAccelerators(t *testing.T) {
 
 func TestFig16WritesTraces(t *testing.T) {
 	bufs := map[string]*bytes.Buffer{}
-	rows := Fig16(1, func(name string) io.Writer {
+	rows := Fig16(tctx, 1, func(name string) io.Writer {
 		b := &bytes.Buffer{}
 		bufs[name] = b
 		return b
@@ -155,7 +158,7 @@ func TestFig16WritesTraces(t *testing.T) {
 }
 
 func TestFig17BlitzCoinWinsEveryCell(t *testing.T) {
-	rows := Fig17(1)
+	rows := Fig17(tctx, 1)
 	type key struct {
 		budget float64
 		wl     string
@@ -184,7 +187,7 @@ func TestFig17BlitzCoinWinsEveryCell(t *testing.T) {
 }
 
 func TestFig19UtilizationAndGains(t *testing.T) {
-	rows := Fig19(200, 1)
+	rows := Fig19(tctx, 200, 1)
 	if len(rows) != 4 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -201,7 +204,7 @@ func TestFig19UtilizationAndGains(t *testing.T) {
 }
 
 func TestFig20OrderingHolds(t *testing.T) {
-	rows := Fig20(200, 1)
+	rows := Fig20(tctx, 200, 1)
 	byScheme := map[string]Fig20Row{}
 	for _, r := range rows {
 		byScheme[r.Scheme] = r
@@ -216,7 +219,7 @@ func TestFig20OrderingHolds(t *testing.T) {
 }
 
 func TestFig21FitMatchesPaperShape(t *testing.T) {
-	models := FitScalingModels(1)
+	models := FitScalingModels(tctx, 1)
 	bc, ok := models["BC"]
 	if !ok {
 		t.Fatal("BC not fitted")
@@ -250,7 +253,7 @@ func TestFig01SupportBoundary(t *testing.T) {
 }
 
 func TestTable1RowsComplete(t *testing.T) {
-	rows := Table1(1)
+	rows := Table1(tctx, 1)
 	if len(rows) != 5 {
 		t.Fatalf("rows = %d, want 5", len(rows))
 	}
@@ -275,7 +278,7 @@ func TestTable1RowsComplete(t *testing.T) {
 }
 
 func TestAPvsRPDirection(t *testing.T) {
-	rows := APvsRP([]float64{60, 120}, 1)
+	rows := APvsRP(tctx, []float64{60, 120}, 1)
 	for _, r := range rows {
 		if r.RPImprovementPct <= 0 {
 			t.Fatalf("RP not better at %v mW: %+v", r.BudgetMW, r)
@@ -311,7 +314,7 @@ func TestContentionGracefulDegradation(t *testing.T) {
 	// Rates below NoC saturation; the CLI also sweeps the saturated
 	// regime, where convergence slows by orders of magnitude but still
 	// completes.
-	rows := ContentionStudy(8, []int{0, 30, 100}, 3, 1)
+	rows := ContentionStudy(tctx, 8, []int{0, 30, 100}, 3, 1)
 	if len(rows) != 3 {
 		t.Fatalf("rows = %d", len(rows))
 	}

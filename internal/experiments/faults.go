@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"blitzcoin/internal/coin"
@@ -46,12 +47,12 @@ func (r FaultRow) String() string {
 // the robustness extension is the d=10, 1% cell. Runs go to quiescence
 // (not first crossing) so the conservation audit's end-of-run verdict is
 // part of every trial.
-func FaultStudy(ds []int, dropRates []float64, trials int, seed uint64) []FaultRow {
+func FaultStudy(ctx context.Context, ds []int, dropRates []float64, trials int, seed uint64) []FaultRow {
 	var rows []FaultRow
 	for _, d := range ds {
 		for _, rate := range dropRates {
 			row := FaultRow{D: d, N: d * d, DropRate: rate, Trials: trials}
-			results := sweep.Map(trials, 0, func(t int) coin.Result {
+			results := sweep.Map(ctx, trials, 0, func(t int) coin.Result {
 				cfg := coin.Config{
 					Mesh:            mesh.Square(d, true),
 					Mode:            coin.OneWay,
@@ -134,9 +135,9 @@ var degradedKills = []fault.TileFault{
 // workload still completes on the survivors, and the excursion stays
 // bounded: the hardened exchange prunes the dead neighbors and the audit
 // re-mints their stranded coins back into the live pool.
-func DegradedSoC(seed uint64) []DegradedRow {
+func DegradedSoC(ctx context.Context, seed uint64) []DegradedRow {
 	g := workload.Repeat(workload.AutonomousVehicleParallel(), 4)
-	return sweep.Map(len(degradedKills)+1, 0, func(k int) DegradedRow {
+	return sweep.Map(ctx, len(degradedKills)+1, 0, func(k int) DegradedRow {
 		cfg := soc.SoC3x3(120, soc.SchemeBC, seed)
 		if k > 0 {
 			cfg.Faults = &fault.Config{TileKills: degradedKills[:k]}

@@ -1,12 +1,15 @@
 package experiments
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // The acceptance cell of the robustness extension: on the 10x10 torus at 1%
 // PM-plane drops, every trial converges (Err < 1.5) with the pool conserved,
 // and the recovery counters show the machinery actually worked for it.
 func TestFaultStudyAcceptanceCell(t *testing.T) {
-	rows := FaultStudy([]int{10}, []float64{0, 0.01}, 3, 1)
+	rows := FaultStudy(context.Background(), []int{10}, []float64{0, 0.01}, 3, 1)
 	if len(rows) != 2 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -35,7 +38,7 @@ func TestFaultStudyAcceptanceCell(t *testing.T) {
 // workload, re-queues the interrupted tasks, and holds the cap excursion
 // within the recovery bound the soc tests establish.
 func TestDegradedSoCGracefulDegradation(t *testing.T) {
-	rows := DegradedSoC(1)
+	rows := DegradedSoC(context.Background(), 1)
 	if len(rows) != 4 {
 		t.Fatalf("rows = %d", len(rows))
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"blitzcoin/internal/coin"
@@ -242,11 +243,11 @@ func (r ContentionRow) String() string {
 // ContentionStudy sweeps background plane-5 traffic rates and measures the
 // impact on convergence: the coin exchange must degrade gracefully, not
 // collapse, when register traffic shares its plane.
-func ContentionStudy(d int, rates []int, trials int, seed uint64) []ContentionRow {
+func ContentionStudy(ctx context.Context, d int, rates []int, trials int, seed uint64) []ContentionRow {
 	var rows []ContentionRow
 	for _, rate := range rates {
 		row := ContentionRow{BackgroundPktPerKCycle: rate, Trials: trials}
-		results := sweep.Map(trials, 0, func(tr int) coin.Result {
+		results := sweep.Map(ctx, trials, 0, func(tr int) coin.Result {
 			src := rng.New(seed + uint64(tr)*131)
 			cfg := coin.Config{
 				Mesh:              mesh.Square(d, true),

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -71,8 +72,8 @@ func (r SoCRow) String() string {
 // fan out across the sweep pool: every run owns a private kernel/network/RNG
 // and the workload graph is read-only, so the runs are independent and the
 // returned rows keep the schemes' order.
-func evalSchemes(mk func(s soc.Scheme) soc.Config, g *workload.Graph, schemes []soc.Scheme) []SoCRow {
-	return sweep.Map(len(schemes), 0, func(i int) SoCRow {
+func evalSchemes(ctx context.Context, mk func(s soc.Scheme) soc.Config, g *workload.Graph, schemes []soc.Scheme) []SoCRow {
+	return sweep.Map(ctx, len(schemes), 0, func(i int) SoCRow {
 		cfg := mk(schemes[i])
 		res := soc.New(cfg).Run(g)
 		return SoCRow{
@@ -89,30 +90,30 @@ func repeat3(g *workload.Graph) *workload.Graph { return workload.Repeat(g, 3) }
 // Fig17 reproduces the 3x3 SoC evaluation: execution time and response
 // time for WL-Par and WL-Dep at 120 and 60 mW (30% and 15% of combined
 // power), across BC, BC-C, and C-RR.
-func Fig17(seed uint64) []SoCRow {
+func Fig17(ctx context.Context, seed uint64) []SoCRow {
 	schemes := []soc.Scheme{soc.SchemeBC, soc.SchemeBCC, soc.SchemeCRR}
 	var rows []SoCRow
 	for _, budget := range []float64{120, 60} {
 		budget := budget
 		mk := func(s soc.Scheme) soc.Config { return soc.SoC3x3(budget, s, seed) }
-		rows = append(rows, evalSchemes(mk, repeat3(workload.AutonomousVehicleParallel()), schemes)...)
-		rows = append(rows, evalSchemes(mk, repeat3(workload.AutonomousVehicleDependent()), schemes)...)
+		rows = append(rows, evalSchemes(ctx, mk, repeat3(workload.AutonomousVehicleParallel()), schemes)...)
+		rows = append(rows, evalSchemes(ctx, mk, repeat3(workload.AutonomousVehicleDependent()), schemes)...)
 	}
 	return rows
 }
 
 // Fig18 reproduces the 4x4 SoC evaluation: WL-Par at 450 and 900 mW (33%
 // and 66% of combined power) and WL-Dep at 450 mW.
-func Fig18(seed uint64) []SoCRow {
+func Fig18(ctx context.Context, seed uint64) []SoCRow {
 	schemes := []soc.Scheme{soc.SchemeBC, soc.SchemeBCC, soc.SchemeCRR}
 	var rows []SoCRow
 	for _, budget := range []float64{450, 900} {
 		budget := budget
 		mk := func(s soc.Scheme) soc.Config { return soc.SoC4x4(budget, s, seed) }
-		rows = append(rows, evalSchemes(mk, repeat3(workload.ComputerVisionParallel()), schemes)...)
+		rows = append(rows, evalSchemes(ctx, mk, repeat3(workload.ComputerVisionParallel()), schemes)...)
 	}
 	mk := func(s soc.Scheme) soc.Config { return soc.SoC4x4(450, s, seed) }
-	rows = append(rows, evalSchemes(mk, repeat3(workload.ComputerVisionDependent()), schemes)...)
+	rows = append(rows, evalSchemes(ctx, mk, repeat3(workload.ComputerVisionDependent()), schemes)...)
 	return rows
 }
 
@@ -132,11 +133,11 @@ func (r APvsRPRow) String() string {
 // APvsRP measures the throughput advantage of the Relative Proportional
 // allocation over Absolute Proportional on the 3x3 SoC (paper: 3.0-4.1%
 // for budgets from 60 to 120 mW).
-func APvsRP(budgets []float64, seed uint64) []APvsRPRow {
+func APvsRP(ctx context.Context, budgets []float64, seed uint64) []APvsRPRow {
 	g := repeat3(workload.AutonomousVehicleParallel())
 	// Fan out over (budget, strategy) pairs so the AP and RP runs of one
 	// budget also overlap, then pair them back up in order.
-	execUs := sweep.Map(2*len(budgets), 0, func(i int) float64 {
+	execUs := sweep.Map(ctx, 2*len(budgets), 0, func(i int) float64 {
 		cfg := soc.SoC3x3(budgets[i/2], soc.SchemeBC, seed)
 		cfg.Strategy = soc.AbsoluteProportional
 		if i%2 == 1 {
@@ -160,7 +161,7 @@ func APvsRP(budgets []float64, seed uint64) []APvsRPRow {
 // Fig16 runs the power-trace experiments of the 3x3 SoC (WL-Par at 120 mW,
 // WL-Dep at 60 mW) for BC, BC-C, and C-RR, writing one CSV per run to w if
 // non-nil and returning the rows.
-func Fig16(seed uint64, csv func(name string) io.Writer) []SoCRow {
+func Fig16(ctx context.Context, seed uint64, csv func(name string) io.Writer) []SoCRow {
 	schemes := []soc.Scheme{soc.SchemeBC, soc.SchemeBCC, soc.SchemeCRR}
 	runs := []struct {
 		budget float64
@@ -172,7 +173,7 @@ func Fig16(seed uint64, csv func(name string) io.Writer) []SoCRow {
 	// Fan the (run, scheme) grid out in one sweep; the CSV side effects then
 	// replay serially in grid order so the files are written exactly as the
 	// nested loops wrote them.
-	rows := sweep.Map(len(runs)*len(schemes), 0, func(i int) SoCRow {
+	rows := sweep.Map(ctx, len(runs)*len(schemes), 0, func(i int) SoCRow {
 		rn, s := runs[i/len(schemes)], schemes[i%len(schemes)]
 		cfg := soc.SoC3x3(rn.budget, s, seed)
 		res := soc.New(cfg).Run(rn.g)
@@ -212,11 +213,11 @@ func (r SiliconRow) String() string {
 // cluster: budget utilization and throughput improvement over static
 // allocation for the 7, 5, 4, and 3-accelerator workloads (paper: 27%, 26%,
 // 26%, 19% with 97% utilization).
-func Fig19(budgetMW float64, seed uint64) []SiliconRow {
+func Fig19(ctx context.Context, budgetMW float64, seed uint64) []SiliconRow {
 	sizes := []int{7, 5, 4, 3}
 	// Fan out over (size, scheme) pairs — even index BC, odd index the
 	// static baseline of the same size — then pair them back up in order.
-	results := sweep.Map(2*len(sizes), 0, func(i int) soc.Result {
+	results := sweep.Map(ctx, 2*len(sizes), 0, func(i int) soc.Result {
 		n := sizes[i/2]
 		var g *workload.Graph
 		if n == 7 {
@@ -263,10 +264,10 @@ func (r Fig20Row) String() string {
 
 // Fig20 measures the coin-exchange response on the 6x6 prototype for the
 // 7-accelerator workload across BC, BC-C, and C-RR.
-func Fig20(budgetMW float64, seed uint64) []Fig20Row {
+func Fig20(ctx context.Context, budgetMW float64, seed uint64) []Fig20Row {
 	g := workload.Repeat(workload.SevenAcceleratorSilicon(), 2)
 	schemes := []soc.Scheme{soc.SchemeBC, soc.SchemeBCC, soc.SchemeCRR}
-	return sweep.Map(len(schemes), 0, func(i int) Fig20Row {
+	return sweep.Map(ctx, len(schemes), 0, func(i int) Fig20Row {
 		res := soc.New(soc.SoC6x6(budgetMW, schemes[i], seed)).Run(g)
 		return Fig20Row{
 			Scheme:         res.Scheme,
@@ -279,7 +280,7 @@ func Fig20(budgetMW float64, seed uint64) []Fig20Row {
 // FitScalingModels fits the response-time laws of Sec. V-E from measured
 // SoC responses at N = 6 (3x3), N = 13 (4x4), and N = 7 (6x6 PM cluster),
 // mirroring how the paper derives tau_BC, tau_BCC, tau_CRR (Sec. VI-D).
-func FitScalingModels(seed uint64) map[string]scaling.Model {
+func FitScalingModels(ctx context.Context, seed uint64) map[string]scaling.Model {
 	schemes := []soc.Scheme{soc.SchemeBC, soc.SchemeBCC, soc.SchemeCRR, soc.SchemeTS, soc.SchemePT}
 	sizes := []float64{6, 13, 7}
 	// The full (scheme, SoC) measurement grid fans out in one sweep; the
@@ -290,7 +291,7 @@ func FitScalingModels(seed uint64) map[string]scaling.Model {
 		n      float64
 		respUs float64
 	}
-	results := sweep.Map(len(schemes)*len(sizes), 0, func(i int) fitResult {
+	results := sweep.Map(ctx, len(schemes)*len(sizes), 0, func(i int) fitResult {
 		s := schemes[i/len(sizes)]
 		var cfg soc.Config
 		var g *workload.Graph

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"blitzcoin/internal/soc"
@@ -38,12 +39,12 @@ func (r Table1Row) String() string {
 // 13-accelerator 4x4 SoC and assembles the comparison table. The paper's
 // measured bands at N=13: BC 0.39-0.77 us, BC-C 3.8-8.0 us, C-RR
 // 3.7-6.4 us, TS 2.9 us.
-func Table1(seed uint64) []Table1Row {
+func Table1(ctx context.Context, seed uint64) []Table1Row {
 	g := workload.Repeat(workload.ComputerVisionParallel(), 3)
 	schemes := []soc.Scheme{soc.SchemeBC, soc.SchemeBCC, soc.SchemeCRR, soc.SchemeTS, soc.SchemePT}
 	// The mean includes the instant already-at-target responses that
 	// would pull a median to zero for BC.
-	means := sweep.Map(len(schemes), 0, func(i int) float64 {
+	means := sweep.Map(ctx, len(schemes), 0, func(i int) float64 {
 		return soc.New(soc.SoC4x4(450, schemes[i], seed)).Run(g).MeanResponseMicros()
 	})
 	resp := map[soc.Scheme]float64{}

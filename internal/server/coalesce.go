@@ -1,0 +1,48 @@
+package server
+
+import "sync"
+
+// flight is one in-progress computation shared by every request that asked
+// for the same canonical hash while it ran. done closes when bytes/err are
+// final.
+type flight struct {
+	done  chan struct{}
+	bytes []byte
+	err   error
+}
+
+// flightGroup coalesces concurrent identical requests: the first caller
+// for a key becomes the leader and computes; everyone else waits on the
+// leader's flight. This is the singleflight pattern, hand-rolled because
+// the repo is stdlib-only.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flight)}
+}
+
+// lease returns the flight for key and whether the caller is its leader.
+// The leader must call complete exactly once.
+func (g *flightGroup) lease(key string) (*flight, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.m[key]; ok {
+		return f, false
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	return f, true
+}
+
+// complete publishes the leader's outcome and retires the flight: later
+// requests for the key start fresh (and will hit the cache instead).
+func (g *flightGroup) complete(key string, f *flight, b []byte, err error) {
+	f.bytes, f.err = b, err
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+}

@@ -1,0 +1,137 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// metrics is a hand-rolled Prometheus text-exposition registry: counters
+// the handler path increments plus gauges sampled from the cache and pool
+// at scrape time. Stdlib-only by design.
+type metrics struct {
+	mu sync.Mutex
+	// requests[kind][status] counts finished requests.
+	requests map[string]map[string]uint64
+	// reqSecondsSum/reqSecondsCount back a summary of request latency.
+	reqSecondsSum   float64
+	reqSecondsCount uint64
+	coalesced       uint64
+	sweepRows       uint64
+	inflight        int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{requests: make(map[string]map[string]uint64)}
+}
+
+func (m *metrics) observeRequest(kind, status string, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byStatus := m.requests[kind]
+	if byStatus == nil {
+		byStatus = make(map[string]uint64)
+		m.requests[kind] = byStatus
+	}
+	byStatus[status]++
+	m.reqSecondsSum += seconds
+	m.reqSecondsCount++
+}
+
+func (m *metrics) addCoalesced() {
+	m.mu.Lock()
+	m.coalesced++
+	m.mu.Unlock()
+}
+
+func (m *metrics) addSweepRows(n int) {
+	m.mu.Lock()
+	m.sweepRows += uint64(n)
+	m.mu.Unlock()
+}
+
+func (m *metrics) enter() {
+	m.mu.Lock()
+	m.inflight++
+	m.mu.Unlock()
+}
+
+func (m *metrics) exit() {
+	m.mu.Lock()
+	m.inflight--
+	m.mu.Unlock()
+}
+
+func (m *metrics) inflightNow() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.inflight
+}
+
+// write renders the catalog in Prometheus text exposition format, in a
+// deterministic order.
+func (m *metrics) write(w io.Writer, c *cache, p *pool) {
+	m.mu.Lock()
+	type labeled struct {
+		kind, status string
+		n            uint64
+	}
+	var reqs []labeled
+	for kind, byStatus := range m.requests {
+		for status, n := range byStatus {
+			reqs = append(reqs, labeled{kind, status, n})
+		}
+	}
+	sum, count := m.reqSecondsSum, m.reqSecondsCount
+	coalesced, sweepRows, inflight := m.coalesced, m.sweepRows, m.inflight
+	m.mu.Unlock()
+	sort.Slice(reqs, func(i, j int) bool {
+		if reqs[i].kind != reqs[j].kind {
+			return reqs[i].kind < reqs[j].kind
+		}
+		return reqs[i].status < reqs[j].status
+	})
+
+	hits, misses, evictions, entries, bytes := c.stats()
+
+	fmt.Fprintln(w, "# HELP blitzd_requests_total Finished sweep requests by kind and status.")
+	fmt.Fprintln(w, "# TYPE blitzd_requests_total counter")
+	for _, r := range reqs {
+		fmt.Fprintf(w, "blitzd_requests_total{kind=%q,status=%q} %d\n", r.kind, r.status, r.n)
+	}
+	fmt.Fprintln(w, "# HELP blitzd_request_seconds Wall-clock request latency.")
+	fmt.Fprintln(w, "# TYPE blitzd_request_seconds summary")
+	fmt.Fprintf(w, "blitzd_request_seconds_sum %g\n", sum)
+	fmt.Fprintf(w, "blitzd_request_seconds_count %d\n", count)
+	fmt.Fprintln(w, "# HELP blitzd_cache_hits_total Requests served from the result cache.")
+	fmt.Fprintln(w, "# TYPE blitzd_cache_hits_total counter")
+	fmt.Fprintf(w, "blitzd_cache_hits_total %d\n", hits)
+	fmt.Fprintln(w, "# HELP blitzd_cache_misses_total Requests that had to compute.")
+	fmt.Fprintln(w, "# TYPE blitzd_cache_misses_total counter")
+	fmt.Fprintf(w, "blitzd_cache_misses_total %d\n", misses)
+	fmt.Fprintln(w, "# HELP blitzd_cache_evictions_total Results evicted by the LRU bounds.")
+	fmt.Fprintln(w, "# TYPE blitzd_cache_evictions_total counter")
+	fmt.Fprintf(w, "blitzd_cache_evictions_total %d\n", evictions)
+	fmt.Fprintln(w, "# HELP blitzd_cache_entries Results currently cached.")
+	fmt.Fprintln(w, "# TYPE blitzd_cache_entries gauge")
+	fmt.Fprintf(w, "blitzd_cache_entries %d\n", entries)
+	fmt.Fprintln(w, "# HELP blitzd_cache_bytes Result bytes currently cached.")
+	fmt.Fprintln(w, "# TYPE blitzd_cache_bytes gauge")
+	fmt.Fprintf(w, "blitzd_cache_bytes %d\n", bytes)
+	fmt.Fprintln(w, "# HELP blitzd_coalesced_total Requests that shared another request's computation.")
+	fmt.Fprintln(w, "# TYPE blitzd_coalesced_total counter")
+	fmt.Fprintf(w, "blitzd_coalesced_total %d\n", coalesced)
+	fmt.Fprintln(w, "# HELP blitzd_sweep_rows_total Result rows/lines computed (not served from cache).")
+	fmt.Fprintln(w, "# TYPE blitzd_sweep_rows_total counter")
+	fmt.Fprintf(w, "blitzd_sweep_rows_total %d\n", sweepRows)
+	fmt.Fprintln(w, "# HELP blitzd_inflight_requests Requests currently being handled.")
+	fmt.Fprintln(w, "# TYPE blitzd_inflight_requests gauge")
+	fmt.Fprintf(w, "blitzd_inflight_requests %d\n", inflight)
+	fmt.Fprintln(w, "# HELP blitzd_queue_depth Computations waiting for a worker slot.")
+	fmt.Fprintln(w, "# TYPE blitzd_queue_depth gauge")
+	fmt.Fprintf(w, "blitzd_queue_depth %d\n", p.queued.Load())
+	fmt.Fprintln(w, "# HELP blitzd_workers_busy Worker slots currently computing.")
+	fmt.Fprintln(w, "# TYPE blitzd_workers_busy gauge")
+	fmt.Fprintf(w, "blitzd_workers_busy %d\n", p.busy.Load())
+}

@@ -1,0 +1,64 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// pool bounds how many sweep computations run at once. Admission is a
+// counting semaphore; queued and busy are exported as gauges so /metrics
+// shows back-pressure building before latency does.
+type pool struct {
+	sem    chan struct{}
+	queued atomic.Int64
+	busy   atomic.Int64
+	wg     sync.WaitGroup
+}
+
+func newPool(workers int) *pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &pool{sem: make(chan struct{}, workers)}
+}
+
+// acquire blocks until a worker slot frees or ctx ends.
+func (p *pool) acquire(ctx context.Context) error {
+	p.queued.Add(1)
+	defer p.queued.Add(-1)
+	select {
+	case p.sem <- struct{}{}:
+		p.busy.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release frees the slot taken by acquire.
+func (p *pool) release() {
+	p.busy.Add(-1)
+	<-p.sem
+}
+
+// track registers a computation goroutine for drain.
+func (p *pool) track() func() {
+	p.wg.Add(1)
+	return p.wg.Done
+}
+
+// drain waits until every tracked computation finished or ctx ends.
+func (p *pool) drain(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

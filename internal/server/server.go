@@ -1,0 +1,339 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+
+	"blitzcoin"
+)
+
+// RunFunc computes a validated request; it is blitzcoin.Execute in
+// production and injectable in tests.
+type RunFunc func(ctx context.Context, req blitzcoin.Request) (*blitzcoin.Result, error)
+
+// Config configures a Server. The zero value is completed with the
+// defaults noted per field.
+type Config struct {
+	// Workers bounds concurrent sweep computations (each computation
+	// additionally fans its trials out over the sweep package's own
+	// worker pool). Default 2.
+	Workers int
+	// CacheEntries and CacheBytes bound the result cache. Defaults 256
+	// entries, 64 MiB. Non-positive values disable the respective bound.
+	CacheEntries int
+	CacheBytes   int64
+	// Logger receives one structured line per finished request. Default:
+	// slog.Default().
+	Logger *slog.Logger
+	// Run computes requests. Default: blitzcoin.Execute.
+	Run RunFunc
+}
+
+// Server is the blitzd request engine: coalescing, caching, bounded
+// execution, and the HTTP surface over them. Create with New, serve
+// Handler, stop with Shutdown.
+type Server struct {
+	log     *slog.Logger
+	run     RunFunc
+	cache   *cache
+	flights *flightGroup
+	pool    *pool
+	metrics *metrics
+
+	// baseCtx outlives any single request: computations run under it so
+	// a disconnecting client cannot cancel work other clients (or the
+	// cache) will still want. Shutdown cancels it after the drain.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	draining   atomic.Bool
+}
+
+// Response is the envelope of POST /v1/sweep. Result carries the marshaled
+// blitzcoin.Result verbatim from the cache, so two responses for the same
+// canonical request are byte-identical in everything but the serving
+// annotations (cached, coalesced, elapsed).
+type Response struct {
+	Version       string          `json:"version"`
+	Kind          string          `json:"kind"`
+	RequestHash   string          `json:"request_hash"`
+	EngineVersion string          `json:"engine_version"`
+	Cached        bool            `json:"cached"`
+	Coalesced     bool            `json:"coalesced"`
+	ElapsedMicros int64           `json:"elapsed_micros"`
+	Result        json.RawMessage `json:"result"`
+}
+
+// errorBody is the JSON error shape of non-200 responses.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// New builds a Server.
+func New(cfg Config) *Server {
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = 256
+	}
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = 64 << 20
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	if cfg.Run == nil {
+		cfg.Run = blitzcoin.Execute
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		log:        cfg.Logger,
+		run:        cfg.Run,
+		cache:      newCache(cfg.CacheEntries, cfg.CacheBytes),
+		flights:    newFlightGroup(),
+		pool:       newPool(cfg.Workers),
+		metrics:    newMetrics(),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+	}
+}
+
+// Handler returns the daemon's HTTP surface:
+//
+//	POST /v1/sweep    — execute or serve a blitzcoin.Request
+//	GET  /v1/figures  — list the figure registry
+//	GET  /healthz     — liveness
+//	GET  /metrics     — Prometheus text exposition
+//	     /debug/pprof — the standard profiles
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/sweep", s.handleSweep)
+	mux.HandleFunc("/v1/figures", s.handleFigures)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "engine_version": blitzcoin.EngineVersion})
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.metrics.write(w, s.cache, s.pool)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Shutdown drains the server: new sweeps are refused with 503, in-flight
+// computations get until ctx ends to finish, then the base context is
+// cancelled so stragglers stop dispatching trials.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	err := s.pool.drain(ctx)
+	s.baseCancel()
+	return err
+}
+
+// Inflight reports the requests currently inside the handler (used by
+// tests to synchronize with coalescing).
+func (s *Server) Inflight() int64 { return s.metrics.inflightNow() }
+
+// handleSweep is the daemon's one workhorse endpoint.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{"POST a blitzcoin.Request"})
+		return
+	}
+	s.metrics.enter()
+	defer s.metrics.exit()
+	start := time.Now()
+
+	var req blitzcoin.Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.finish(w, r, start, "", http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	norm := req.Normalized()
+	if err := norm.Validate(); err != nil {
+		s.finish(w, r, start, string(norm.Kind), http.StatusBadRequest, err)
+		return
+	}
+	hash, err := norm.CanonicalHash()
+	if err != nil {
+		s.finish(w, r, start, string(norm.Kind), http.StatusBadRequest, err)
+		return
+	}
+	kind := string(norm.Kind)
+
+	if b, ok := s.cache.get(hash); ok {
+		s.respond(w, r, start, norm, hash, b, true, false)
+		return
+	}
+	if s.draining.Load() {
+		s.finish(w, r, start, kind, http.StatusServiceUnavailable, errors.New("server draining"))
+		return
+	}
+
+	f, leader := s.flights.lease(hash)
+	if leader {
+		// The computation runs under the server's base context, detached
+		// from this request: if the client disconnects mid-sweep, the
+		// result still lands in the cache for the next asker.
+		done := s.pool.track()
+		go func() {
+			defer done()
+			b, err := s.compute(hash, norm)
+			s.flights.complete(hash, f, b, err)
+		}()
+	} else {
+		s.metrics.addCoalesced()
+	}
+
+	select {
+	case <-f.done:
+	case <-r.Context().Done():
+		// Client gave up; the leader's computation continues.
+		s.finish(w, r, start, kind, 499, r.Context().Err())
+		return
+	}
+	if f.err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(f.err, context.Canceled) {
+			status = http.StatusServiceUnavailable
+		}
+		s.finish(w, r, start, kind, status, f.err)
+		return
+	}
+	s.respond(w, r, start, norm, hash, f.bytes, false, !leader)
+}
+
+// compute runs one validated request on the bounded pool and caches its
+// marshaled result.
+func (s *Server) compute(hash string, norm blitzcoin.Request) ([]byte, error) {
+	if err := s.pool.acquire(s.baseCtx); err != nil {
+		return nil, err
+	}
+	defer s.pool.release()
+	res, err := s.run(s.baseCtx, norm)
+	if err != nil {
+		return nil, err
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		return nil, fmt.Errorf("encoding result: %w", err)
+	}
+	s.metrics.addSweepRows(resultRows(res))
+	s.cache.put(hash, string(norm.Kind), b)
+	return b, nil
+}
+
+// resultRows counts the rows/lines a computation produced, for the
+// blitzd_sweep_rows_total counter.
+func resultRows(res *blitzcoin.Result) int {
+	switch {
+	case res == nil:
+		return 0
+	case res.Exchange != nil:
+		return len(res.Exchange.Rows)
+	case res.Figure != nil:
+		return len(res.Figure.Lines)
+	case res.SoC != nil:
+		return 1
+	}
+	return 0
+}
+
+// respond writes the success envelope and the structured log line.
+func (s *Server) respond(w http.ResponseWriter, r *http.Request, start time.Time, norm blitzcoin.Request, hash string, result []byte, cached, coalesced bool) {
+	elapsed := time.Since(start)
+	resp := Response{
+		Version:       blitzcoin.APIVersion,
+		Kind:          string(norm.Kind),
+		RequestHash:   hash,
+		EngineVersion: blitzcoin.EngineVersion,
+		Cached:        cached,
+		Coalesced:     coalesced,
+		ElapsedMicros: elapsed.Microseconds(),
+		Result:        result,
+	}
+	writeJSON(w, http.StatusOK, resp)
+	s.metrics.observeRequest(string(norm.Kind), "ok", elapsed.Seconds())
+	s.log.Info("sweep",
+		"kind", norm.Kind,
+		"hash", short(hash),
+		"status", http.StatusOK,
+		"cached", cached,
+		"coalesced", coalesced,
+		"elapsed", elapsed,
+		"remote", r.RemoteAddr,
+	)
+}
+
+// finish writes an error response and the structured log line.
+func (s *Server) finish(w http.ResponseWriter, r *http.Request, start time.Time, kind string, status int, err error) {
+	elapsed := time.Since(start)
+	if kind == "" {
+		kind = "invalid"
+	}
+	label := "error"
+	switch {
+	case status == http.StatusBadRequest:
+		label = "invalid"
+	case status == 499:
+		label = "cancelled"
+	case status == http.StatusServiceUnavailable:
+		label = "unavailable"
+	}
+	writeJSON(w, status, errorBody{err.Error()})
+	s.metrics.observeRequest(kind, label, elapsed.Seconds())
+	s.log.Warn("sweep failed",
+		"kind", kind,
+		"status", status,
+		"error", err,
+		"elapsed", elapsed,
+		"remote", r.RemoteAddr,
+	)
+}
+
+// handleFigures lists the figure registry so clients can discover names.
+func (s *Server) handleFigures(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{"GET only"})
+		return
+	}
+	type entry struct {
+		Name  string `json:"name"`
+		Title string `json:"title"`
+	}
+	var out []entry
+	for _, name := range blitzcoin.FigureNames() {
+		title, _ := blitzcoin.FigureTitle(name)
+		out = append(out, entry{name, title})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone is the only failure
+}
+
+// short abbreviates a hash for log lines.
+func short(h string) string {
+	if len(h) > 12 {
+		return h[:12]
+	}
+	return h
+}

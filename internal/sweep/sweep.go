@@ -17,9 +17,17 @@
 // Together these make a sweep's output rows byte-for-byte identical at
 // Parallelism 1, 4, 8, or GOMAXPROCS — the property the determinism tests
 // in internal/experiments pin down.
+//
+// Sweeps are cancellable: Map takes a context and stops dispatching trials
+// once it is done, so a long sweep aborts promptly when a CLI catches
+// SIGINT or a server request is dropped. Trials already running finish
+// (they own private state and cannot be preempted mid-simulation);
+// undispatched slots are left as zero values and the caller detects the
+// truncation via ctx.Err().
 package sweep
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -55,11 +63,19 @@ func DefaultParallelism() int {
 // then the returned slice is identical at every parallelism level, and a
 // serial index-order reduction over it is bit-identical to the serial loop.
 //
+// When ctx is cancelled, Map stops dispatching new trials: trials already
+// running complete, the remaining index slots stay zero values, and the
+// caller observes the truncation through ctx.Err(). A nil ctx means
+// context.Background().
+//
 // A panic in any trial is re-raised on the calling goroutine after the pool
 // drains, like a serial loop's panic but without leaking workers.
-func Map[T any](n, parallelism int, fn func(trial int) T) []T {
+func Map[T any](ctx context.Context, n, parallelism int, fn func(trial int) T) []T {
 	if n <= 0 {
 		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	out := make([]T, n)
 	if parallelism <= 0 {
@@ -70,6 +86,9 @@ func Map[T any](n, parallelism int, fn func(trial int) T) []T {
 	}
 	if parallelism <= 1 {
 		for i := range out {
+			if ctx.Err() != nil {
+				break
+			}
 			out[i] = fn(i)
 		}
 		return out
@@ -88,7 +107,7 @@ func Map[T any](n, parallelism int, fn func(trial int) T) []T {
 					panicOnce.Do(func() { panicked = r })
 				}
 			}()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return

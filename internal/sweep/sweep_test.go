@@ -1,19 +1,23 @@
 package sweep
 
 import (
+	"context"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
+
+var bg = context.Background()
 
 // The result slice must be identical at every parallelism level when fn
 // depends only on the trial index — the property the experiment figures
 // rely on.
 func TestMapOrderedAndParallelismInvariant(t *testing.T) {
 	fn := func(i int) int { return i*i + 7 }
-	want := Map(100, 1, fn)
+	want := Map(bg, 100, 1, fn)
 	for _, p := range []int{2, 3, 4, 8, 16, 200} {
-		got := Map(100, p, fn)
+		got := Map(bg, 100, p, fn)
 		for i := range want {
 			if got[i] != want[i] {
 				t.Fatalf("parallelism %d: result[%d] = %d, want %d", p, i, got[i], want[i])
@@ -24,7 +28,7 @@ func TestMapOrderedAndParallelismInvariant(t *testing.T) {
 
 func TestMapRunsEveryTrialOnce(t *testing.T) {
 	var calls [64]atomic.Int32
-	Map(len(calls), 8, func(i int) struct{} {
+	Map(bg, len(calls), 8, func(i int) struct{} {
 		calls[i].Add(1)
 		return struct{}{}
 	})
@@ -36,8 +40,17 @@ func TestMapRunsEveryTrialOnce(t *testing.T) {
 }
 
 func TestMapZeroTrials(t *testing.T) {
-	if got := Map(0, 4, func(int) int { return 1 }); got != nil {
+	if got := Map(bg, 0, 4, func(int) int { return 1 }); got != nil {
 		t.Fatalf("Map(0, ...) = %v, want nil", got)
+	}
+}
+
+func TestMapNilContext(t *testing.T) {
+	got := Map(nil, 4, 2, func(i int) int { return i })
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("nil ctx: result[%d] = %d", i, got[i])
+		}
 	}
 }
 
@@ -49,13 +62,68 @@ func TestMapPanicPropagates(t *testing.T) {
 			t.Fatalf("recovered %v, want the trial's panic value", r)
 		}
 	}()
-	Map(16, 4, func(i int) int {
+	Map(bg, 16, 4, func(i int) int {
 		if i == 5 {
 			panic("trial 5 exploded")
 		}
 		return i
 	})
 	t.Fatal("Map returned instead of panicking")
+}
+
+// Cancelling the context mid-sweep stops the dispatch of new trials: the
+// trials that ran before the cancellation keep their results, running
+// trials finish, and the rest of the slice stays zero.
+func TestMapCancellationStopsDispatch(t *testing.T) {
+	const n = 1000
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	var once sync.Once
+	out := Map(ctx, n, 4, func(i int) int {
+		ran.Add(1)
+		// The first trial to run cancels the sweep; everything still in
+		// flight completes, nothing new is dispatched.
+		once.Do(cancel)
+		return i + 1
+	})
+	if ctx.Err() == nil {
+		t.Fatal("context not cancelled")
+	}
+	if got := int(ran.Load()); got >= n {
+		t.Fatalf("all %d trials ran despite cancellation", got)
+	}
+	if len(out) != n {
+		t.Fatalf("len(out) = %d, want %d (zero-padded)", len(out), n)
+	}
+	// Completed trials hold fn's value; undispatched slots hold the zero
+	// value, and their count matches the dispatch counter.
+	nonzero := 0
+	for i, v := range out {
+		if v != 0 && v != i+1 {
+			t.Fatalf("slot %d holds %d, want 0 or %d", i, v, i+1)
+		}
+		if v != 0 {
+			nonzero++
+		}
+	}
+	if nonzero != int(ran.Load()) {
+		t.Fatalf("%d filled slots, %d trials ran", nonzero, ran.Load())
+	}
+}
+
+// A context cancelled before the sweep starts yields an all-zero slice:
+// serial and parallel paths both refuse to dispatch.
+func TestMapPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, p := range []int{1, 4} {
+		out := Map(ctx, 8, p, func(i int) int { return i + 1 })
+		for i, v := range out {
+			if v != 0 {
+				t.Fatalf("parallelism %d: slot %d = %d, want 0", p, i, v)
+			}
+		}
+	}
 }
 
 func TestDefaultParallelism(t *testing.T) {

@@ -1,0 +1,75 @@
+#!/bin/sh
+# server_smoke.sh — end-to-end smoke test of the blitzd daemon:
+# build blitzd + blitzctl, start the daemon on an ephemeral port, issue the
+# same exchange request twice through blitzctl, and assert the second one
+# was served from the cache (envelope says cached, metrics count a hit).
+# Exits non-zero on any failure. No curl dependency; blitzctl is the client.
+set -eu
+
+workdir=$(mktemp -d)
+trap 'status=$?; [ -n "${daemon_pid:-}" ] && kill "$daemon_pid" 2>/dev/null; wait 2>/dev/null || true; rm -rf "$workdir"; exit $status' EXIT INT TERM
+
+echo "server-smoke: building blitzd and blitzctl"
+go build -o "$workdir/blitzd" ./cmd/blitzd
+go build -o "$workdir/blitzctl" ./cmd/blitzctl
+
+"$workdir/blitzd" -addr 127.0.0.1:0 -addrfile "$workdir/addr" >"$workdir/blitzd.out" 2>"$workdir/blitzd.log" &
+daemon_pid=$!
+
+# Wait for the daemon to write its bound address.
+i=0
+while [ ! -s "$workdir/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "server-smoke: daemon never came up" >&2
+        cat "$workdir/blitzd.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+addr=$(cat "$workdir/addr")
+echo "server-smoke: blitzd on $addr"
+
+req() {
+    "$workdir/blitzctl" -addr "$addr" -exchange -dim 4 -trials 2 -seed 1
+}
+
+echo "server-smoke: first request (computes)"
+first=$(req)
+case "$first" in
+*'"cached": false'*) ;;
+*) echo "server-smoke: first response not a cache miss: $first" >&2; exit 1 ;;
+esac
+
+echo "server-smoke: second request (must hit the cache)"
+second=$(req)
+case "$second" in
+*'"cached": true'*) ;;
+*) echo "server-smoke: second response not served from cache: $second" >&2; exit 1 ;;
+esac
+
+metrics=$("$workdir/blitzctl" -addr "$addr" -metrics)
+echo "$metrics" | grep -q '^blitzd_cache_hits_total 1$' || {
+    echo "server-smoke: cache-hit metric not 1:" >&2
+    echo "$metrics" | grep blitzd_cache >&2
+    exit 1
+}
+echo "$metrics" | grep -q 'blitzd_requests_total{kind="exchange",status="ok"} 2' || {
+    echo "server-smoke: request counter not 2" >&2
+    exit 1
+}
+
+echo "server-smoke: graceful shutdown"
+kill -INT "$daemon_pid"
+i=0
+while kill -0 "$daemon_pid" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "server-smoke: daemon ignored SIGINT" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+daemon_pid=""
+
+echo "server-smoke: OK"
