@@ -7,7 +7,8 @@ SHORTSHA := $(shell git rev-parse --short HEAD)
 # performance, and commit both.
 BENCH_BASELINE ?= BENCH_8e2d083.json
 
-.PHONY: build test vet race verify bench benchcheck figures server-smoke
+.PHONY: build test vet race verify bench benchcheck figures server-smoke \
+	lint fmtcheck blitzlint lint-update
 
 build:
 	$(GO) build ./...
@@ -18,12 +19,34 @@ test:
 vet:
 	$(GO) vet ./...
 
+# fmtcheck is the fast pre-gate: formatting drift fails before the slower
+# analyzers run.
+fmtcheck:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt: files need formatting:"; echo "$$out"; exit 1; fi
+
+# blitzlint runs the five domain analyzers: determinism, seedflow,
+# hotpathalloc, encapsulation, apilock (see DESIGN.md "Static analysis &
+# invariants").
+blitzlint:
+	$(GO) run ./cmd/blitzlint ./...
+
+# lint is the full static gate: gofmt + vet fast pre-gates, then blitzlint.
+lint: fmtcheck vet blitzlint
+
+# lint-update regenerates the blitzlint goldens (lint/api_v1.txt,
+# lint/escape_allow.txt) after a deliberate API or hot-path change; commit
+# the refreshed files with the change that motivated them.
+lint-update:
+	$(GO) run ./cmd/blitzlint -update
+
 race:
 	$(GO) test -race ./...
 
-# The gate every change must pass: static checks, the full test suite under
-# the race detector, the hot-path perf gate, and the daemon smoke test.
-verify: vet race benchcheck server-smoke
+# The gate every change must pass: static checks (formatting, vet, the
+# blitzlint domain analyzers), the full test suite under the race detector,
+# the hot-path perf gate, and the daemon smoke test.
+verify: lint race benchcheck server-smoke
 
 # server-smoke boots a real blitzd on an ephemeral port, runs one exchange
 # request twice through blitzctl, and asserts the repeat is a cache hit.

@@ -1,0 +1,121 @@
+// Command blitzlint runs the BlitzCoin domain analyzers over the module:
+// determinism (D001-D003), seedflow (S001-S002), hotpathalloc (H001-H002),
+// encapsulation (E001), and apilock (A001-A002), plus directive hygiene
+// (X001-X002). See DESIGN.md "Static analysis & invariants" for the catalog.
+//
+// Usage:
+//
+//	blitzlint [-update] [-root dir] [packages...]
+//
+// With no packages, ./... is linted. -update regenerates the two goldens
+// (lint/api_v1.txt, lint/escape_allow.txt) instead of checking them. Exit
+// status: 0 clean, 1 diagnostics reported, 2 operational failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"blitzcoin/internal/lint"
+)
+
+func main() {
+	update := flag.Bool("update", false, "regenerate lint/api_v1.txt and lint/escape_allow.txt, then exit")
+	root := flag.String("root", "", "module root directory (default: walk up from cwd to go.mod)")
+	flag.Parse()
+
+	moduleDir, err := moduleRoot(*root)
+	if err != nil {
+		fatal(err)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := lint.Load(moduleDir, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	goldenDir := filepath.Join(moduleDir, "lint")
+	analyzers := lint.DefaultAnalyzers(moduleDir, goldenDir)
+
+	if *update {
+		for _, a := range analyzers {
+			switch a := a.(type) {
+			case *lint.APILock:
+				err = a.WriteGolden(pkgs)
+			case *lint.HotPathAlloc:
+				err = a.WriteGolden()
+			default:
+				continue
+			}
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("blitzlint: regenerated %s golden\n", a.Name())
+		}
+		return
+	}
+
+	res, err := lint.Run(analyzers, pkgs)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range res.Active {
+		fmt.Println(relativize(moduleDir, d))
+	}
+	fmt.Println(summaryLine(moduleDir, res))
+	if res.Failed() {
+		os.Exit(1)
+	}
+}
+
+// summaryLine renders the run summary plus one line per suppressed
+// diagnostic, so silenced findings stay visible in every lint run.
+func summaryLine(moduleDir string, res *lint.Result) string {
+	var b strings.Builder
+	b.WriteString(res.Summary())
+	for _, d := range res.Suppressed {
+		b.WriteString("\n  suppressed: " + relativize(moduleDir, d))
+	}
+	return b.String()
+}
+
+// relativize prints the diagnostic with a moduleDir-relative path.
+func relativize(moduleDir string, d lint.Diagnostic) string {
+	if rel, err := filepath.Rel(moduleDir, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		d.Pos.Filename = rel
+	}
+	return d.String()
+}
+
+// moduleRoot returns dir if given, else walks up from cwd to the directory
+// holding go.mod.
+func moduleRoot(dir string) (string, error) {
+	if dir != "" {
+		return filepath.Abs(dir)
+	}
+	cur, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(cur, "go.mod")); err == nil {
+			return cur, nil
+		}
+		parent := filepath.Dir(cur)
+		if parent == cur {
+			return "", fmt.Errorf("blitzlint: no go.mod above %s", cur)
+		}
+		cur = parent
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "blitzlint:", err)
+	os.Exit(2)
+}

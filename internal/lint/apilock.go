@@ -1,0 +1,255 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// APILock freezes the root package's exported surface. The v1 API is a
+// compatibility promise: blitzd clients serialize Requests against it and
+// cached Results outlive processes. The analyzer renders every exported
+// name — funcs, consts, vars, types with their exported struct fields and
+// JSON tags, and exported methods — into a canonical text form and diffs it
+// against the committed lint/api_v1.txt golden.
+//
+//	A001  the surface drifted while EngineVersion stayed put — an
+//	      unversioned breaking change
+//	A002  the golden is missing or stale relative to a deliberate
+//	      EngineVersion bump — regenerate with `make lint-update`
+type APILock struct {
+	rootPath  string
+	goldenDir string
+}
+
+// NewAPILock returns the analyzer locking rootPath's surface against
+// goldenDir/api_v1.txt.
+func NewAPILock(rootPath, goldenDir string) *APILock {
+	return &APILock{rootPath: rootPath, goldenDir: goldenDir}
+}
+
+func (*APILock) Name() string { return "apilock" }
+
+func (a *APILock) goldenPath() string { return filepath.Join(a.goldenDir, "api_v1.txt") }
+
+// engineVersionOf reads the root package's EngineVersion constant value.
+func engineVersionOf(pkg *Package) (string, token.Position) {
+	obj := pkg.Types.Scope().Lookup("EngineVersion")
+	c, ok := obj.(*types.Const)
+	if !ok {
+		return "", token.Position{}
+	}
+	return strings.Trim(c.Val().ExactString(), `"`), pkg.Fset.Position(obj.Pos())
+}
+
+func (a *APILock) findRoot(pkgs []*Package) *Package {
+	for _, p := range pkgs {
+		if p.Path == a.rootPath {
+			return p
+		}
+	}
+	return nil
+}
+
+func (a *APILock) Run(pkgs []*Package) ([]Diagnostic, error) {
+	root := a.findRoot(pkgs)
+	if root == nil {
+		return nil, nil // surface not in this load; nothing to check
+	}
+	surface := Surface(root)
+	engine, enginePos := engineVersionOf(root)
+	if enginePos.Filename == "" {
+		enginePos = root.Fset.Position(root.Files[0].Pos())
+	}
+
+	data, err := os.ReadFile(a.goldenPath())
+	if os.IsNotExist(err) {
+		return []Diagnostic{{
+			Analyzer: a.Name(), Code: "A002", Pos: enginePos,
+			Message: "missing API golden " + a.goldenPath() + "; generate it with `make lint-update`",
+		}}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	goldenEngine, goldenBody := parseAPIGolden(string(data))
+	if goldenBody == surface && goldenEngine == engine {
+		return nil, nil
+	}
+	if goldenBody == surface {
+		return []Diagnostic{{
+			Analyzer: a.Name(), Code: "A002", Pos: enginePos,
+			Message: fmt.Sprintf("EngineVersion is %q but the API golden records %q; regenerate with `make lint-update`", engine, goldenEngine),
+		}}, nil
+	}
+	delta := diffLines(goldenBody, surface, 6)
+	if goldenEngine == engine {
+		return []Diagnostic{{
+			Analyzer: a.Name(), Code: "A001", Pos: enginePos,
+			Message: "exported API surface drifted without an EngineVersion bump:\n" + delta +
+				"\n\tbump EngineVersion and run `make lint-update`, or revert the change",
+		}}, nil
+	}
+	return []Diagnostic{{
+		Analyzer: a.Name(), Code: "A002", Pos: enginePos,
+		Message: fmt.Sprintf("EngineVersion bumped %q -> %q but the API golden is stale:\n%s\n\trun `make lint-update` to regenerate %s",
+			goldenEngine, engine, delta, a.goldenPath()),
+	}}, nil
+}
+
+// WriteGolden regenerates the API golden from the loaded root package.
+func (a *APILock) WriteGolden(pkgs []*Package) error {
+	root := a.findRoot(pkgs)
+	if root == nil {
+		return fmt.Errorf("apilock: package %s not loaded", a.rootPath)
+	}
+	engine, _ := engineVersionOf(root)
+	var b strings.Builder
+	b.WriteString("# blitzlint apilock golden: the frozen exported surface of package " + a.rootPath + ".\n")
+	b.WriteString("# Changing it requires an EngineVersion bump and `make lint-update`.\n")
+	b.WriteString("engine " + engine + "\n")
+	b.WriteString(Surface(root))
+	if err := os.MkdirAll(a.goldenDir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(a.goldenPath(), []byte(b.String()), 0o644)
+}
+
+// parseAPIGolden splits the golden into the recorded engine version and the
+// surface body.
+func parseAPIGolden(data string) (engine, body string) {
+	var lines []string
+	for _, line := range strings.Split(data, "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if v, ok := strings.CutPrefix(line, "engine "); ok && engine == "" {
+			engine = strings.TrimSpace(v)
+			continue
+		}
+		lines = append(lines, line)
+	}
+	return engine, strings.TrimLeft(strings.Join(lines, "\n"), "\n")
+}
+
+// Surface renders pkg's exported API in a canonical, diff-friendly text
+// form: one line per const/var/func/type, indented lines for exported
+// struct fields (with tags) and exported methods, everything sorted by
+// name. Unexported names and fields are invisible — they are not surface.
+func Surface(pkg *Package) string {
+	qual := func(p *types.Package) string {
+		if p == pkg.Types {
+			return ""
+		}
+		return p.Name()
+	}
+	scope := pkg.Types.Scope()
+	names := scope.Names()
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		if !token.IsExported(name) {
+			continue
+		}
+		switch obj := scope.Lookup(name).(type) {
+		case *types.Const:
+			fmt.Fprintf(&b, "const %s %s = %s\n", name, types.TypeString(obj.Type(), qual), obj.Val().ExactString())
+		case *types.Var:
+			fmt.Fprintf(&b, "var %s %s\n", name, types.TypeString(obj.Type(), qual))
+		case *types.Func:
+			fmt.Fprintf(&b, "func %s%s\n", name, signatureString(obj.Type().(*types.Signature), qual))
+		case *types.TypeName:
+			writeTypeSurface(&b, obj, qual)
+		}
+	}
+	return b.String()
+}
+
+// signatureString renders a signature without the leading "func" keyword.
+func signatureString(sig *types.Signature, qual types.Qualifier) string {
+	return strings.TrimPrefix(types.TypeString(sig, qual), "func")
+}
+
+func writeTypeSurface(b *strings.Builder, obj *types.TypeName, qual types.Qualifier) {
+	name := obj.Name()
+	if obj.IsAlias() {
+		fmt.Fprintf(b, "type %s = %s\n", name, types.TypeString(obj.Type(), qual))
+		return
+	}
+	named := obj.Type().(*types.Named)
+	switch u := named.Underlying().(type) {
+	case *types.Struct:
+		fmt.Fprintf(b, "type %s struct\n", name)
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if !f.Exported() {
+				continue
+			}
+			line := fmt.Sprintf("\tfield %s %s", f.Name(), types.TypeString(f.Type(), qual))
+			if tag := u.Tag(i); tag != "" {
+				line += " `" + tag + "`"
+			}
+			b.WriteString(line + "\n")
+		}
+	case *types.Interface:
+		fmt.Fprintf(b, "type %s interface\n", name)
+		for i := 0; i < u.NumMethods(); i++ {
+			m := u.Method(i)
+			if !m.Exported() {
+				continue
+			}
+			fmt.Fprintf(b, "\tmethod %s%s\n", m.Name(), signatureString(m.Type().(*types.Signature), qual))
+		}
+		return // interface methods are the whole surface
+	default:
+		fmt.Fprintf(b, "type %s %s\n", name, types.TypeString(u, qual))
+	}
+	// Exported methods on the named type (value and pointer receivers).
+	var methods []string
+	for i := 0; i < named.NumMethods(); i++ {
+		m := named.Method(i)
+		if !m.Exported() {
+			continue
+		}
+		sig := m.Type().(*types.Signature)
+		recv := types.TypeString(sig.Recv().Type(), qual)
+		methods = append(methods, fmt.Sprintf("\tmethod (%s) %s%s", recv, m.Name(), signatureString(sig, qual)))
+	}
+	sort.Strings(methods)
+	for _, m := range methods {
+		b.WriteString(m + "\n")
+	}
+}
+
+// diffLines renders up to max differing lines between two line-oriented
+// texts, in a compact -old/+new form (a set diff ordered by the new text;
+// enough to name what changed without a full diff engine).
+func diffLines(old, new string, max int) string {
+	oldSet := map[string]bool{}
+	for _, l := range strings.Split(old, "\n") {
+		oldSet[l] = true
+	}
+	newSet := map[string]bool{}
+	for _, l := range strings.Split(new, "\n") {
+		newSet[l] = true
+	}
+	var out []string
+	for _, l := range strings.Split(old, "\n") {
+		if l != "" && !newSet[l] {
+			out = append(out, "\t- "+strings.TrimSpace(l))
+		}
+	}
+	for _, l := range strings.Split(new, "\n") {
+		if l != "" && !oldSet[l] {
+			out = append(out, "\t+ "+strings.TrimSpace(l))
+		}
+	}
+	if len(out) > max {
+		out = append(out[:max], fmt.Sprintf("\t... and %d more changed line(s)", len(out)-max))
+	}
+	return strings.Join(out, "\n")
+}

@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goldenFromV1 regenerates the apilock golden from the frozen v1 fixture
+// into a temp dir, returning the golden dir.
+func goldenFromV1(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	v1 := loadFixture(t, "apilock_v1")
+	if err := NewAPILock(v1.Path, dir).WriteGolden([]*Package{v1}); err != nil {
+		t.Fatalf("write golden: %v", err)
+	}
+	return dir
+}
+
+func apilockCodes(t *testing.T, fixture, goldenDir string) []string {
+	t.Helper()
+	pkg := loadFixture(t, fixture)
+	res := runAnalyzer(t, NewAPILock(pkg.Path, goldenDir), pkg)
+	codes := make([]string, len(res.Active))
+	for i, d := range res.Active {
+		codes[i] = d.Code
+	}
+	return codes
+}
+
+func TestAPILockCleanSurface(t *testing.T) {
+	dir := goldenFromV1(t)
+	if codes := apilockCodes(t, "apilock_v1", dir); len(codes) != 0 {
+		t.Errorf("unchanged surface reported %v", codes)
+	}
+}
+
+func TestAPILockDriftWithoutBump(t *testing.T) {
+	dir := goldenFromV1(t)
+	codes := apilockCodes(t, "apilock_drift", dir)
+	if len(codes) != 1 || codes[0] != "A001" {
+		t.Fatalf("drift without bump reported %v, want [A001]", codes)
+	}
+	// The diagnostic must name what changed.
+	pkg := loadFixture(t, "apilock_drift")
+	res := runAnalyzer(t, NewAPILock(pkg.Path, dir), pkg)
+	msg := res.Active[0].Message
+	for _, want := range []string{"Goodbye", "Hello"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("A001 message does not name changed symbol %s:\n%s", want, msg)
+		}
+	}
+}
+
+func TestAPILockBumpWantsRegen(t *testing.T) {
+	dir := goldenFromV1(t)
+	codes := apilockCodes(t, "apilock_bump", dir)
+	if len(codes) != 1 || codes[0] != "A002" {
+		t.Fatalf("bumped engine with stale golden reported %v, want [A002]", codes)
+	}
+}
+
+func TestAPILockMissingGolden(t *testing.T) {
+	codes := apilockCodes(t, "apilock_v1", t.TempDir())
+	if len(codes) != 1 || codes[0] != "A002" {
+		t.Fatalf("missing golden reported %v, want [A002]", codes)
+	}
+}
+
+// TestAPILockRegenAfterBump verifies the escape hatch: after a deliberate
+// change plus lint-update, the analyzer is satisfied again.
+func TestAPILockRegenAfterBump(t *testing.T) {
+	dir := goldenFromV1(t)
+	bump := loadFixture(t, "apilock_bump")
+	a := NewAPILock(bump.Path, dir)
+	if err := a.WriteGolden([]*Package{bump}); err != nil {
+		t.Fatalf("regen golden: %v", err)
+	}
+	res := runAnalyzer(t, a, bump)
+	if len(res.Active) != 0 {
+		t.Errorf("regenerated golden still reports %v", formatDiags(res.Active))
+	}
+}
+
+// TestSurfaceRendering pins the canonical form: sorted names, exported
+// fields with tags, unexported names invisible.
+func TestSurfaceRendering(t *testing.T) {
+	v1 := loadFixture(t, "apilock_v1")
+	s := Surface(v1)
+	want := `const EngineVersion untyped string = "1"
+func Hello(name string) string
+type Point struct
+	field X int ` + "`json:\"x\"`" + `
+	field Y int ` + "`json:\"y\"`" + `
+	method (Point) Norm1() int
+`
+	if s != want {
+		t.Errorf("surface mismatch:\n got:\n%s\nwant:\n%s", s, want)
+	}
+	if strings.Contains(s, "abs") || strings.Contains(s, " z ") {
+		t.Error("unexported names leaked into the surface")
+	}
+}
+
+// TestGoldenParsing round-trips the header format.
+func TestGoldenParsing(t *testing.T) {
+	dir := goldenFromV1(t)
+	data, err := os.ReadFile(filepath.Join(dir, "api_v1.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, body := parseAPIGolden(string(data))
+	if engine != "1" {
+		t.Errorf("parsed engine %q, want 1", engine)
+	}
+	if !strings.HasPrefix(body, "const EngineVersion") {
+		t.Errorf("parsed body starts %q", body[:min(40, len(body))])
+	}
+}

@@ -1,0 +1,84 @@
+package lint
+
+import "strings"
+
+// Production scope for the blitzcoin module: which packages each analyzer
+// patrols. Fixture tests construct analyzers with their own scopes, so none
+// of this is hard-wired into the analyzers themselves.
+
+// simPackages are the simulation packages where determinism is an invariant:
+// a stray wall-clock read or global-rand draw here silently breaks
+// byte-identical sweep rows.
+var simPackages = []string{
+	"blitzcoin",
+	"blitzcoin/internal/coin",
+	"blitzcoin/internal/sim",
+	"blitzcoin/internal/noc",
+	"blitzcoin/internal/soc",
+	"blitzcoin/internal/mesh",
+	"blitzcoin/internal/workload",
+	"blitzcoin/internal/experiments",
+	"blitzcoin/internal/sweep",
+	"blitzcoin/internal/stats",
+	"blitzcoin/internal/fault",
+	"blitzcoin/internal/rng",
+	"blitzcoin/internal/power",
+	"blitzcoin/internal/scaling",
+	"blitzcoin/internal/trace",
+	"blitzcoin/internal/uvfr",
+	"blitzcoin/internal/core",
+	"blitzcoin/internal/controller",
+	"blitzcoin/internal/cpuproxy",
+}
+
+// wallClockAllowed are the packages that legitimately observe wall time:
+// the serving layer (request latency metrics) and the CLIs (progress
+// reporting). Everything under cmd/ is allowed by prefix.
+var wallClockAllowed = []string{
+	"blitzcoin/internal/server",
+	"blitzcoin/cmd/",
+}
+
+// hotPathPackages form the exchange hot path de-allocated in PR 2; a new
+// heap escape here regresses allocs/op long before benchcheck notices.
+var hotPathPackages = []string{
+	"./internal/coin",
+	"./internal/noc",
+	"./internal/sim",
+}
+
+// coinBudgetFields are the coin.Result fields that together encode pool
+// conservation; writing them outside internal/coin forges the
+// Conserved() verdict.
+var coinBudgetFields = []string{
+	"CoinsStart", "CoinsEnd", "PoolViolation", "CoinsMinted", "CoinsBurned",
+}
+
+// SimScope reports whether path is a simulation package subject to the
+// determinism analyzer under the production configuration.
+func SimScope(path string) bool {
+	for _, allow := range wallClockAllowed {
+		if path == allow || strings.HasPrefix(path, allow) {
+			return false
+		}
+	}
+	for _, p := range simPackages {
+		if path == p {
+			return true
+		}
+	}
+	return false
+}
+
+// DefaultAnalyzers returns the production analyzer set for the module
+// rooted at moduleDir. goldenDir is where the apilock and hotpathalloc
+// goldens live (conventionally <moduleDir>/lint).
+func DefaultAnalyzers(moduleDir, goldenDir string) []Analyzer {
+	return []Analyzer{
+		NewDeterminism(SimScope),
+		NewSeedflow(),
+		NewHotPathAlloc(moduleDir, goldenDir, hotPathPackages),
+		NewEncapsulation("blitzcoin/internal/coin", "Result", coinBudgetFields),
+		NewAPILock("blitzcoin", goldenDir),
+	}
+}

@@ -1,0 +1,283 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Determinism forbids the three ways a simulation package silently breaks
+// byte-identical sweep rows:
+//
+//	D001  reading the wall clock (time.Now, time.Since, and friends) — a
+//	      simulation's only clock is the kernel's cycle counter
+//	D002  drawing from math/rand's process-global generator — components
+//	      take an explicit *rng.Source derived from the experiment seed
+//	D003  ranging over a map while feeding an order-sensitive sink (append
+//	      to a slice, slice element writes, printing/encoding) — Go's map
+//	      iteration order is deliberately randomized, so anything ordered
+//	      that it produces differs run to run
+//
+// Two idioms are recognized as order-insensitive and not flagged:
+// per-key accumulation (`byKey[k] = append(byKey[k], v)`), and
+// collect-then-sort, where the appended-to slice is canonicalized by a
+// sort.*/slices.Sort* call after the range statement ends.
+type Determinism struct {
+	scope func(pkgPath string) bool
+}
+
+// NewDeterminism returns the analyzer restricted to packages for which
+// scope returns true (production: the simulation packages, with the server
+// and CLIs allowlisted for wall-clock use).
+func NewDeterminism(scope func(string) bool) *Determinism {
+	return &Determinism{scope: scope}
+}
+
+func (*Determinism) Name() string { return "determinism" }
+
+// wallClockFuncs are the package time functions that read the wall clock or
+// schedule against it.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true,
+	"Tick": true, "NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+// globalRandFuncs are the math/rand (and math/rand/v2) package-level
+// functions backed by the shared global generator. Explicitly constructed
+// generators (rand.New, rand.NewSource) are not globals and are left to the
+// seedflow analyzer.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Int32": true, "Int32N": true,
+	"Int64": true, "Int64N": true, "IntN": true, "N": true,
+	"Uint32": true, "Uint64": true, "Uint32N": true, "Uint64N": true,
+	"Uint": true, "UintN": true, "Float32": true, "Float64": true,
+	"ExpFloat64": true, "NormFloat64": true, "Perm": true,
+	"Shuffle": true, "Seed": true, "Read": true,
+}
+
+func (a *Determinism) Run(pkgs []*Package) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		if a.scope != nil && !a.scope(pkg.Path) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			sorted := collectSortCalls(pkg, f)
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					if d, ok := a.checkSelector(pkg, n); ok {
+						out = append(out, d)
+					}
+				case *ast.RangeStmt:
+					out = append(out, a.checkMapRange(pkg, n, sorted)...)
+				}
+				return true
+			})
+		}
+	}
+	return out, nil
+}
+
+// pkgOf resolves a selector base to an imported package path, or "".
+func pkgOf(pkg *Package, x ast.Expr) string {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+func (a *Determinism) checkSelector(pkg *Package, sel *ast.SelectorExpr) (Diagnostic, bool) {
+	switch pkgOf(pkg, sel.X) {
+	case "time":
+		if wallClockFuncs[sel.Sel.Name] {
+			return Diagnostic{
+				Analyzer: a.Name(), Code: "D001",
+				Pos:     pkg.Fset.Position(sel.Pos()),
+				Message: "wall-clock call time." + sel.Sel.Name + " in simulation package " + pkg.Path + "; use the kernel cycle counter",
+			}, true
+		}
+	case "math/rand", "math/rand/v2":
+		if globalRandFuncs[sel.Sel.Name] {
+			return Diagnostic{
+				Analyzer: a.Name(), Code: "D002",
+				Pos:     pkg.Fset.Position(sel.Pos()),
+				Message: "global math/rand call rand." + sel.Sel.Name + "; derive a *rng.Source from the experiment seed instead",
+			}, true
+		}
+	}
+	return Diagnostic{}, false
+}
+
+// sortCall records a slice variable passed to a canonicalizing sort.
+type sortCall struct {
+	obj types.Object
+	pos token.Pos
+}
+
+// collectSortCalls finds sort.Strings/Ints/Float64s/Slice/SliceStable/Sort
+// and slices.Sort* calls whose first argument is a plain variable; an append
+// into that variable inside an earlier map range is order-insensitive
+// because the sort canonicalizes it.
+func collectSortCalls(pkg *Package, f *ast.File) []sortCall {
+	var calls []sortCall
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch pkgOf(pkg, sel.X) {
+		case "sort":
+			switch sel.Sel.Name {
+			case "Strings", "Ints", "Float64s", "Slice", "SliceStable", "Sort", "Stable":
+			default:
+				return true
+			}
+		case "slices":
+			if !strings.HasPrefix(sel.Sel.Name, "Sort") {
+				return true
+			}
+		default:
+			return true
+		}
+		if id, ok := call.Args[0].(*ast.Ident); ok {
+			if obj := pkg.Info.Uses[id]; obj != nil {
+				calls = append(calls, sortCall{obj: obj, pos: call.Pos()})
+			}
+		}
+		return true
+	})
+	return calls
+}
+
+// sortedAfter reports whether obj is sort-canonicalized after pos.
+func sortedAfter(sorted []sortCall, obj types.Object, pos token.Pos) bool {
+	for _, s := range sorted {
+		if s.obj == obj && s.pos > pos {
+			return true
+		}
+	}
+	return false
+}
+
+// checkMapRange flags order-sensitive sinks inside a range over a map.
+func (a *Determinism) checkMapRange(pkg *Package, rng *ast.RangeStmt, sorted []sortCall) []Diagnostic {
+	tv, ok := pkg.Info.Types[rng.X]
+	if !ok {
+		return nil
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return nil
+	}
+	var out []Diagnostic
+	report := func(n ast.Node, what string) {
+		out = append(out, Diagnostic{
+			Analyzer: a.Name(), Code: "D003",
+			Pos:     pkg.Fset.Position(n.Pos()),
+			Message: what + " inside a map range: iteration order is randomized, so ordered output differs run to run",
+		})
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if ix, ok := lhs.(*ast.IndexExpr); ok && a.isSliceWrite(pkg, ix) {
+					report(lhs, "slice element write")
+					continue
+				}
+				// append() feeding anything but a per-key map slot is
+				// ordered by iteration — unless a later sort
+				// canonicalizes the slice.
+				if i < len(n.Rhs) && isAppendCall(pkg, n.Rhs[i]) && !isMapIndex(pkg, lhs) {
+					if id, ok := lhs.(*ast.Ident); ok {
+						if obj := pkg.Info.Uses[id]; obj != nil && sortedAfter(sorted, obj, rng.End()) {
+							continue
+						}
+					}
+					report(n.Rhs[i], "append")
+				}
+			}
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if name, ok := orderedSinkCall(pkg, call); ok {
+					report(call, name+" call")
+				}
+			}
+			return true
+		}
+		return true
+	})
+	return out
+}
+
+func (a *Determinism) isSliceWrite(pkg *Package, ix *ast.IndexExpr) bool {
+	tv, ok := pkg.Info.Types[ix.X]
+	if !ok {
+		return false
+	}
+	_, isSlice := tv.Type.Underlying().(*types.Slice)
+	return isSlice
+}
+
+func isAppendCall(pkg *Package, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pkg.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func isMapIndex(pkg *Package, e ast.Expr) bool {
+	ix, ok := e.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	tv, ok := pkg.Info.Types[ix.X]
+	if !ok {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// orderedSinkCall recognizes calls that emit ordered output: the fmt print
+// family and Write*/Encode* methods (encoders, builders, buffers, writers).
+func orderedSinkCall(pkg *Package, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if pkgOf(pkg, sel.X) == "fmt" {
+		switch name {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			return "fmt." + name, true
+		}
+		return "", false
+	}
+	// Method calls on some receiver value.
+	if pkg.Info.Selections[sel] == nil {
+		return "", false
+	}
+	if name == "Encode" || name == "Write" || name == "WriteString" ||
+		name == "WriteByte" || name == "WriteRune" {
+		return "." + name, true
+	}
+	return "", false
+}

@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// allowPrefix is the suppression directive comment marker. The full form is
+//
+//	//blitzlint:allow <CODE> <reason...>
+//
+// placed either on the offending line (trailing comment) or on the line
+// immediately above it. The reason is mandatory: a suppression with no
+// stated justification is treated as malformed and reported.
+const allowPrefix = "//blitzlint:allow"
+
+// directive is one parsed allow comment.
+type directive struct {
+	pos    token.Position // position of the comment itself
+	code   string         // diagnostic code being allowed, e.g. D001
+	reason string         // free-text justification (must be non-empty)
+	used   bool           // set when a diagnostic matched it
+}
+
+// collectDirectives scans every file's comments for blitzlint:allow
+// directives.
+func collectDirectives(pkgs []*Package) []*directive {
+	var dirs []*directive
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(c.Text)
+					if !strings.HasPrefix(text, allowPrefix) {
+						continue
+					}
+					rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+					code, reason, _ := strings.Cut(rest, " ")
+					dirs = append(dirs, &directive{
+						pos:    pkg.Fset.Position(c.Pos()),
+						code:   code,
+						reason: strings.TrimSpace(reason),
+					})
+				}
+			}
+		}
+	}
+	return dirs
+}
+
+// applyDirectives partitions raw diagnostics into suppressed and active
+// according to the allow directives, and appends X001 diagnostics for
+// malformed or stale directives so they cannot silently rot.
+func applyDirectives(raw []Diagnostic, dirs []*directive) *Result {
+	res := &Result{}
+	for _, d := range raw {
+		if dir := matchDirective(dirs, d); dir != nil {
+			dir.used = true
+			res.Suppressed = append(res.Suppressed, d)
+			continue
+		}
+		res.Active = append(res.Active, d)
+	}
+	for _, dir := range dirs {
+		switch {
+		case dir.code == "" || dir.reason == "":
+			res.Active = append(res.Active, Diagnostic{
+				Analyzer: "directive",
+				Code:     "X002",
+				Pos:      dir.pos,
+				Message:  "malformed allow directive: want //blitzlint:allow <CODE> <reason>",
+			})
+		case !dir.used:
+			res.Active = append(res.Active, Diagnostic{
+				Analyzer: "directive",
+				Code:     "X001",
+				Pos:      dir.pos,
+				Message:  "stale allow directive: no " + dir.code + " diagnostic on this or the next line",
+			})
+		}
+	}
+	return res
+}
+
+// matchDirective finds an allow directive covering d: same file, same code,
+// on the diagnostic's line or the line immediately above.
+func matchDirective(dirs []*directive, d Diagnostic) *directive {
+	for _, dir := range dirs {
+		if dir.code != d.Code || dir.reason == "" {
+			continue
+		}
+		if dir.pos.Filename != d.Pos.Filename {
+			continue
+		}
+		if dir.pos.Line == d.Pos.Line || dir.pos.Line == d.Pos.Line-1 {
+			return dir
+		}
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDirectiveGolden pins the full directive contract on one fixture:
+// a justified allow suppresses its diagnostic, a stale allow is reported
+// as X001, and a reason-less allow is reported as X002 and suppresses
+// nothing.
+func TestDirectiveGolden(t *testing.T) {
+	pkg := loadFixture(t, "directive")
+	res := runAnalyzer(t, NewDeterminism(nil), pkg)
+	checkGolden(t, "directive", formatDiags(res.Active))
+
+	if len(res.Suppressed) != 1 {
+		t.Fatalf("suppressed = %d, want 1 (%v)", len(res.Suppressed), formatDiags(res.Suppressed))
+	}
+	if d := res.Suppressed[0]; d.Code != "D001" {
+		t.Errorf("suppressed diagnostic code = %s, want D001", d.Code)
+	}
+}
+
+// TestDirectiveSummaryCountsSuppressed verifies suppressed findings stay
+// visible: the summary line carries the count and per-code breakdown.
+func TestDirectiveSummaryCountsSuppressed(t *testing.T) {
+	pkg := loadFixture(t, "directive")
+	res := runAnalyzer(t, NewDeterminism(nil), pkg)
+	sum := res.Summary()
+	if !strings.Contains(sum, "1 suppressed") {
+		t.Errorf("summary %q does not count the suppression", sum)
+	}
+	if !strings.Contains(sum, "D001 x1") {
+		t.Errorf("summary %q does not break down suppressions by code", sum)
+	}
+	if !res.Failed() {
+		t.Error("stale + malformed directives must fail the run")
+	}
+}
+
+// TestDirectiveSameLine verifies a trailing same-line comment suppresses.
+func TestDirectiveSameLine(t *testing.T) {
+	raw := []Diagnostic{{Analyzer: "determinism", Code: "D001",
+		Pos: position("a.go", 10, 5), Message: "m"}}
+	dirs := []*directive{{pos: position("a.go", 10, 40), code: "D001", reason: "same line"}}
+	res := applyDirectives(raw, dirs)
+	if len(res.Suppressed) != 1 || len(res.Active) != 0 {
+		t.Errorf("same-line directive: suppressed=%d active=%d, want 1/0",
+			len(res.Suppressed), len(res.Active))
+	}
+}
+
+// TestDirectiveWrongCode verifies an allow for a different code does not
+// suppress and is itself stale.
+func TestDirectiveWrongCode(t *testing.T) {
+	raw := []Diagnostic{{Analyzer: "determinism", Code: "D001",
+		Pos: position("a.go", 10, 5), Message: "m"}}
+	dirs := []*directive{{pos: position("a.go", 9, 1), code: "D002", reason: "mismatched"}}
+	res := applyDirectives(raw, dirs)
+	if len(res.Suppressed) != 0 {
+		t.Error("mismatched code must not suppress")
+	}
+	var sawStale, sawOriginal bool
+	for _, d := range res.Active {
+		switch d.Code {
+		case "X001":
+			sawStale = true
+		case "D001":
+			sawOriginal = true
+		}
+	}
+	if !sawStale || !sawOriginal {
+		t.Errorf("want original D001 and stale X001, got %v", formatDiags(res.Active))
+	}
+}

@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Encapsulation protects the coin-conservation ledger: the fields of
+// coin.Result that together encode "every coin is accounted for" may only
+// be written by internal/coin itself. A write anywhere else forges the
+// Conserved() verdict the fault-injection tests and the audit depend on.
+//
+//	E001  assignment, compound assignment, increment/decrement,
+//	      composite-literal initialization, or address-taking of a
+//	      protected budget field outside the owning package
+type Encapsulation struct {
+	ownerPath string
+	typeName  string
+	fields    map[string]bool
+}
+
+// NewEncapsulation returns the analyzer protecting the named fields of
+// ownerPath.typeName from writes outside ownerPath.
+func NewEncapsulation(ownerPath, typeName string, fields []string) *Encapsulation {
+	m := make(map[string]bool, len(fields))
+	for _, f := range fields {
+		m[f] = true
+	}
+	return &Encapsulation{ownerPath: ownerPath, typeName: typeName, fields: m}
+}
+
+func (*Encapsulation) Name() string { return "encapsulation" }
+
+func (a *Encapsulation) Run(pkgs []*Package) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		if pkg.Path == a.ownerPath {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						if sel, ok := lhs.(*ast.SelectorExpr); ok && a.isProtected(pkg, sel) {
+							out = append(out, a.diag(pkg, sel, "write to"))
+						}
+					}
+				case *ast.IncDecStmt:
+					if sel, ok := n.X.(*ast.SelectorExpr); ok && a.isProtected(pkg, sel) {
+						out = append(out, a.diag(pkg, sel, "increment/decrement of"))
+					}
+				case *ast.UnaryExpr:
+					if n.Op != token.AND {
+						return true
+					}
+					if sel, ok := n.X.(*ast.SelectorExpr); ok && a.isProtected(pkg, sel) {
+						out = append(out, a.diag(pkg, sel, "address taken of"))
+					}
+				case *ast.CompositeLit:
+					out = append(out, a.checkLit(pkg, n)...)
+				}
+				return true
+			})
+		}
+	}
+	return out, nil
+}
+
+func (a *Encapsulation) diag(pkg *Package, n ast.Node, what string) Diagnostic {
+	return Diagnostic{
+		Analyzer: a.Name(), Code: "E001",
+		Pos: pkg.Fset.Position(n.Pos()),
+		Message: what + " a coin-budget field outside " + a.ownerPath +
+			"; the conservation ledger is owned by the emulator and its audit",
+	}
+}
+
+// isProtected reports whether sel resolves to one of the protected fields
+// declared in the owner package (embedding included: the field object's
+// package is where the field is declared, not where it is reached from).
+func (a *Encapsulation) isProtected(pkg *Package, sel *ast.SelectorExpr) bool {
+	s := pkg.Info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return false
+	}
+	obj := s.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == a.ownerPath && a.fields[obj.Name()]
+}
+
+// checkLit flags composite literals of the protected type that initialize a
+// budget field — constructing a forged Result is as bad as mutating one.
+func (a *Encapsulation) checkLit(pkg *Package, lit *ast.CompositeLit) []Diagnostic {
+	tv, ok := pkg.Info.Types[lit]
+	if !ok {
+		return nil
+	}
+	named, ok := deref(tv.Type).(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != a.ownerPath || obj.Name() != a.typeName {
+		return nil
+	}
+	var out []Diagnostic
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			// Positional literal: every field is set, budget ones included.
+			out = append(out, a.diag(pkg, el, "positional composite literal sets"))
+			continue
+		}
+		if id, ok := kv.Key.(*ast.Ident); ok && a.fields[id.Name] {
+			out = append(out, a.diag(pkg, kv, "composite literal sets"))
+		}
+	}
+	return out
+}
+
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}

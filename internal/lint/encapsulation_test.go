@@ -1,0 +1,21 @@
+package lint
+
+import "testing"
+
+func TestEncapsulationGolden(t *testing.T) {
+	pkg := loadFixture(t, "encapsulation")
+	a := NewEncapsulation("blitzcoin/internal/coin", "Result", coinBudgetFields)
+	res := runAnalyzer(t, a, pkg)
+	checkGolden(t, "encapsulation", formatDiags(res.Active))
+}
+
+// TestEncapsulationOwnerExempt verifies the owning package itself may write
+// the ledger: the analyzer skips packages whose path matches the owner.
+func TestEncapsulationOwnerExempt(t *testing.T) {
+	pkg := loadFixture(t, "encapsulation")
+	a := NewEncapsulation(pkg.Path, "Result", coinBudgetFields)
+	res := runAnalyzer(t, a, pkg)
+	if len(res.Active) != 0 {
+		t.Errorf("owner-exempt run reported %d diagnostics: %v", len(res.Active), formatDiags(res.Active))
+	}
+}

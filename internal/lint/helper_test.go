@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// position builds a token.Position for table-driven directive tests.
+func position(file string, line, col int) token.Position {
+	return token.Position{Filename: file, Line: line, Column: col}
+}
+
+// moduleDir locates the repository root (the directory holding go.mod), so
+// fixture type-checking resolves blitzcoin/internal/... imports.
+func moduleDir(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "go.mod")); err != nil {
+		t.Fatalf("module root not at %s: %v", dir, err)
+	}
+	return dir
+}
+
+// loadFixture type-checks testdata/src/<name> as a standalone package.
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	pkg, err := LoadFixture(moduleDir(t), filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", name, err)
+	}
+	return pkg
+}
+
+// formatDiags renders diagnostics in the golden form the expect.txt files
+// use: basename:line:col: CODE.
+func formatDiags(ds []Diagnostic) []string {
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = fmt.Sprintf("%s:%d:%d: %s", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Code)
+	}
+	return out
+}
+
+// checkGolden compares formatted diagnostics against the fixture's
+// expect.txt (one `file:line:col: CODE` per line).
+func checkGolden(t *testing.T, fixture string, got []string) {
+	t.Helper()
+	path := filepath.Join("testdata", "src", fixture, "expect.txt")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	var want []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line != "" && !strings.HasPrefix(line, "#") {
+			want = append(want, line)
+		}
+	}
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("diagnostics mismatch for %s\n got:\n  %s\nwant:\n  %s",
+			fixture, strings.Join(got, "\n  "), strings.Join(want, "\n  "))
+	}
+}
+
+// runAnalyzer runs one analyzer through the full Run pipeline (directives
+// applied) over a single fixture package.
+func runAnalyzer(t *testing.T, a Analyzer, pkg *Package) *Result {
+	t.Helper()
+	res, err := Run([]Analyzer{a}, []*Package{pkg})
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name(), err)
+	}
+	return res
+}

@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// HotPathAlloc guards the de-allocated exchange hot path: it compiles the
+// hot-path packages with `go build -gcflags=-m`, parses the compiler's
+// escape-analysis verdicts, and diffs them against the committed
+// lint/escape_allow.txt golden. A new heap escape fails the build
+// immediately instead of waiting for benchcheck to notice the allocs/op
+// regression.
+//
+//	H001  a heap escape the golden does not allow
+//	H002  a golden entry the compiler no longer reports (stale; regenerate
+//	      with `make lint-update` so the allowlist stays tight)
+//
+// Entries are keyed by (file, compiler message) with line numbers stripped,
+// so unrelated edits above an allowed escape do not churn the golden. The
+// corollary: a second escape of an identical expression in the same file is
+// masked by the first's entry — distinct messages are still caught.
+type HotPathAlloc struct {
+	moduleDir string
+	goldenDir string
+	packages  []string
+
+	// compile is swappable so golden tests can feed canned compiler output.
+	compile func() (string, error)
+}
+
+// NewHotPathAlloc returns the analyzer for the given hot-path package
+// patterns, run from moduleDir, diffing against goldenDir/escape_allow.txt.
+func NewHotPathAlloc(moduleDir, goldenDir string, packages []string) *HotPathAlloc {
+	a := &HotPathAlloc{moduleDir: moduleDir, goldenDir: goldenDir, packages: packages}
+	a.compile = a.goBuild
+	return a
+}
+
+func (*HotPathAlloc) Name() string { return "hotpathalloc" }
+
+// SetCompileOutput overrides the compiler invocation with canned output
+// (golden tests only).
+func (a *HotPathAlloc) SetCompileOutput(out string) {
+	a.compile = func() (string, error) { return out, nil }
+}
+
+// goldenPath is the committed allowlist location.
+func (a *HotPathAlloc) goldenPath() string { return filepath.Join(a.goldenDir, "escape_allow.txt") }
+
+// goBuild compiles the hot-path packages with escape-analysis diagnostics.
+// The build cache replays -m output, so warm runs are cheap.
+func (a *HotPathAlloc) goBuild() (string, error) {
+	args := append([]string{"build", "-gcflags=-m=1"}, a.packages...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = a.moduleDir
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("go build -gcflags=-m: %v\n%s", err, buf.String())
+	}
+	return buf.String(), nil
+}
+
+// escapeLine matches one compiler escape verdict:
+//
+//	internal/coin/emulator.go:261:7: &Emulator{...} escapes to heap
+//	internal/noc/noc.go:312:3: moved to heap: dup
+var escapeLine = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*(?:escapes to heap|moved to heap).*)$`)
+
+// escape is one observed heap escape.
+type escape struct {
+	file      string // path as the compiler printed it (moduleDir-relative)
+	line, col int
+	message   string
+}
+
+// key is the stable identity an allowlist entry matches on.
+func (e escape) key() string { return e.file + ": " + e.message }
+
+// parseEscapes extracts escape verdicts from compiler output, keeping the
+// first position seen for each distinct (file, message) key.
+func parseEscapes(out string) []escape {
+	seen := map[string]bool{}
+	var escapes []escape
+	for _, line := range strings.Split(out, "\n") {
+		m := escapeLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		ln, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		e := escape{file: m[1], line: ln, col: col, message: m[4]}
+		if seen[e.key()] {
+			continue
+		}
+		seen[e.key()] = true
+		escapes = append(escapes, e)
+	}
+	sort.Slice(escapes, func(i, j int) bool { return escapes[i].key() < escapes[j].key() })
+	return escapes
+}
+
+// readAllow parses the golden allowlist: one key per line, '#' comments and
+// blank lines ignored. Returns key -> golden line number.
+func (a *HotPathAlloc) readAllow() (map[string]int, error) {
+	data, err := os.ReadFile(a.goldenPath())
+	if os.IsNotExist(err) {
+		return map[string]int{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	allow := map[string]int{}
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		allow[line] = i + 1
+	}
+	return allow, nil
+}
+
+func (a *HotPathAlloc) Run(_ []*Package) ([]Diagnostic, error) {
+	out, err := a.compile()
+	if err != nil {
+		return nil, err
+	}
+	escapes := parseEscapes(out)
+	allow, err := a.readAllow()
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	matched := map[string]bool{}
+	for _, e := range escapes {
+		if _, ok := allow[e.key()]; ok {
+			matched[e.key()] = true
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Analyzer: a.Name(), Code: "H001",
+			Pos: token.Position{
+				Filename: filepath.Join(a.moduleDir, e.file),
+				Line:     e.line, Column: e.col,
+			},
+			Message: "new heap escape on the exchange hot path: " + e.message +
+				" (allow it in lint/escape_allow.txt via `make lint-update` only with a benchmark justification)",
+		})
+	}
+	for key, line := range allow {
+		if !matched[key] {
+			diags = append(diags, Diagnostic{
+				Analyzer: a.Name(), Code: "H002",
+				Pos:     token.Position{Filename: a.goldenPath(), Line: line, Column: 1},
+				Message: "stale escape allowlist entry (compiler no longer reports it): " + key + "; regenerate with `make lint-update`",
+			})
+		}
+	}
+	return diags, nil
+}
+
+// WriteGolden regenerates the allowlist from a fresh compile.
+func (a *HotPathAlloc) WriteGolden() error {
+	out, err := a.compile()
+	if err != nil {
+		return err
+	}
+	escapes := parseEscapes(out)
+	var b strings.Builder
+	b.WriteString("# blitzlint hotpathalloc golden: every heap escape the exchange hot path\n")
+	b.WriteString("# is allowed to make. One `file: compiler message` per line; regenerate\n")
+	b.WriteString("# with `make lint-update` and justify additions with a benchmark.\n")
+	for _, e := range escapes {
+		b.WriteString(e.key())
+		b.WriteByte('\n')
+	}
+	if err := os.MkdirAll(a.goldenDir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(a.goldenPath(), []byte(b.String()), 0o644)
+}

@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// cannedOutput is a miniature -gcflags=-m transcript: two escapes, inlining
+// noise, and a duplicate verdict that must collapse into one key.
+const cannedOutput = `# blitzcoin/internal/coin
+internal/coin/emulator.go:10:5: make([]int64, n) escapes to heap
+internal/coin/emulator.go:20:7: allowed thing escapes to heap
+internal/coin/emulator.go:30:5: can inline roundDiv
+internal/coin/emulator.go:44:5: make([]int64, n) escapes to heap
+internal/noc/noc.go:12:3: moved to heap: dup
+`
+
+func newCannedAnalyzer(t *testing.T, allowlist string) *HotPathAlloc {
+	t.Helper()
+	dir := t.TempDir()
+	if allowlist != "" {
+		if err := os.WriteFile(filepath.Join(dir, "escape_allow.txt"), []byte(allowlist), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := NewHotPathAlloc("/mod", dir, nil)
+	a.SetCompileOutput(cannedOutput)
+	return a
+}
+
+func TestHotPathAllocGolden(t *testing.T) {
+	a := newCannedAnalyzer(t, `# comment
+internal/coin/emulator.go: allowed thing escapes to heap
+internal/noc/noc.go: moved to heap: dup
+internal/coin/gone.go: stale entry escapes to heap
+`)
+	ds, err := a.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortDiagnostics(ds)
+	var got []string
+	for _, d := range ds {
+		got = append(got, d.Code+" "+filepath.Base(d.Pos.Filename))
+	}
+	// Sorted by path: the module file precedes the temp-dir golden.
+	want := []string{
+		"H001 emulator.go",      // the unallowed make([]int64, n)
+		"H002 escape_allow.txt", // stale gone.go entry
+	}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("diagnostics = %v, want %v", got, want)
+	}
+	// The new-escape diagnostic carries the first occurrence's position.
+	for _, d := range ds {
+		if d.Code == "H001" && d.Pos.Line != 10 {
+			t.Errorf("H001 at line %d, want first occurrence line 10", d.Pos.Line)
+		}
+	}
+}
+
+func TestHotPathAllocCleanDiff(t *testing.T) {
+	a := newCannedAnalyzer(t, `internal/coin/emulator.go: make([]int64, n) escapes to heap
+internal/coin/emulator.go: allowed thing escapes to heap
+internal/noc/noc.go: moved to heap: dup
+`)
+	ds, err := a.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 0 {
+		t.Errorf("clean diff reported %d diagnostics", len(ds))
+	}
+}
+
+// TestHotPathAllocWriteGolden verifies -update writes the deduplicated,
+// sorted key set.
+func TestHotPathAllocWriteGolden(t *testing.T) {
+	a := newCannedAnalyzer(t, "")
+	if err := a.WriteGolden(); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := a.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 0 {
+		t.Errorf("fresh golden still reports %v", formatDiags(ds))
+	}
+	data, err := os.ReadFile(filepath.Join(a.goldenDir, "escape_allow.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	for _, line := range strings.Split(string(data), "\n") {
+		if line != "" && !strings.HasPrefix(line, "#") {
+			keys = append(keys, line)
+		}
+	}
+	want := []string{
+		"internal/coin/emulator.go: allowed thing escapes to heap",
+		"internal/coin/emulator.go: make([]int64, n) escapes to heap",
+		"internal/noc/noc.go: moved to heap: dup",
+	}
+	if strings.Join(keys, "\n") != strings.Join(want, "\n") {
+		t.Errorf("golden keys:\n%s\nwant:\n%s", strings.Join(keys, "\n"), strings.Join(want, "\n"))
+	}
+}
+
+func TestParseEscapesDedup(t *testing.T) {
+	escapes := parseEscapes(cannedOutput)
+	if len(escapes) != 3 {
+		t.Fatalf("parsed %d escapes, want 3 deduplicated", len(escapes))
+	}
+}

@@ -1,0 +1,130 @@
+// Package lint is blitzlint: a domain-aware static-analysis suite that
+// mechanically enforces the repo's three hard-won invariants — byte-identical
+// sweep rows at any parallelism, a de-allocated exchange hot path, and a
+// frozen versioned v1 API surface — at compile time, before `make verify`
+// ever runs a simulation.
+//
+// The suite is stdlib-only (go/ast, go/parser, go/types; packages are loaded
+// through `go list -export` and the gc export-data importer) and ships five
+// analyzers:
+//
+//	determinism   D001-D003  wall-clock, global math/rand, and order-dependent
+//	                         map iteration in the simulation packages
+//	seedflow      S001-S002  sweep.Map trial closures must derive RNG from
+//	                         internal/rng seeded by the trial index
+//	hotpathalloc  H001-H002  new heap escapes in the exchange path, diffed
+//	                         against the lint/escape_allow.txt golden
+//	encapsulation E001       direct writes to coin-budget fields outside
+//	                         internal/coin (protects Result.Conserved())
+//	apilock       A001-A002  exported-surface drift of the root package
+//	                         against lint/api_v1.txt without an EngineVersion
+//	                         bump
+//
+// A diagnostic is suppressed by an explicit directive on the offending line
+// or the line immediately above:
+//
+//	//blitzlint:allow D001 reason the server intentionally reports wall time
+//
+// Suppressed diagnostics are still counted and surfaced in the run summary,
+// and an allow directive that matches no diagnostic is itself reported as
+// stale (X001) so dead suppressions cannot accumulate.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: an analyzer, a stable machine-readable code, a
+// position, and a human-readable message.
+type Diagnostic struct {
+	Analyzer string
+	Code     string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the diagnostic in the canonical file:line:col form every
+// tool (editor, CI annotation, grep) understands.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Code, d.Message, d.Analyzer)
+}
+
+// Analyzer is one domain check. Run inspects the loaded packages and returns
+// raw diagnostics; the Runner applies allow directives afterwards.
+type Analyzer interface {
+	Name() string
+	Run(pkgs []*Package) ([]Diagnostic, error)
+}
+
+// Result is the outcome of a Runner pass: the diagnostics that remain after
+// suppression, the ones an allow directive silenced (still counted), and any
+// stale directives (reported in Active as X001).
+type Result struct {
+	Active     []Diagnostic
+	Suppressed []Diagnostic
+}
+
+// Failed reports whether the run should fail the build.
+func (r *Result) Failed() bool { return len(r.Active) > 0 }
+
+// Summary is the one-line account of the run, including the suppressed
+// count so silenced findings stay visible.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "blitzlint: %d diagnostic(s), %d suppressed", len(r.Active), len(r.Suppressed))
+	if len(r.Suppressed) > 0 {
+		counts := map[string]int{}
+		for _, d := range r.Suppressed {
+			counts[d.Code]++
+		}
+		codes := make([]string, 0, len(counts))
+		for c := range counts {
+			codes = append(codes, c)
+		}
+		sort.Strings(codes)
+		parts := make([]string, len(codes))
+		for i, c := range codes {
+			parts[i] = fmt.Sprintf("%s x%d", c, counts[c])
+		}
+		fmt.Fprintf(&b, " (%s)", strings.Join(parts, ", "))
+	}
+	return b.String()
+}
+
+// Run executes every analyzer over pkgs, applies the //blitzlint:allow
+// directives collected from the package sources, and reports stale
+// directives. Diagnostics are returned sorted by position then code.
+func Run(analyzers []Analyzer, pkgs []*Package) (*Result, error) {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		ds, err := a.Run(pkgs)
+		if err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name(), err)
+		}
+		raw = append(raw, ds...)
+	}
+	dirs := collectDirectives(pkgs)
+	res := applyDirectives(raw, dirs)
+	sortDiagnostics(res.Active)
+	sortDiagnostics(res.Suppressed)
+	return res, nil
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Code < b.Code
+	})
+}

@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestTreeClean runs the full production analyzer set over the real module:
+// the committed tree must lint clean, and the committed goldens must match
+// what the compiler and type-checker report today. This is the same gate
+// `make lint` applies, kept in go test so `go test ./internal/lint/...`
+// exercises the loader end to end.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module load in -short mode")
+	}
+	dir := moduleDir(t)
+	pkgs, err := Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	res, err := Run(DefaultAnalyzers(dir, filepath.Join(dir, "lint")), pkgs)
+	if err != nil {
+		t.Fatalf("run analyzers: %v", err)
+	}
+	for _, d := range res.Active {
+		t.Errorf("tree not clean: %s", d)
+	}
+}
+
+// TestRunSortsDiagnostics pins the deterministic output order the CLI and
+// goldens rely on.
+func TestRunSortsDiagnostics(t *testing.T) {
+	ds := []Diagnostic{
+		{Code: "B", Pos: position("b.go", 2, 1)},
+		{Code: "B", Pos: position("a.go", 9, 3)},
+		{Code: "A", Pos: position("a.go", 9, 3)},
+		{Code: "C", Pos: position("a.go", 1, 1)},
+	}
+	sortDiagnostics(ds)
+	want := []string{"C", "A", "B", "B"}
+	for i, d := range ds {
+		if d.Code != want[i] {
+			t.Fatalf("order %d = %s, want %s", i, d.Code, want[i])
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package: the syntax trees the
+// analyzers walk plus the go/types results they resolve names against.
+type Package struct {
+	Path  string // import path, e.g. blitzcoin/internal/coin
+	Dir   string // absolute source directory
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+}
+
+// goList runs `go list -export -deps -json` in dir for the given patterns
+// and returns every package in the transitive build, with export-data paths
+// populated (building anything stale as a side effect).
+func goList(dir string, patterns ...string) (map[string]*listPackage, error) {
+	args := append([]string{"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Incomplete"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+	pkgs := map[string]*listPackage{}
+	dec := json.NewDecoder(&out)
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decode: %v", err)
+		}
+		pkgs[p.ImportPath] = &p
+	}
+	return pkgs, nil
+}
+
+// exportLookup adapts a go-list export map into the lookup function the gc
+// importer wants, lazily resolving paths (e.g. stdlib packages a fixture
+// imports that the module itself does not) with extra `go list` calls.
+type exportLookup struct {
+	dir     string
+	exports map[string]string // import path -> export data file
+}
+
+func (l *exportLookup) lookup(path string) (io.ReadCloser, error) {
+	if f, ok := l.exports[path]; ok && f != "" {
+		return os.Open(f)
+	}
+	extra, err := goList(l.dir, path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: no export data for %q: %v", path, err)
+	}
+	for p, lp := range extra {
+		if lp.Export != "" {
+			l.exports[p] = lp.Export
+		}
+	}
+	if f, ok := l.exports[path]; ok && f != "" {
+		return os.Open(f)
+	}
+	return nil, fmt.Errorf("lint: no export data for %q", path)
+}
+
+// newInfo returns a types.Info with every map the analyzers consult.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+}
+
+// Load parses and type-checks the packages matched by patterns, rooted at
+// the module directory dir. Only non-test Go files are loaded: test files
+// legitimately use wall clocks and ad-hoc randomness.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	all, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	lookup := &exportLookup{dir: dir, exports: map[string]string{}}
+	var roots []*listPackage
+	for path, p := range all {
+		if p.Export != "" {
+			lookup.exports[path] = p.Export
+		}
+		if !p.Standard && !p.DepOnly {
+			roots = append(roots, p)
+		}
+	}
+	imp := importer.ForCompiler(token.NewFileSet(), "gc", lookup.lookup)
+	var pkgs []*Package
+	for _, p := range roots {
+		lp, err := typeCheckDir(p.ImportPath, p.Dir, p.GoFiles, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, lp)
+	}
+	sortPackages(pkgs)
+	return pkgs, nil
+}
+
+// LoadFixture type-checks a standalone fixture directory (outside the
+// module's package graph, e.g. under testdata) as import path "fixture",
+// resolving its imports through the module rooted at moduleDir. Analyzer
+// golden tests use this to feed a package in and assert diagnostics out.
+func LoadFixture(moduleDir, fixtureDir string) (*Package, error) {
+	ents, err := os.ReadDir(fixtureDir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	lookup := &exportLookup{dir: moduleDir, exports: map[string]string{}}
+	imp := importer.ForCompiler(token.NewFileSet(), "gc", lookup.lookup)
+	abs, err := filepath.Abs(fixtureDir)
+	if err != nil {
+		return nil, err
+	}
+	return typeCheckDir("fixture", abs, files, imp)
+}
+
+// typeCheckDir parses the named files in dir and type-checks them as one
+// package with the given importer.
+func typeCheckDir(path, dir string, goFiles []string, imp types.Importer) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: imp, FakeImportC: true}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: typecheck %s: %v", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+func sortPackages(pkgs []*Package) {
+	for i := 1; i < len(pkgs); i++ {
+		for j := i; j > 0 && pkgs[j-1].Path > pkgs[j].Path; j-- {
+			pkgs[j-1], pkgs[j] = pkgs[j], pkgs[j-1]
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Seedflow enforces the sweep engine's seeding contract: a sweep.Map trial
+// closure computes the same result no matter which worker runs it, which
+// holds only if every random draw inside the closure derives from the trial
+// index alone.
+//
+//	S001  the closure captures (and uses) a *rng.Source or *rand.Rand
+//	      declared outside itself — a shared stream makes trial results
+//	      depend on scheduling order
+//	S002  the closure constructs a Source with rng.New(seed) whose seed
+//	      expression never mentions the trial index parameter — every trial
+//	      then replays the same stream, or worse, a config-captured seed
+//	      hides a cross-trial dependency
+type Seedflow struct {
+	sweepPath string
+	rngPath   string
+}
+
+// NewSeedflow returns the analyzer with the production package bindings.
+func NewSeedflow() *Seedflow {
+	return &Seedflow{
+		sweepPath: "blitzcoin/internal/sweep",
+		rngPath:   "blitzcoin/internal/rng",
+	}
+}
+
+func (*Seedflow) Name() string { return "seedflow" }
+
+func (a *Seedflow) Run(pkgs []*Package) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !a.isSweepMap(pkg, call) || len(call.Args) != 4 {
+					return true
+				}
+				fn, ok := call.Args[3].(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				out = append(out, a.checkClosure(pkg, fn)...)
+				return true
+			})
+		}
+	}
+	return out, nil
+}
+
+// isSweepMap reports whether call invokes sweep.Map (the generic worker-pool
+// fan-out; the instantiated object resolves to the same func).
+func (a *Seedflow) isSweepMap(pkg *Package, call *ast.CallExpr) bool {
+	fun := call.Fun
+	if ix, ok := fun.(*ast.IndexExpr); ok { // explicit instantiation Map[T]
+		fun = ix.X
+	}
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pkg.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == a.sweepPath && obj.Name() == "Map"
+}
+
+// trialParam returns the object of the closure's trial-index parameter.
+func trialParam(pkg *Package, fn *ast.FuncLit) types.Object {
+	if fn.Type.Params == nil || len(fn.Type.Params.List) == 0 {
+		return nil
+	}
+	names := fn.Type.Params.List[0].Names
+	if len(names) == 0 {
+		return nil
+	}
+	return pkg.Info.Defs[names[0]]
+}
+
+func (a *Seedflow) checkClosure(pkg *Package, fn *ast.FuncLit) []Diagnostic {
+	var out []Diagnostic
+	trial := trialParam(pkg, fn)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			obj, ok := pkg.Info.Uses[n].(*types.Var)
+			if !ok || obj.IsField() {
+				return true
+			}
+			// Captured variable: declared outside the closure literal.
+			if obj.Pos() >= fn.Pos() && obj.Pos() <= fn.End() {
+				return true
+			}
+			if a.isRNGType(obj.Type()) {
+				out = append(out, Diagnostic{
+					Analyzer: a.Name(), Code: "S001",
+					Pos: pkg.Fset.Position(n.Pos()),
+					Message: "sweep.Map trial closure captures shared RNG " + n.Name +
+						"; derive a private stream with rng.New seeded by the trial index",
+				})
+			}
+		case *ast.CallExpr:
+			if !a.isRNGNew(pkg, n) {
+				return true
+			}
+			if trial == nil || !mentionsObject(pkg, n.Args, trial) {
+				out = append(out, Diagnostic{
+					Analyzer: a.Name(), Code: "S002",
+					Pos: pkg.Fset.Position(n.Pos()),
+					Message: "rng.New seed inside a sweep.Map trial closure does not depend on the trial index" +
+						"; every trial replays the same stream",
+				})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isRNGType reports whether t is one of the generator types that must not
+// be shared across trials: rng.Source or math/rand's Rand (v1 or v2),
+// possibly behind a pointer.
+func (a *Seedflow) isRNGType(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case a.rngPath:
+		return obj.Name() == "Source" || obj.Name() == "Stream"
+	case "math/rand", "math/rand/v2":
+		return obj.Name() == "Rand"
+	}
+	return false
+}
+
+// isRNGNew reports whether call is rng.New(...).
+func (a *Seedflow) isRNGNew(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pkg.Info.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == a.rngPath && obj.Name() == "New"
+}
+
+// mentionsObject reports whether any expression in exprs references obj.
+func mentionsObject(pkg *Package, exprs []ast.Expr, obj types.Object) bool {
+	found := false
+	for _, e := range exprs {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && pkg.Info.Uses[id] == obj {
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
+}

@@ -1,0 +1,9 @@
+package lint
+
+import "testing"
+
+func TestSeedflowGolden(t *testing.T) {
+	pkg := loadFixture(t, "seedflow")
+	res := runAnalyzer(t, NewSeedflow(), pkg)
+	checkGolden(t, "seedflow", formatDiags(res.Active))
+}

@@ -1,0 +1,31 @@
+// Package fixture makes the same surface change as apilock_drift but
+// bumps EngineVersion, so the only complaint is the stale golden.
+package fixture
+
+// EngineVersion is bumped for the deliberate surface change.
+const EngineVersion = "2"
+
+// Point is an exported type with a mixed field set.
+type Point struct {
+	X int `json:"x"`
+	Y int `json:"y"`
+	z int
+}
+
+// Norm1 is an exported method.
+func (p Point) Norm1() int { return abs(p.X) + abs(p.Y) }
+
+// Hello grew a parameter: a breaking signature change.
+func Hello(name string, loud bool) string { return "hello " + name }
+
+// Goodbye is new exported surface.
+func Goodbye() string { return "bye" }
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+var _ = Point{}.z

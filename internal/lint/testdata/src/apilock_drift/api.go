@@ -1,0 +1,31 @@
+// Package fixture drifts from the v1 surface without bumping
+// EngineVersion: an added exported function and a changed signature.
+package fixture
+
+// EngineVersion is unchanged from the golden.
+const EngineVersion = "1"
+
+// Point is an exported type with a mixed field set.
+type Point struct {
+	X int `json:"x"`
+	Y int `json:"y"`
+	z int
+}
+
+// Norm1 is an exported method.
+func (p Point) Norm1() int { return abs(p.X) + abs(p.Y) }
+
+// Hello grew a parameter: a breaking signature change.
+func Hello(name string, loud bool) string { return "hello " + name }
+
+// Goodbye is new exported surface.
+func Goodbye() string { return "bye" }
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+var _ = Point{}.z

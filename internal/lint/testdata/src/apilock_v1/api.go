@@ -1,0 +1,27 @@
+// Package fixture is the frozen v1 surface for the apilock golden tests.
+package fixture
+
+// EngineVersion names the simulation semantics of this fixture.
+const EngineVersion = "1"
+
+// Point is an exported type with a mixed field set.
+type Point struct {
+	X int `json:"x"`
+	Y int `json:"y"`
+	z int
+}
+
+// Norm1 is an exported method.
+func (p Point) Norm1() int { return abs(p.X) + abs(p.Y) }
+
+// Hello greets.
+func Hello(name string) string { return "hello " + name }
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+var _ = Point{}.z

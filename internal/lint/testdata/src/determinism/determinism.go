@@ -1,0 +1,63 @@
+// Package fixture exercises the determinism analyzer: wall-clock reads,
+// global math/rand draws, and order-sensitive sinks inside map ranges,
+// alongside the two sanctioned idioms (per-key accumulation and
+// collect-then-sort).
+package fixture
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Rows appends ordered output directly from a map range.
+func Rows(m map[string]int) []string {
+	var rows []string
+	for k, v := range m {
+		rows = append(rows, fmt.Sprintf("%s=%d", k, v))
+	}
+	return rows
+}
+
+// Stamp reads the wall clock and the global generator.
+func Stamp() int64 {
+	t := time.Now()
+	_ = time.Since(t)
+	return rand.Int63()
+}
+
+// SortedKeys is the sanctioned collect-then-sort idiom.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// PerKey is the sanctioned per-key accumulation idiom.
+func PerKey(m map[string][]int) map[string][]int {
+	out := map[string][]int{}
+	for k, vs := range m {
+		out[k] = append(out[k], vs...)
+	}
+	return out
+}
+
+// PrintAll prints in iteration order.
+func PrintAll(m map[string]int) {
+	for k := range m {
+		fmt.Println(k)
+	}
+}
+
+// FillSlice writes slice elements in iteration order.
+func FillSlice(m map[string]int, out []int) {
+	i := 0
+	for _, v := range m {
+		out[i] = v
+		i++
+	}
+}

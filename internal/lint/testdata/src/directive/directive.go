@@ -1,0 +1,21 @@
+// Package fixture exercises the //blitzlint:allow directive: a justified
+// suppression, a stale directive with no matching diagnostic, and a
+// malformed directive with no reason.
+package fixture
+
+import "time"
+
+// Allowed reads the wall clock with an explicit justification.
+func Allowed() time.Time {
+	//blitzlint:allow D001 fixture exercises suppression
+	return time.Now()
+}
+
+//blitzlint:allow D001 stale: nothing on the next line violates
+func Clean() int { return 1 }
+
+// Malformed suppressions (no reason) do not suppress and are reported.
+func Malformed() time.Time {
+	//blitzlint:allow D001
+	return time.Now()
+}

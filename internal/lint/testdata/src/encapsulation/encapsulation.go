@@ -1,0 +1,24 @@
+// Package fixture exercises the encapsulation analyzer: the coin-budget
+// fields of coin.Result may only be written by internal/coin itself.
+package fixture
+
+import "blitzcoin/internal/coin"
+
+// Forge mutates the conservation ledger from outside the owner package.
+func Forge(r *coin.Result) {
+	r.PoolViolation = 0
+	r.CoinsEnd++
+	p := &r.CoinsMinted
+	_ = p
+	r.Converged = true // not a budget field: allowed
+}
+
+// Construct forges a conserved-looking Result wholesale.
+func Construct() coin.Result {
+	return coin.Result{CoinsStart: 5}
+}
+
+// Read-only access to the ledger is fine.
+func Inspect(r coin.Result) int64 {
+	return r.CoinsStart - r.CoinsEnd
+}

@@ -1,0 +1,38 @@
+// Package fixture exercises the seedflow analyzer: sweep.Map trial
+// closures must derive their RNG from internal/rng seeded by the trial
+// index, and must not capture a shared stream.
+package fixture
+
+import (
+	"context"
+
+	"blitzcoin/internal/rng"
+	"blitzcoin/internal/sweep"
+)
+
+// Good derives a private stream from the trial index.
+func Good(ctx context.Context, seed uint64) []float64 {
+	return sweep.Map(ctx, 8, 0, func(t int) float64 {
+		src := rng.New(seed + uint64(t)*7919)
+		return src.Float64()
+	})
+}
+
+// SharedCapture reuses one stream across trials: results depend on which
+// worker draws first.
+func SharedCapture(ctx context.Context, seed uint64) []float64 {
+	shared := rng.New(seed)
+	return sweep.Map(ctx, 8, 0, func(t int) float64 {
+		_ = t
+		return shared.Float64()
+	})
+}
+
+// IndexFreeSeed reseeds every trial identically.
+func IndexFreeSeed(ctx context.Context, seed uint64) []float64 {
+	return sweep.Map(ctx, 8, 0, func(t int) float64 {
+		_ = t
+		src := rng.New(seed)
+		return src.Float64()
+	})
+}
