@@ -8,7 +8,7 @@ SHORTSHA := $(shell git rev-parse --short HEAD)
 BENCH_BASELINE ?= BENCH_8e2d083.json
 
 .PHONY: build test vet race verify bench benchcheck figures server-smoke \
-	lint fmtcheck blitzlint lint-update
+	cluster-smoke lint fmtcheck blitzlint lint-update
 
 build:
 	$(GO) build ./...
@@ -45,13 +45,19 @@ race:
 
 # The gate every change must pass: static checks (formatting, vet, the
 # blitzlint domain analyzers), the full test suite under the race detector,
-# the hot-path perf gate, and the daemon smoke test.
-verify: lint race benchcheck server-smoke
+# the hot-path perf gate, and the daemon + cluster smoke tests.
+verify: lint race benchcheck server-smoke cluster-smoke
 
 # server-smoke boots a real blitzd on an ephemeral port, runs one exchange
 # request twice through blitzctl, and asserts the repeat is a cache hit.
 server-smoke:
 	sh scripts/server_smoke.sh
+
+# cluster-smoke boots a coordinator and two workers, runs a figure through
+# the cluster, kills one worker mid-sweep, and diffs the rows against
+# single-node execution (must be byte-identical).
+cluster-smoke:
+	sh scripts/cluster_smoke.sh
 
 # bench snapshots the whole benchmark suite (3 samples each) into
 # BENCH_<sha>.json; commit the file to extend the perf trajectory.

@@ -11,19 +11,25 @@
 //	blitzctl -req request.json      # or -req - for stdin
 //	blitzctl -figures               # list the figure registry
 //	blitzctl -metrics               # scrape /metrics
+//	blitzctl -cluster               # worker table + shard counters
 //
-// Exit status is 0 on HTTP 200, 1 otherwise.
+// Every request runs under -timeout and is cancelled cleanly by SIGINT/
+// SIGTERM. Exit status is 0 on HTTP 200, 1 otherwise.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"blitzcoin"
@@ -41,24 +47,34 @@ func main() {
 	seed := flag.Uint64("seed", 0, "base random seed")
 	metrics := flag.Bool("metrics", false, "scrape and print /metrics")
 	figures := flag.Bool("figures", false, "list the figure registry")
+	clusterStatus := flag.Bool("cluster", false, "print the coordinator's worker table and shard counters")
 	timeout := flag.Duration("timeout", 10*time.Minute, "request timeout")
 	flag.Parse()
 
 	base := "http://" + strings.TrimPrefix(*addr, "http://")
-	client := &http.Client{Timeout: *timeout}
+	client := &http.Client{}
+
+	// One context bounds the whole request path: the -timeout deadline
+	// plus clean cancellation on SIGINT/SIGTERM.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ctx, cancel := context.WithTimeout(ctx, *timeout)
+	defer cancel()
 
 	switch {
 	case *metrics:
-		get(client, base+"/metrics")
+		get(ctx, client, base+"/metrics")
 	case *figures:
-		get(client, base+"/v1/figures")
+		get(ctx, client, base+"/v1/figures")
+	case *clusterStatus:
+		get(ctx, client, base+"/v1/cluster/status")
 	default:
 		body, err := buildRequest(*reqFile, *figure, *exchange, *socName, *scheme, *dim, *trials, *seed)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "blitzctl: %v\n", err)
 			os.Exit(1)
 		}
-		post(client, base+"/v1/sweep", body)
+		post(ctx, client, base+"/v1/sweep", body)
 	}
 }
 
@@ -93,22 +109,40 @@ func buildRequest(reqFile, figure string, exchange bool, socName, scheme string,
 	}
 }
 
-func get(client *http.Client, url string) {
-	resp, err := client.Get(url)
+func get(ctx context.Context, client *http.Client, url string) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "blitzctl: %v\n", err)
-		os.Exit(1)
+		fail(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		fail(err)
 	}
 	emit(resp)
 }
 
-func post(client *http.Client, url string, body []byte) {
-	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+func post(ctx context.Context, client *http.Client, url string, body []byte) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "blitzctl: %v\n", err)
-		os.Exit(1)
+		fail(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		fail(err)
 	}
 	emit(resp)
+}
+
+// fail reports a transport-level error, naming the timeout when the
+// deadline (rather than the server) killed the request.
+func fail(err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "blitzctl: request timed out (-timeout)")
+	} else {
+		fmt.Fprintf(os.Stderr, "blitzctl: %v\n", err)
+	}
+	os.Exit(1)
 }
 
 // emit streams the response body to stdout and exits non-zero on non-200.

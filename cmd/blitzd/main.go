@@ -10,10 +10,20 @@
 //	blitzd [-addr :8425] [-workers 2] [-parallel 0]
 //	       [-cache-entries 256] [-cache-mb 64]
 //	       [-addrfile path] [-drain-timeout 30s]
+//	       [-coordinator] [-cluster-workers url,url,...]
+//	       [-join url -advertise url]
 //
-// Endpoints: POST /v1/sweep, GET /v1/figures, GET /healthz, GET /metrics,
-// and /debug/pprof. SIGINT/SIGTERM drain gracefully: in-flight sweeps
-// finish (up to -drain-timeout), new ones are refused.
+// Endpoints: POST /v1/sweep, POST /v1/shard, GET /v1/figures, GET
+// /healthz, GET /metrics, and /debug/pprof; coordinators additionally
+// serve POST /v1/cluster/join and GET /v1/cluster/status. SIGINT/SIGTERM
+// drain gracefully: in-flight sweeps finish (up to -drain-timeout), new
+// ones are refused with 503 + Retry-After.
+//
+// Cluster mode: `-coordinator` makes this daemon split every /v1/sweep
+// across its workers as /v1/shard dispatches and merge the rows
+// deterministically (byte-identical to single-node execution). Workers
+// are listed statically with -cluster-workers and/or self-register by
+// running with `-join http://coordinator -advertise http://self`.
 package main
 
 import (
@@ -26,9 +36,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"blitzcoin"
+	"blitzcoin/internal/cluster"
 	"blitzcoin/internal/server"
 	"blitzcoin/internal/sweep"
 )
@@ -41,16 +54,61 @@ func main() {
 	cacheMB := flag.Int("cache-mb", 64, "result-cache size bound in MiB (<0 disables)")
 	addrFile := flag.String("addrfile", "", "write the bound address to this file (for scripts)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight sweeps")
+
+	coordinator := flag.Bool("coordinator", false, "serve sweeps by sharding them across cluster workers")
+	clusterWorkers := flag.String("cluster-workers", "", "comma-separated static worker base URLs (coordinator mode)")
+	shards := flag.Int("shards", 0, "fixed shard count per sweep (0 = shards-per-worker x live workers)")
+	shardsPerWorker := flag.Int("shards-per-worker", 0, "auto-planning shards per live worker (0 = default 2)")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrent shards per worker (0 = default 2)")
+	maxAttempts := flag.Int("max-attempts", 0, "dispatch attempts per shard before the sweep fails (0 = default 4)")
+	heartbeat := flag.Duration("heartbeat", 0, "worker liveness-probe cadence (0 = default 1s)")
+	evictAfter := flag.Duration("evict-after", 0, "unreachable window before a worker is evicted (0 = default 5x heartbeat)")
+	shardTimeout := flag.Duration("shard-timeout", 0, "per-shard dispatch timeout (0 = default 10m)")
+
+	joinURL := flag.String("join", "", "coordinator base URL to register this worker with")
+	advertise := flag.String("advertise", "", "base URL this worker is reachable at (required with -join)")
 	flag.Parse()
 	sweep.SetDefaultParallelism(*parallel)
 
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
-	srv := server.New(server.Config{
+
+	cfg := server.Config{
 		Workers:      *workers,
 		CacheEntries: *cacheEntries,
 		CacheBytes:   int64(*cacheMB) << 20,
 		Logger:       log,
-	})
+	}
+	var coord *cluster.Coordinator
+	if *coordinator {
+		var staticWorkers []string
+		for _, w := range strings.Split(*clusterWorkers, ",") {
+			if w = strings.TrimSpace(w); w != "" {
+				staticWorkers = append(staticWorkers, w)
+			}
+		}
+		var err error
+		coord, err = cluster.New(cluster.Config{
+			Options: blitzcoin.ClusterOptions{
+				Workers:            staticWorkers,
+				Shards:             *shards,
+				ShardsPerWorker:    *shardsPerWorker,
+				MaxInflight:        *maxInflight,
+				MaxAttempts:        *maxAttempts,
+				HeartbeatMillis:    int(heartbeat.Milliseconds()),
+				EvictAfterMillis:   int(evictAfter.Milliseconds()),
+				ShardTimeoutMillis: int(shardTimeout.Milliseconds()),
+			},
+			Logger: log,
+		})
+		if err != nil {
+			log.Error("cluster", "error", err)
+			os.Exit(1)
+		}
+		defer coord.Close()
+		cfg.Run = coord.Run
+		cfg.Cluster = coord
+	}
+	srv := server.New(cfg)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -73,6 +131,19 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *joinURL != "" {
+		self := *advertise
+		if self == "" {
+			log.Error("-join requires -advertise (the URL this worker is reachable at)")
+			os.Exit(1)
+		}
+		interval := *heartbeat
+		if interval <= 0 {
+			interval = time.Second
+		}
+		go cluster.JoinLoop(ctx, nil, *joinURL, self, interval, log)
+	}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()

@@ -2,6 +2,7 @@ package blitzcoin
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -51,6 +52,32 @@ type figureSpec struct {
 	title    string
 	defaults func(*FigureOptions)
 	run      func(ctx context.Context, o FigureOptions) []string
+	// shard, when non-nil, decomposes the figure's Monte-Carlo work into
+	// independent trial units for distributed execution; figures without it
+	// run as one indivisible shard.
+	shard *figureShard
+}
+
+// figureShard splits a figure along its flattened trial axis (point-major,
+// trial order within a point — the same order the local runner reduces in).
+// trial computes one global trial unit and encodes its raw value; merge
+// decodes the complete unit sequence and renders the report lines. Both
+// sides derive per-trial randomness from the unit index alone, so the
+// merged lines are byte-identical to run's at any shard count.
+type figureShard struct {
+	units func(o FigureOptions) int
+	trial func(o FigureOptions, g int) json.RawMessage
+	merge func(o FigureOptions, trials []json.RawMessage) ([]string, error)
+}
+
+// mustJSON marshals a plain trial value; these are floats and flat structs,
+// for which encoding cannot fail.
+func mustJSON(v any) json.RawMessage {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("blitzcoin: trial payload encoding failed: %v", err))
+	}
+	return b
 }
 
 // stringRows renders any row slice whose elements implement Stringer.
@@ -122,12 +149,26 @@ var figureRegistry = map[string]figureSpec{
 			}
 		},
 		run: func(ctx context.Context, o FigureOptions) []string {
-			var lines []string
-			for _, r := range experiments.Fig07(ctx, o.Ns, o.Trials, o.Seed) {
-				lines = append(lines, r.String())
-				lines = append(lines, strings.Split(strings.TrimRight(r.Hist.String(), "\n"), "\n")...)
-			}
-			return lines
+			return fig07Lines(experiments.Fig07(ctx, o.Ns, o.Trials, o.Seed))
+		},
+		shard: &figureShard{
+			units: func(o FigureOptions) int {
+				return len(experiments.Fig07Points(o.Ns)) * o.Trials
+			},
+			trial: func(o FigureOptions, g int) json.RawMessage {
+				p := experiments.Fig07Points(o.Ns)[g/o.Trials]
+				return mustJSON(experiments.Fig07Trial(p, g%o.Trials, o.Seed))
+			},
+			merge: func(o FigureOptions, trials []json.RawMessage) ([]string, error) {
+				vals := make([]float64, len(trials))
+				for i, b := range trials {
+					if err := json.Unmarshal(b, &vals[i]); err != nil {
+						return nil, fmt.Errorf("blitzcoin: figure 7 trial %d payload: %w", i, err)
+					}
+				}
+				points := experiments.Fig07Points(o.Ns)
+				return fig07Lines(experiments.Fig07Assemble(points, o.Trials, vals)), nil
+			},
 		},
 	},
 	"8": {
@@ -275,6 +316,25 @@ var figureRegistry = map[string]figureSpec{
 		run: func(ctx context.Context, o FigureOptions) []string {
 			return stringRows(experiments.FaultStudy(ctx, o.Dims, o.DropRates, o.Trials, o.Seed))
 		},
+		shard: &figureShard{
+			units: func(o FigureOptions) int {
+				return len(experiments.FaultPoints(o.Dims, o.DropRates)) * o.Trials
+			},
+			trial: func(o FigureOptions, g int) json.RawMessage {
+				p := experiments.FaultPoints(o.Dims, o.DropRates)[g/o.Trials]
+				return mustJSON(experiments.FaultStudyTrial(p, g%o.Trials, o.Seed))
+			},
+			merge: func(o FigureOptions, trials []json.RawMessage) ([]string, error) {
+				vals := make([]experiments.FaultTrial, len(trials))
+				for i, b := range trials {
+					if err := json.Unmarshal(b, &vals[i]); err != nil {
+						return nil, fmt.Errorf("blitzcoin: fault-study trial %d payload: %w", i, err)
+					}
+				}
+				points := experiments.FaultPoints(o.Dims, o.DropRates)
+				return stringRows(experiments.FaultAssemble(points, o.Trials, vals)), nil
+			},
+		},
 	},
 	"nopm": {
 		title:    "Sec. VI-C — PM overhead: BlitzCoin vs the No-PM baseline tile",
@@ -290,6 +350,17 @@ var figureRegistry = map[string]figureSpec{
 			return stringRows(experiments.Table1(ctx, o.Seed))
 		},
 	},
+}
+
+// fig07Lines renders Fig. 7 rows with their histograms — shared by the
+// local runner and the shard merge so both produce identical bytes.
+func fig07Lines(rows []experiments.Fig07Row) []string {
+	var lines []string
+	for _, r := range rows {
+		lines = append(lines, r.String())
+		lines = append(lines, strings.Split(strings.TrimRight(r.Hist.String(), "\n"), "\n")...)
+	}
+	return lines
 }
 
 // figDimsTrials applies the shared exchange-figure defaults.

@@ -1,0 +1,401 @@
+// Package cluster distributes blitzcoin Monte-Carlo sweeps across blitzd
+// workers. A Coordinator splits a request's flattened trial axis into
+// contiguous [lo, hi) shards, dispatches them to workers over POST
+// /v1/shard, and merges the shard rows in index order with
+// blitzcoin.MergeShards — so a clustered sweep returns rows byte-identical
+// to single-node execution at any shard count, even after a mid-sweep
+// worker death forces re-dispatch.
+//
+// Worker liveness is tracked two ways: a heartbeat loop probes every
+// registered worker's /healthz on a fixed cadence (evicting workers
+// unreachable past the eviction window), and a transport failure during
+// dispatch demotes the worker immediately so the shard's retry lands
+// elsewhere. Workers register statically (the coordinator's -workers
+// list) or dynamically (POST /v1/cluster/join, kept fresh by JoinLoop).
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blitzcoin"
+	"blitzcoin/internal/server"
+)
+
+// Config configures a Coordinator.
+type Config struct {
+	// Options are the cluster knobs (workers, shard planning, retry,
+	// liveness). Normalized and validated by New.
+	Options blitzcoin.ClusterOptions
+	// Logger receives worker state transitions and dispatch failures.
+	// Default: slog.Default().
+	Logger *slog.Logger
+	// Client performs every worker HTTP call. Default: a fresh
+	// http.Client (per-call timeouts come from contexts).
+	Client *http.Client
+}
+
+// Coordinator dispatches distributed sweeps. Its Run method has the
+// server.RunFunc shape, so a coordinator blitzd is an ordinary blitzd
+// whose compute function fans out instead of computing locally.
+type Coordinator struct {
+	opts     blitzcoin.ClusterOptions
+	log      *slog.Logger
+	client   *http.Client
+	registry *registry
+
+	dispatched atomic.Uint64
+	retried    atomic.Uint64
+	failed     atomic.Uint64
+	merged     atomic.Uint64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     sync.WaitGroup
+}
+
+// New builds a Coordinator and starts its heartbeat loop.
+func New(cfg Config) (*Coordinator, error) {
+	opts := cfg.Options.Normalized()
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	c := &Coordinator{
+		opts:     opts,
+		log:      cfg.Logger,
+		client:   cfg.Client,
+		registry: newRegistry(opts.Workers),
+		stop:     make(chan struct{}),
+	}
+	c.done.Add(1)
+	go c.heartbeatLoop()
+	return c, nil
+}
+
+// Close stops the heartbeat loop. In-flight Runs are unaffected.
+func (c *Coordinator) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.done.Wait()
+}
+
+// heartbeatLoop probes every registered worker on the heartbeat cadence
+// and evicts workers unreachable past the eviction window.
+func (c *Coordinator) heartbeatLoop() {
+	defer c.done.Done()
+	interval := time.Duration(c.opts.HeartbeatMillis) * time.Millisecond
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+		}
+		c.probeAll(interval)
+		for _, url := range c.registry.evictStale(time.Duration(c.opts.EvictAfterMillis) * time.Millisecond) {
+			c.log.Warn("cluster worker evicted", "worker", url)
+		}
+	}
+}
+
+// probeAll probes every worker's /healthz concurrently, bounded by the
+// heartbeat interval.
+func (c *Coordinator) probeAll(timeout time.Duration) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, url := range c.registry.urls() {
+		wg.Add(1)
+		go func(url string) {
+			defer wg.Done()
+			if c.probe(ctx, url) {
+				c.registry.markAlive(url, true)
+			} else {
+				c.registry.markDead(url)
+			}
+		}(url)
+	}
+	wg.Wait()
+}
+
+// probe reports whether a worker answers /healthz with a matching engine
+// version. A mismatched engine is treated as dead: merging rows computed
+// by a different engine would silently break determinism.
+func (c *Coordinator) probe(ctx context.Context, url string) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Status        string `json:"status"`
+		EngineVersion string `json:"engine_version"`
+	}
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&body) != nil {
+		return false
+	}
+	if body.EngineVersion != blitzcoin.EngineVersion {
+		c.log.Warn("cluster worker engine mismatch",
+			"worker", url, "worker_engine", body.EngineVersion, "coordinator_engine", blitzcoin.EngineVersion)
+		return false
+	}
+	return true
+}
+
+// shardRange is one planned dispatch unit.
+type shardRange struct{ lo, hi int }
+
+// plan splits [0, units) into contiguous ranges: the explicit Shards
+// count when set, else ShardsPerWorker per live worker, clamped to the
+// unit count and floored at one.
+func (c *Coordinator) plan(units int) []shardRange {
+	k := c.opts.Shards
+	if k <= 0 {
+		alive := c.registry.aliveCount()
+		if alive < 1 {
+			alive = 1
+		}
+		k = c.opts.ShardsPerWorker * alive
+	}
+	if k > units {
+		k = units
+	}
+	if k < 1 {
+		k = 1
+	}
+	base, rem := units/k, units%k
+	out := make([]shardRange, 0, k)
+	at := 0
+	for i := 0; i < k; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		out = append(out, shardRange{at, at + size})
+		at += size
+	}
+	return out
+}
+
+// Run executes a request across the cluster: plan shards, dispatch them
+// with per-shard retry, merge in index order. It satisfies
+// server.RunFunc, so it plugs directly into a blitzd Server.
+func (c *Coordinator) Run(ctx context.Context, req blitzcoin.Request) (*blitzcoin.Result, error) {
+	norm := req.Normalized()
+	if err := norm.Validate(); err != nil {
+		return nil, err
+	}
+	hash, err := norm.CanonicalHash()
+	if err != nil {
+		return nil, err
+	}
+	units, err := norm.ShardUnits()
+	if err != nil {
+		return nil, err
+	}
+	ranges := c.plan(units)
+
+	// Dispatchers block in registry.acquire when all live workers are
+	// saturated; wake them when the sweep is cancelled or fails.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	wake := make(chan struct{})
+	defer close(wake)
+	go func() {
+		select {
+		case <-ctx.Done():
+			c.registry.cond.Broadcast()
+		case <-wake:
+		}
+	}()
+
+	shards := make([]*blitzcoin.ShardResult, len(ranges))
+	errs := make([]error, len(ranges))
+	var wg sync.WaitGroup
+	for i, sr := range ranges {
+		wg.Add(1)
+		go func(i int, sr shardRange) {
+			defer wg.Done()
+			shard, err := c.dispatchShard(ctx, norm, hash, sr)
+			if err != nil {
+				errs[i] = err
+				cancel() // one lost shard fails the sweep; stop the rest
+				return
+			}
+			shards[i] = shard
+		}(i, sr)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res, err := blitzcoin.MergeShards(norm, shards)
+	if err != nil {
+		return nil, err
+	}
+	c.merged.Add(1)
+	return res, nil
+}
+
+// permanentError marks a dispatch failure retrying cannot fix (the worker
+// rejected the request itself, e.g. 400 or an options-hash 409).
+type permanentError struct{ err error }
+
+func (e permanentError) Error() string { return e.err.Error() }
+
+// dispatchShard runs one shard to completion: acquire the least-loaded
+// live worker, POST the shard, and on failure retry on the survivors with
+// exponential backoff, up to MaxAttempts.
+func (c *Coordinator) dispatchShard(ctx context.Context, norm blitzcoin.Request, hash string, sr shardRange) (*blitzcoin.ShardResult, error) {
+	backoff := time.Duration(c.opts.RetryBackoffMillis) * time.Millisecond
+	var lastErr error
+	for attempt := 1; attempt <= c.opts.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			c.retried.Add(1)
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		url, err := c.registry.acquire(ctx, c.opts.MaxInflight)
+		if err != nil {
+			c.failed.Add(1)
+			return nil, fmt.Errorf("cluster: shard [%d,%d): %w", sr.lo, sr.hi, err)
+		}
+		c.dispatched.Add(1)
+		shard, err := c.postShard(ctx, url, norm, hash, sr)
+		c.registry.release(url)
+		if err == nil {
+			return shard, nil
+		}
+		if pe, ok := err.(permanentError); ok {
+			c.failed.Add(1)
+			return nil, fmt.Errorf("cluster: shard [%d,%d) on %s: %w", sr.lo, sr.hi, url, pe.err)
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		lastErr = err
+		c.log.Warn("cluster shard dispatch failed",
+			"worker", url, "lo", sr.lo, "hi", sr.hi, "attempt", attempt, "error", err)
+	}
+	c.failed.Add(1)
+	return nil, fmt.Errorf("cluster: shard [%d,%d) failed after %d attempts: %w", sr.lo, sr.hi, c.opts.MaxAttempts, lastErr)
+}
+
+// postShard performs one POST /v1/shard call under the shard timeout. A
+// transport failure (connection refused, timeout, torn body) demotes the
+// worker so the retry immediately avoids it; the heartbeat revives the
+// worker if it comes back.
+func (c *Coordinator) postShard(ctx context.Context, url string, norm blitzcoin.Request, hash string, sr shardRange) (*blitzcoin.ShardResult, error) {
+	body, err := json.Marshal(blitzcoin.ShardRequest{Request: norm, Lo: sr.lo, Hi: sr.hi, OptionsHash: hash})
+	if err != nil {
+		return nil, permanentError{fmt.Errorf("encoding shard request: %w", err)}
+	}
+	ctx, cancel := context.WithTimeout(ctx, time.Duration(c.opts.ShardTimeoutMillis)*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/v1/shard", bytes.NewReader(body))
+	if err != nil {
+		return nil, permanentError{err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.registry.markDead(url)
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		c.registry.markDead(url)
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		err := fmt.Errorf("worker returned %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+			// The worker understood us and said no (bad request, options
+			// hash conflict): every worker runs the same code, so retrying
+			// elsewhere cannot succeed.
+			return nil, permanentError{err}
+		}
+		return nil, err
+	}
+	var envelope server.ShardResponse
+	if err := json.Unmarshal(raw, &envelope); err != nil {
+		c.registry.markDead(url)
+		return nil, fmt.Errorf("decoding shard envelope: %w", err)
+	}
+	var shard blitzcoin.ShardResult
+	if err := json.Unmarshal(envelope.Shard, &shard); err != nil {
+		return nil, permanentError{fmt.Errorf("decoding shard result: %w", err)}
+	}
+	return &shard, nil
+}
+
+// JoinLoop registers selfURL with a coordinator and keeps the
+// registration fresh on the given cadence until ctx ends — the worker
+// half of dynamic membership. Failures are logged and retried on the next
+// tick; the loop never gives up while the context lives.
+func JoinLoop(ctx context.Context, client *http.Client, coordinatorURL, selfURL string, interval time.Duration, log *slog.Logger) {
+	if client == nil {
+		client = &http.Client{}
+	}
+	if log == nil {
+		log = slog.Default()
+	}
+	join := func() {
+		body, _ := json.Marshal(joinBody{URL: selfURL})
+		callCtx, cancel := context.WithTimeout(ctx, interval)
+		defer cancel()
+		req, err := http.NewRequestWithContext(callCtx, http.MethodPost, coordinatorURL+"/v1/cluster/join", bytes.NewReader(body))
+		if err != nil {
+			log.Warn("cluster join failed", "coordinator", coordinatorURL, "error", err)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			log.Warn("cluster join failed", "coordinator", coordinatorURL, "error", err)
+			return
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // keepalive best effort
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			log.Warn("cluster join rejected", "coordinator", coordinatorURL, "status", resp.StatusCode)
+		}
+	}
+	join()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			join()
+		}
+	}
+}

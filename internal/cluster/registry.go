@@ -1,0 +1,286 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"blitzcoin"
+)
+
+// worker is one registry entry: a blitzd worker the coordinator may
+// dispatch shards to.
+type worker struct {
+	url string
+	// static workers come from the coordinator's -workers list: they are
+	// never removed, only marked dead, and revive on a successful probe.
+	// Joined workers (POST /v1/cluster/join) are evicted outright once
+	// unreachable past the eviction window.
+	static bool
+	alive  bool
+	// lastSeen is the last successful probe or join; eviction measures
+	// from here.
+	lastSeen time.Time
+	// inflight counts shards currently dispatched to this worker; bounded
+	// by ClusterOptions.MaxInflight (backpressure).
+	inflight int
+}
+
+// registry is the coordinator's worker table plus the condition variable
+// dispatchers wait on when every live worker is at its in-flight bound.
+type registry struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	workers map[string]*worker
+}
+
+func newRegistry(static []string) *registry {
+	r := &registry{workers: make(map[string]*worker, len(static))}
+	r.cond = sync.NewCond(&r.mu)
+	now := time.Now()
+	for _, u := range static {
+		// Optimistically alive: the first dispatch may beat the first
+		// heartbeat, and a transport error demotes the worker anyway.
+		r.workers[u] = &worker{url: u, static: true, alive: true, lastSeen: now}
+	}
+	return r
+}
+
+// errNoWorkers fails a dispatch fast when the registry holds no live
+// worker at all (rather than blocking until one joins).
+var errNoWorkers = fmt.Errorf("cluster: no live workers")
+
+// acquire reserves an in-flight slot on the least-loaded live worker,
+// blocking while all live workers are saturated. It fails fast with
+// errNoWorkers when no worker is live, and with ctx.Err() when the sweep
+// is cancelled (the caller broadcasts on cancellation).
+func (r *registry) acquire(ctx context.Context, maxInflight int) (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if err := ctx.Err(); err != nil {
+			return "", err
+		}
+		var best *worker
+		anyAlive := false
+		for _, w := range r.workers {
+			if !w.alive {
+				continue
+			}
+			anyAlive = true
+			if w.inflight >= maxInflight {
+				continue
+			}
+			if best == nil || w.inflight < best.inflight || (w.inflight == best.inflight && w.url < best.url) {
+				best = w
+			}
+		}
+		if best != nil {
+			best.inflight++
+			return best.url, nil
+		}
+		if !anyAlive {
+			return "", errNoWorkers
+		}
+		r.cond.Wait()
+	}
+}
+
+// release returns an in-flight slot and wakes blocked dispatchers.
+func (r *registry) release(url string) {
+	r.mu.Lock()
+	if w := r.workers[url]; w != nil && w.inflight > 0 {
+		w.inflight--
+	}
+	r.mu.Unlock()
+	r.cond.Broadcast()
+}
+
+// markDead demotes a worker after a transport failure so the next
+// dispatch avoids it immediately instead of waiting for the heartbeat to
+// notice. A later successful probe revives it.
+func (r *registry) markDead(url string) {
+	r.mu.Lock()
+	if w := r.workers[url]; w != nil && w.alive {
+		w.alive = false
+	}
+	r.mu.Unlock()
+	r.cond.Broadcast()
+}
+
+// markAlive records a successful probe or join.
+func (r *registry) markAlive(url string, static bool) {
+	r.mu.Lock()
+	w := r.workers[url]
+	if w == nil {
+		w = &worker{url: url, static: static}
+		r.workers[url] = w
+	}
+	w.alive = true
+	w.lastSeen = time.Now()
+	r.mu.Unlock()
+	r.cond.Broadcast()
+}
+
+// evictStale demotes workers unreachable past the eviction window:
+// static workers stay listed as dead, joined workers are removed.
+func (r *registry) evictStale(window time.Duration) (evicted []string) {
+	cutoff := time.Now().Add(-window)
+	r.mu.Lock()
+	for url, w := range r.workers {
+		if w.lastSeen.After(cutoff) {
+			continue
+		}
+		if w.static {
+			w.alive = false
+			continue
+		}
+		delete(r.workers, url)
+		evicted = append(evicted, url)
+	}
+	r.mu.Unlock()
+	r.cond.Broadcast()
+	return evicted
+}
+
+// urls returns every registered worker URL, sorted.
+func (r *registry) urls() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.workers))
+	for u := range r.workers {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// aliveCount reports the number of live workers.
+func (r *registry) aliveCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, w := range r.workers {
+		if w.alive {
+			n++
+		}
+	}
+	return n
+}
+
+// WorkerStatus is one row of the /v1/cluster/status worker table.
+type WorkerStatus struct {
+	URL      string `json:"url"`
+	Static   bool   `json:"static"`
+	Alive    bool   `json:"alive"`
+	Inflight int    `json:"inflight"`
+	// LastSeenMillisAgo is the age of the last successful probe or join.
+	LastSeenMillisAgo int64 `json:"last_seen_millis_ago"`
+}
+
+func (r *registry) snapshot() []WorkerStatus {
+	now := time.Now()
+	r.mu.Lock()
+	out := make([]WorkerStatus, 0, len(r.workers))
+	for _, w := range r.workers {
+		out = append(out, WorkerStatus{
+			URL:               w.url,
+			Static:            w.static,
+			Alive:             w.alive,
+			Inflight:          w.inflight,
+			LastSeenMillisAgo: now.Sub(w.lastSeen).Milliseconds(),
+		})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}
+
+// joinBody is the wire form of POST /v1/cluster/join.
+type joinBody struct {
+	URL string `json:"url"`
+}
+
+// HandleJoin serves POST /v1/cluster/join: idempotent worker
+// self-registration that doubles as a keepalive.
+func (c *Coordinator) HandleJoin(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "POST {\"url\": ...}"})
+		return
+	}
+	var body joinBody
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil || body.URL == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "body must be {\"url\": \"http://host:port\"}"})
+		return
+	}
+	c.registry.markAlive(body.URL, false)
+	c.log.Info("cluster join", "worker", body.URL)
+	writeJSON(w, http.StatusOK, map[string]string{"status": "joined", "url": body.URL})
+}
+
+// StatusBody is the response of GET /v1/cluster/status.
+type StatusBody struct {
+	EngineVersion    string         `json:"engine_version"`
+	Workers          []WorkerStatus `json:"workers"`
+	ShardsDispatched uint64         `json:"shards_dispatched"`
+	ShardsRetried    uint64         `json:"shards_retried"`
+	ShardsFailed     uint64         `json:"shards_failed"`
+	SweepsMerged     uint64         `json:"sweeps_merged"`
+}
+
+// HandleStatus serves GET /v1/cluster/status.
+func (c *Coordinator) HandleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "GET only"})
+		return
+	}
+	writeJSON(w, http.StatusOK, StatusBody{
+		EngineVersion:    blitzcoin.EngineVersion,
+		Workers:          c.registry.snapshot(),
+		ShardsDispatched: c.dispatched.Load(),
+		ShardsRetried:    c.retried.Load(),
+		ShardsFailed:     c.failed.Load(),
+		SweepsMerged:     c.merged.Load(),
+	})
+}
+
+// WriteMetrics appends the cluster section of /metrics: shard counters
+// plus a per-worker liveness gauge.
+func (c *Coordinator) WriteMetrics(w io.Writer) {
+	fmt.Fprintln(w, "# HELP blitzd_cluster_shards_dispatched_total Shard dispatches sent to workers (including retries).")
+	fmt.Fprintln(w, "# TYPE blitzd_cluster_shards_dispatched_total counter")
+	fmt.Fprintf(w, "blitzd_cluster_shards_dispatched_total %d\n", c.dispatched.Load())
+	fmt.Fprintln(w, "# HELP blitzd_cluster_shards_retried_total Shard dispatches retried after a worker failure.")
+	fmt.Fprintln(w, "# TYPE blitzd_cluster_shards_retried_total counter")
+	fmt.Fprintf(w, "blitzd_cluster_shards_retried_total %d\n", c.retried.Load())
+	fmt.Fprintln(w, "# HELP blitzd_cluster_shards_failed_total Shards that exhausted every dispatch attempt.")
+	fmt.Fprintln(w, "# TYPE blitzd_cluster_shards_failed_total counter")
+	fmt.Fprintf(w, "blitzd_cluster_shards_failed_total %d\n", c.failed.Load())
+	fmt.Fprintln(w, "# HELP blitzd_cluster_sweeps_merged_total Distributed sweeps merged successfully.")
+	fmt.Fprintln(w, "# TYPE blitzd_cluster_sweeps_merged_total counter")
+	fmt.Fprintf(w, "blitzd_cluster_sweeps_merged_total %d\n", c.merged.Load())
+	fmt.Fprintln(w, "# HELP blitzd_cluster_worker_up Worker liveness (1 alive, 0 dead) by worker URL.")
+	fmt.Fprintln(w, "# TYPE blitzd_cluster_worker_up gauge")
+	for _, ws := range c.registry.snapshot() {
+		up := 0
+		if ws.Alive {
+			up = 1
+		}
+		fmt.Fprintf(w, "blitzd_cluster_worker_up{worker=%q} %d\n", ws.URL, up)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone is the only failure
+}

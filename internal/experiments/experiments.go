@@ -184,60 +184,99 @@ func (r Fig07Row) String() string {
 		r.N, r.RandomPairing, r.Trials, r.MeanWorst, r.MaxWorst, r.WithinOneCoin, r.Trials)
 }
 
-// Fig07 measures the residual (post-quiescence) worst-case per-tile error
-// with and without random pairing, for N = 100 and 400: without pairing,
-// deadlocked local minima leave tiles off target; with pairing everything
-// converges to the 1-coin quantization limit.
-func Fig07(ctx context.Context, ns []int, trials int, seed uint64) []Fig07Row {
-	var rows []Fig07Row
+// Fig07Point is one cell of the Fig. 7 sweep: a mesh size with random
+// pairing off or on. Fig07Points fixes the cell order (sizes in input
+// order, pairing false before true) that Fig07Assemble's flattened trial
+// layout depends on.
+type Fig07Point struct {
+	D             int  `json:"d"`
+	RandomPairing bool `json:"random_pairing"`
+}
+
+// Fig07Points expands the tile counts into the figure's cell list.
+func Fig07Points(ns []int) []Fig07Point {
+	var points []Fig07Point
 	for _, n := range ns {
 		d := 1
 		for d*d < n {
 			d++
 		}
 		for _, pairing := range []bool{false, true} {
-			cfg := coin.Config{
-				Mesh:            mesh.Square(d, true),
-				Mode:            coin.OneWay,
-				RefreshInterval: 32,
-				RandomPairing:   pairing,
-				Threshold:       1.0,
-				// Run to quiescence: residual error is the subject. The
-				// cycle bound cuts off the long tail of last-coin
-				// shuffling at large N without affecting the residual.
-				StopAtConvergence: false,
-				MaxCycles:         400_000,
-			}
-			row := Fig07Row{N: d * d, RandomPairing: pairing, Trials: trials,
-				Hist: stats.NewHistogram(0, 16, 64)}
-			worstErrs := sweep.Map(ctx, trials, 0, func(t int) float64 {
-				src := rng.New(seed + uint64(t)*104729)
-				e := coin.NewEmulator(cfg, src)
-				// Sparse activity: half the tiles active, which is what
-				// makes neighbor-only exchange deadlock-prone.
-				maxes := make([]int64, d*d)
-				for i := range maxes {
-					if src.Bool() {
-						maxes[i] = 32
-					}
-				}
-				e.Init(coin.HotspotAssignment(src, maxes, int64(d*d)*8))
-				return e.Run().WorstTileErr
-			})
-			var worst stats.Running
-			for _, w := range worstErrs {
-				row.Hist.Add(w)
-				worst.Add(w)
-				if w < 1.5 {
-					row.WithinOneCoin++
-				}
-			}
-			row.MeanWorst = worst.Mean()
-			row.MaxWorst = worst.Max()
-			rows = append(rows, row)
+			points = append(points, Fig07Point{D: d, RandomPairing: pairing})
 		}
 	}
+	return points
+}
+
+// Fig07Trial runs one trial of a Fig. 7 cell and returns its worst-case
+// residual per-tile error. The trial's RNG derives from the trial index
+// alone, so any machine computing (p, trial, seed) gets the same value —
+// the property distributed shards rely on.
+func Fig07Trial(p Fig07Point, trial int, seed uint64) float64 {
+	d := p.D
+	cfg := coin.Config{
+		Mesh:            mesh.Square(d, true),
+		Mode:            coin.OneWay,
+		RefreshInterval: 32,
+		RandomPairing:   p.RandomPairing,
+		Threshold:       1.0,
+		// Run to quiescence: residual error is the subject. The
+		// cycle bound cuts off the long tail of last-coin
+		// shuffling at large N without affecting the residual.
+		StopAtConvergence: false,
+		MaxCycles:         400_000,
+	}
+	src := rng.New(seed + uint64(trial)*104729)
+	e := coin.NewEmulator(cfg, src)
+	// Sparse activity: half the tiles active, which is what
+	// makes neighbor-only exchange deadlock-prone.
+	maxes := make([]int64, d*d)
+	for i := range maxes {
+		if src.Bool() {
+			maxes[i] = 32
+		}
+	}
+	e.Init(coin.HotspotAssignment(src, maxes, int64(d*d)*8))
+	return e.Run().WorstTileErr
+}
+
+// Fig07Assemble folds the flattened per-trial values — point-major, trial
+// order within each point, exactly len(points)*trials long — into the
+// figure rows. Because the fold walks values in index order, assembling
+// shard-computed values is byte-identical to a local run.
+func Fig07Assemble(points []Fig07Point, trials int, worstErrs []float64) []Fig07Row {
+	rows := make([]Fig07Row, 0, len(points))
+	for pi, p := range points {
+		row := Fig07Row{N: p.D * p.D, RandomPairing: p.RandomPairing, Trials: trials,
+			Hist: stats.NewHistogram(0, 16, 64)}
+		var worst stats.Running
+		for _, w := range worstErrs[pi*trials : (pi+1)*trials] {
+			row.Hist.Add(w)
+			worst.Add(w)
+			if w < 1.5 {
+				row.WithinOneCoin++
+			}
+		}
+		row.MeanWorst = worst.Mean()
+		row.MaxWorst = worst.Max()
+		rows = append(rows, row)
+	}
 	return rows
+}
+
+// Fig07 measures the residual (post-quiescence) worst-case per-tile error
+// with and without random pairing, for N = 100 and 400: without pairing,
+// deadlocked local minima leave tiles off target; with pairing everything
+// converges to the 1-coin quantization limit.
+func Fig07(ctx context.Context, ns []int, trials int, seed uint64) []Fig07Row {
+	points := Fig07Points(ns)
+	worstErrs := make([]float64, 0, len(points)*trials)
+	for _, p := range points {
+		worstErrs = append(worstErrs, sweep.Map(ctx, trials, 0, func(t int) float64 {
+			return Fig07Trial(p, t, seed)
+		})...)
+	}
+	return Fig07Assemble(points, trials, worstErrs)
 }
 
 // Fig04Row compares BlitzCoin and TokenSmart convergence (Fig. 4).

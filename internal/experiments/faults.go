@@ -48,57 +48,115 @@ func (r FaultRow) String() string {
 // (not first crossing) so the conservation audit's end-of-run verdict is
 // part of every trial.
 func FaultStudy(ctx context.Context, ds []int, dropRates []float64, trials int, seed uint64) []FaultRow {
-	var rows []FaultRow
+	points := FaultPoints(ds, dropRates)
+	results := make([]FaultTrial, 0, len(points)*trials)
+	for _, p := range points {
+		results = append(results, sweep.Map(ctx, trials, 0, func(t int) FaultTrial {
+			return FaultStudyTrial(p, t, seed)
+		})...)
+	}
+	return FaultAssemble(points, trials, results)
+}
+
+// FaultPoint is one (mesh size, drop rate) cell of the fault study.
+// FaultPoints fixes the cell order (sizes outer, rates inner) that
+// FaultAssemble's flattened trial layout depends on.
+type FaultPoint struct {
+	D        int     `json:"d"`
+	DropRate float64 `json:"drop_rate"`
+}
+
+// FaultPoints expands the sweep axes into the study's cell list.
+func FaultPoints(ds []int, dropRates []float64) []FaultPoint {
+	var points []FaultPoint
 	for _, d := range ds {
 		for _, rate := range dropRates {
-			row := FaultRow{D: d, N: d * d, DropRate: rate, Trials: trials}
-			results := sweep.Map(ctx, trials, 0, func(t int) coin.Result {
-				cfg := coin.Config{
-					Mesh:            mesh.Square(d, true),
-					Mode:            coin.OneWay,
-					RefreshInterval: 32,
-					RandomPairing:   true,
-					Threshold:       1.5,
-					MaxCycles:       400_000,
-					// Harden even the zero-drop baseline so every cell of
-					// the sweep pays the same protocol overhead and the
-					// rate column is the only variable.
-					Harden: true,
-					Faults: &fault.Config{
-						Seed:     seed + uint64(t)*2741 + uint64(d),
-						DropRate: rate,
-					},
-				}
-				src := rng.New(seed + uint64(t)*7919)
-				e := coin.NewEmulator(cfg, src)
-				e.Init(hotspotInit(src, cfg.Mesh.N()))
-				return e.Run()
-			})
-			var cyc stats.Sample
-			var finalErr, dropped, retries, repairs stats.Running
-			for _, res := range results {
-				if res.Converged {
-					row.Converged++
-					cyc.Add(float64(res.ConvergenceCycles))
-				}
-				if res.Conserved() {
-					row.Conserved++
-				}
-				finalErr.Add(res.FinalErr)
-				dropped.Add(float64(res.Dropped))
-				retries.Add(float64(res.Retries))
-				repairs.Add(float64(res.AuditRepairs))
-			}
-			if cyc.N() > 0 {
-				row.MeanCycles = cyc.Mean()
-				row.P95Cycles = cyc.Quantile(0.95)
-			}
-			row.MeanFinalErr = finalErr.Mean()
-			row.MeanDropped = dropped.Mean()
-			row.MeanRetries = retries.Mean()
-			row.MeanRepairs = repairs.Mean()
-			rows = append(rows, row)
+			points = append(points, FaultPoint{D: d, DropRate: rate})
 		}
+	}
+	return points
+}
+
+// FaultTrial is the reduction-relevant outcome of one fault-study trial,
+// flattened to plain exported fields so a shard can ship it over the wire
+// (Go's JSON encoding round-trips these values exactly).
+type FaultTrial struct {
+	Converged         bool    `json:"converged"`
+	ConvergenceCycles uint64  `json:"convergence_cycles"`
+	Conserved         bool    `json:"conserved"`
+	FinalErr          float64 `json:"final_err"`
+	Dropped           uint64  `json:"dropped"`
+	Retries           uint64  `json:"retries"`
+	AuditRepairs      uint64  `json:"audit_repairs"`
+}
+
+// FaultStudyTrial runs one hardened-exchange trial of a fault-study cell.
+// Both the simulation and fault RNG streams derive from the trial index
+// alone, so any machine computing (p, trial, seed) gets the same outcome.
+func FaultStudyTrial(p FaultPoint, trial int, seed uint64) FaultTrial {
+	cfg := coin.Config{
+		Mesh:            mesh.Square(p.D, true),
+		Mode:            coin.OneWay,
+		RefreshInterval: 32,
+		RandomPairing:   true,
+		Threshold:       1.5,
+		MaxCycles:       400_000,
+		// Harden even the zero-drop baseline so every cell of
+		// the sweep pays the same protocol overhead and the
+		// rate column is the only variable.
+		Harden: true,
+		Faults: &fault.Config{
+			Seed:     seed + uint64(trial)*2741 + uint64(p.D),
+			DropRate: p.DropRate,
+		},
+	}
+	src := rng.New(seed + uint64(trial)*7919)
+	e := coin.NewEmulator(cfg, src)
+	e.Init(hotspotInit(src, cfg.Mesh.N()))
+	res := e.Run()
+	return FaultTrial{
+		Converged:         res.Converged,
+		ConvergenceCycles: res.ConvergenceCycles,
+		Conserved:         res.Conserved(),
+		FinalErr:          res.FinalErr,
+		Dropped:           res.Dropped,
+		Retries:           res.Retries,
+		AuditRepairs:      res.AuditRepairs,
+	}
+}
+
+// FaultAssemble folds the flattened per-trial outcomes — point-major,
+// trial order within each point, exactly len(points)*trials long — into
+// the study rows, walking values in index order so shard-computed trials
+// assemble byte-identically to a local run.
+func FaultAssemble(points []FaultPoint, trials int, results []FaultTrial) []FaultRow {
+	rows := make([]FaultRow, 0, len(points))
+	for pi, p := range points {
+		row := FaultRow{D: p.D, N: p.D * p.D, DropRate: p.DropRate, Trials: trials}
+		var cyc stats.Sample
+		var finalErr, dropped, retries, repairs stats.Running
+		for _, res := range results[pi*trials : (pi+1)*trials] {
+			if res.Converged {
+				row.Converged++
+				cyc.Add(float64(res.ConvergenceCycles))
+			}
+			if res.Conserved {
+				row.Conserved++
+			}
+			finalErr.Add(res.FinalErr)
+			dropped.Add(float64(res.Dropped))
+			retries.Add(float64(res.Retries))
+			repairs.Add(float64(res.AuditRepairs))
+		}
+		if cyc.N() > 0 {
+			row.MeanCycles = cyc.Mean()
+			row.P95Cycles = cyc.Quantile(0.95)
+		}
+		row.MeanFinalErr = finalErr.Mean()
+		row.MeanDropped = dropped.Mean()
+		row.MeanRetries = retries.Mean()
+		row.MeanRepairs = repairs.Mean()
+		rows = append(rows, row)
 	}
 	return rows
 }

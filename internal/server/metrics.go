@@ -7,6 +7,33 @@ import (
 	"sync"
 )
 
+// durationBuckets are the upper bounds (seconds) of the per-endpoint
+// blitzd_request_duration_seconds histogram. Spans cached hits (sub-ms)
+// through multi-minute figure sweeps.
+var durationBuckets = []float64{0.005, 0.02, 0.1, 0.5, 2.5, 10, 60}
+
+// histogram accumulates one endpoint's latency distribution. counts[i]
+// holds observations that landed in (buckets[i-1], buckets[i]]; overflow
+// observations only appear in count (the +Inf bucket).
+type histogram struct {
+	counts [8]uint64 // len(durationBuckets)+1, last slot is overflow
+	sum    float64
+	count  uint64
+}
+
+func (h *histogram) observe(seconds float64) {
+	slot := len(durationBuckets)
+	for i, ub := range durationBuckets {
+		if seconds <= ub {
+			slot = i
+			break
+		}
+	}
+	h.counts[slot]++
+	h.sum += seconds
+	h.count++
+}
+
 // metrics is a hand-rolled Prometheus text-exposition registry: counters
 // the handler path increments plus gauges sampled from the cache and pool
 // at scrape time. Stdlib-only by design.
@@ -17,13 +44,30 @@ type metrics struct {
 	// reqSecondsSum/reqSecondsCount back a summary of request latency.
 	reqSecondsSum   float64
 	reqSecondsCount uint64
-	coalesced       uint64
-	sweepRows       uint64
-	inflight        int64
+	// durations[endpoint] is the request-duration histogram of one HTTP
+	// endpoint (every mux route except pprof).
+	durations map[string]*histogram
+	coalesced uint64
+	sweepRows uint64
+	inflight  int64
 }
 
 func newMetrics() *metrics {
-	return &metrics{requests: make(map[string]map[string]uint64)}
+	return &metrics{
+		requests:  make(map[string]map[string]uint64),
+		durations: make(map[string]*histogram),
+	}
+}
+
+func (m *metrics) observeDuration(endpoint string, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.durations[endpoint]
+	if h == nil {
+		h = &histogram{}
+		m.durations[endpoint] = h
+	}
+	h.observe(seconds)
 }
 
 func (m *metrics) observeRequest(kind, status string, seconds float64) {
@@ -85,7 +129,16 @@ func (m *metrics) write(w io.Writer, c *cache, p *pool) {
 	}
 	sum, count := m.reqSecondsSum, m.reqSecondsCount
 	coalesced, sweepRows, inflight := m.coalesced, m.sweepRows, m.inflight
+	endpoints := make([]string, 0, len(m.durations))
+	for ep := range m.durations {
+		endpoints = append(endpoints, ep)
+	}
+	hists := make(map[string]histogram, len(m.durations))
+	for ep, h := range m.durations {
+		hists[ep] = *h
+	}
 	m.mu.Unlock()
+	sort.Strings(endpoints)
 	sort.Slice(reqs, func(i, j int) bool {
 		if reqs[i].kind != reqs[j].kind {
 			return reqs[i].kind < reqs[j].kind
@@ -104,6 +157,19 @@ func (m *metrics) write(w io.Writer, c *cache, p *pool) {
 	fmt.Fprintln(w, "# TYPE blitzd_request_seconds summary")
 	fmt.Fprintf(w, "blitzd_request_seconds_sum %g\n", sum)
 	fmt.Fprintf(w, "blitzd_request_seconds_count %d\n", count)
+	fmt.Fprintln(w, "# HELP blitzd_request_duration_seconds Request latency by HTTP endpoint.")
+	fmt.Fprintln(w, "# TYPE blitzd_request_duration_seconds histogram")
+	for _, ep := range endpoints {
+		h := hists[ep]
+		var cum uint64
+		for i, ub := range durationBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "blitzd_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n", ep, fmt.Sprintf("%g", ub), cum)
+		}
+		fmt.Fprintf(w, "blitzd_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, h.count)
+		fmt.Fprintf(w, "blitzd_request_duration_seconds_sum{endpoint=%q} %g\n", ep, h.sum)
+		fmt.Fprintf(w, "blitzd_request_duration_seconds_count{endpoint=%q} %d\n", ep, h.count)
+	}
 	fmt.Fprintln(w, "# HELP blitzd_cache_hits_total Requests served from the result cache.")
 	fmt.Fprintln(w, "# TYPE blitzd_cache_hits_total counter")
 	fmt.Fprintf(w, "blitzd_cache_hits_total %d\n", hits)

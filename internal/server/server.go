@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
@@ -15,8 +16,25 @@ import (
 )
 
 // RunFunc computes a validated request; it is blitzcoin.Execute in
-// production and injectable in tests.
+// production, a cluster coordinator's Run in -coordinator mode, and
+// injectable in tests.
 type RunFunc func(ctx context.Context, req blitzcoin.Request) (*blitzcoin.Result, error)
+
+// ClusterBackend is the coordinator face a Server mounts in -coordinator
+// mode: the worker-registry endpoints plus the cluster section of
+// /metrics. It is an interface so the server package never imports the
+// cluster package (the coordinator already imports the server's wire
+// types for shard dispatch).
+type ClusterBackend interface {
+	// HandleJoin serves POST /v1/cluster/join (worker self-registration,
+	// idempotent, doubles as a keepalive).
+	HandleJoin(w http.ResponseWriter, r *http.Request)
+	// HandleStatus serves GET /v1/cluster/status (worker table and shard
+	// counters for operators and blitzctl -cluster).
+	HandleStatus(w http.ResponseWriter, r *http.Request)
+	// WriteMetrics appends the cluster's Prometheus text section.
+	WriteMetrics(w io.Writer)
+}
 
 // Config configures a Server. The zero value is completed with the
 // defaults noted per field.
@@ -34,6 +52,10 @@ type Config struct {
 	Logger *slog.Logger
 	// Run computes requests. Default: blitzcoin.Execute.
 	Run RunFunc
+	// Cluster, when non-nil, mounts the coordinator endpoints
+	// (/v1/cluster/join, /v1/cluster/status) and folds the cluster metric
+	// section into /metrics.
+	Cluster ClusterBackend
 }
 
 // Server is the blitzd request engine: coalescing, caching, bounded
@@ -46,6 +68,7 @@ type Server struct {
 	flights *flightGroup
 	pool    *pool
 	metrics *metrics
+	cluster ClusterBackend
 
 	// baseCtx outlives any single request: computations run under it so
 	// a disconnecting client cannot cancel work other clients (or the
@@ -100,29 +123,50 @@ func New(cfg Config) *Server {
 		flights:    newFlightGroup(),
 		pool:       newPool(cfg.Workers),
 		metrics:    newMetrics(),
+		cluster:    cfg.Cluster,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 	}
 }
 
+// instrument wraps a handler with the per-endpoint duration histogram.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		s.metrics.observeDuration(endpoint, time.Since(start).Seconds())
+	}
+}
+
 // Handler returns the daemon's HTTP surface:
 //
-//	POST /v1/sweep    — execute or serve a blitzcoin.Request
-//	GET  /v1/figures  — list the figure registry
-//	GET  /healthz     — liveness
-//	GET  /metrics     — Prometheus text exposition
-//	     /debug/pprof — the standard profiles
+//	POST /v1/sweep          — execute or serve a blitzcoin.Request
+//	POST /v1/shard          — execute one trial-range shard of a request
+//	GET  /v1/figures        — list the figure registry
+//	POST /v1/cluster/join   — worker self-registration (coordinator mode)
+//	GET  /v1/cluster/status — worker table (coordinator mode)
+//	GET  /healthz           — liveness
+//	GET  /metrics           — Prometheus text exposition
+//	     /debug/pprof       — the standard profiles
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/sweep", s.handleSweep)
-	mux.HandleFunc("/v1/figures", s.handleFigures)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/v1/sweep", s.instrument("sweep", s.handleSweep))
+	mux.HandleFunc("/v1/shard", s.instrument("shard", s.handleShard))
+	mux.HandleFunc("/v1/figures", s.instrument("figures", s.handleFigures))
+	if s.cluster != nil {
+		mux.HandleFunc("/v1/cluster/join", s.instrument("cluster-join", s.cluster.HandleJoin))
+		mux.HandleFunc("/v1/cluster/status", s.instrument("cluster-status", s.cluster.HandleStatus))
+	}
+	mux.HandleFunc("/healthz", s.instrument("healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "engine_version": blitzcoin.EngineVersion})
-	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/metrics", s.instrument("metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		s.metrics.write(w, s.cache, s.pool)
-	})
+		if s.cluster != nil {
+			s.cluster.WriteMetrics(w)
+		}
+	}))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -216,6 +260,157 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.respond(w, r, start, norm, hash, f.bytes, false, !leader)
 }
 
+// ShardResponse is the envelope of POST /v1/shard: a marshaled
+// blitzcoin.ShardResult plus the same serving annotations as Response.
+type ShardResponse struct {
+	Version       string          `json:"version"`
+	Kind          string          `json:"kind"`
+	RequestHash   string          `json:"request_hash"`
+	EngineVersion string          `json:"engine_version"`
+	Lo            int             `json:"lo"`
+	Hi            int             `json:"hi"`
+	Cached        bool            `json:"cached"`
+	Coalesced     bool            `json:"coalesced"`
+	ElapsedMicros int64           `json:"elapsed_micros"`
+	Shard         json.RawMessage `json:"shard"`
+}
+
+// handleShard executes one trial-range shard of a request — the worker
+// half of a distributed sweep. It shares the sweep endpoint's machinery:
+// shards are cached under the request hash extended with the trial range,
+// coalesced per range, computed on the bounded pool under the base
+// context, and refused with 503 while draining.
+func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{"POST a blitzcoin.ShardRequest"})
+		return
+	}
+	s.metrics.enter()
+	defer s.metrics.exit()
+	start := time.Now()
+
+	var sr blitzcoin.ShardRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sr); err != nil {
+		s.finish(w, r, start, "shard", http.StatusBadRequest, fmt.Errorf("decoding shard request: %w", err))
+		return
+	}
+	norm := sr.Request.Normalized()
+	if err := norm.Validate(); err != nil {
+		s.finish(w, r, start, "shard", http.StatusBadRequest, err)
+		return
+	}
+	hash, err := norm.CanonicalHash()
+	if err != nil {
+		s.finish(w, r, start, "shard", http.StatusBadRequest, err)
+		return
+	}
+	if sr.OptionsHash != "" && sr.OptionsHash != hash {
+		// The coordinator hashed different canonical options — usually a
+		// mixed-version cluster. Refuse rather than merge foreign rows.
+		s.finish(w, r, start, "shard", http.StatusConflict,
+			fmt.Errorf("options hash mismatch: coordinator %s, worker %s (engine %s)",
+				short(sr.OptionsHash), short(hash), blitzcoin.EngineVersion))
+		return
+	}
+	units, err := norm.ShardUnits()
+	if err != nil {
+		s.finish(w, r, start, "shard", http.StatusBadRequest, err)
+		return
+	}
+	if sr.Lo < 0 || sr.Hi > units || sr.Lo >= sr.Hi {
+		s.finish(w, r, start, "shard", http.StatusBadRequest,
+			fmt.Errorf("shard range [%d,%d) outside [0,%d)", sr.Lo, sr.Hi, units))
+		return
+	}
+	key := fmt.Sprintf("%s:%d-%d", hash, sr.Lo, sr.Hi)
+
+	if b, ok := s.cache.get(key); ok {
+		s.respondShard(w, r, start, norm, hash, sr.Lo, sr.Hi, b, true, false)
+		return
+	}
+	if s.draining.Load() {
+		s.finish(w, r, start, "shard", http.StatusServiceUnavailable, errors.New("server draining"))
+		return
+	}
+
+	f, leader := s.flights.lease(key)
+	if leader {
+		done := s.pool.track()
+		go func() {
+			defer done()
+			b, err := s.computeShard(key, norm, sr.Lo, sr.Hi)
+			s.flights.complete(key, f, b, err)
+		}()
+	} else {
+		s.metrics.addCoalesced()
+	}
+
+	select {
+	case <-f.done:
+	case <-r.Context().Done():
+		s.finish(w, r, start, "shard", 499, r.Context().Err())
+		return
+	}
+	if f.err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(f.err, context.Canceled) {
+			status = http.StatusServiceUnavailable
+		}
+		s.finish(w, r, start, "shard", status, f.err)
+		return
+	}
+	s.respondShard(w, r, start, norm, hash, sr.Lo, sr.Hi, f.bytes, false, !leader)
+}
+
+// computeShard runs one validated shard on the bounded pool and caches its
+// marshaled ShardResult under the range-extended key.
+func (s *Server) computeShard(key string, norm blitzcoin.Request, lo, hi int) ([]byte, error) {
+	if err := s.pool.acquire(s.baseCtx); err != nil {
+		return nil, err
+	}
+	defer s.pool.release()
+	res, err := blitzcoin.ExecuteShard(s.baseCtx, norm, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		return nil, fmt.Errorf("encoding shard result: %w", err)
+	}
+	s.cache.put(key, string(norm.Kind)+"-shard", b)
+	return b, nil
+}
+
+// respondShard writes the shard success envelope and its log line.
+func (s *Server) respondShard(w http.ResponseWriter, r *http.Request, start time.Time, norm blitzcoin.Request, hash string, lo, hi int, shard []byte, cached, coalesced bool) {
+	elapsed := time.Since(start)
+	writeJSON(w, http.StatusOK, ShardResponse{
+		Version:       blitzcoin.APIVersion,
+		Kind:          string(norm.Kind),
+		RequestHash:   hash,
+		EngineVersion: blitzcoin.EngineVersion,
+		Lo:            lo,
+		Hi:            hi,
+		Cached:        cached,
+		Coalesced:     coalesced,
+		ElapsedMicros: elapsed.Microseconds(),
+		Shard:         shard,
+	})
+	s.metrics.observeRequest("shard", "ok", elapsed.Seconds())
+	s.log.Info("shard",
+		"kind", norm.Kind,
+		"hash", short(hash),
+		"range", fmt.Sprintf("[%d,%d)", lo, hi),
+		"status", http.StatusOK,
+		"cached", cached,
+		"coalesced", coalesced,
+		"elapsed", elapsed,
+		"remote", r.RemoteAddr,
+	)
+}
+
 // compute runs one validated request on the bounded pool and caches its
 // marshaled result.
 func (s *Server) compute(hash string, norm blitzcoin.Request) ([]byte, error) {
@@ -288,10 +483,15 @@ func (s *Server) finish(w http.ResponseWriter, r *http.Request, start time.Time,
 	switch {
 	case status == http.StatusBadRequest:
 		label = "invalid"
+	case status == http.StatusConflict:
+		label = "mismatch"
 	case status == 499:
 		label = "cancelled"
 	case status == http.StatusServiceUnavailable:
 		label = "unavailable"
+		// Tell well-behaved clients (and the cluster coordinator) when to
+		// come back: the drain window is seconds, not minutes.
+		w.Header().Set("Retry-After", "5")
 	}
 	writeJSON(w, status, errorBody{err.Error()})
 	s.metrics.observeRequest(kind, label, elapsed.Seconds())

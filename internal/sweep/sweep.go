@@ -122,3 +122,22 @@ func Map[T any](ctx context.Context, n, parallelism int, fn func(trial int) T) [
 	}
 	return out
 }
+
+// MapRange runs fn(i) for every i in [lo, hi) and returns the hi-lo results
+// in index order: the shard-range form of Map that distributed sweeps are
+// built on. A shard executing MapRange(ctx, lo, hi, p, fn) computes exactly
+// the slots [lo, hi) of Map(ctx, n, p, fn) for any n >= hi, because fn still
+// receives the global trial index — so concatenating shard outputs in range
+// order is byte-identical to one local Map over the full range.
+//
+// Cancellation and panic semantics match Map. An empty or inverted range
+// returns nil.
+func MapRange[T any](ctx context.Context, lo, hi, parallelism int, fn func(trial int) T) []T {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi <= lo {
+		return nil
+	}
+	return Map(ctx, hi-lo, parallelism, func(j int) T { return fn(lo + j) })
+}

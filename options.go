@@ -17,8 +17,10 @@ const (
 	APIVersion = "v1"
 	// EngineVersion names the simulation semantics. Bumped whenever a
 	// change makes equal options produce different rows, invalidating
-	// every previously cached result.
-	EngineVersion = "3"
+	// every previously cached result. (4 also marks the sharding surface:
+	// coordinators refuse workers whose engine disagrees, so mixed-version
+	// clusters cannot merge rows from different semantics.)
+	EngineVersion = "4"
 )
 
 // RequestKind discriminates the payload of a Request.

@@ -21,6 +21,11 @@ type ResultMeta struct {
 	// OptionsHash is the canonical hash of the normalized options that
 	// produced the result (see Request.CanonicalHash).
 	OptionsHash string `json:"options_hash,omitempty"`
+	// Shards records distributed provenance: how many cluster shards were
+	// merged into the result. 0 means single-node execution. Shard counts
+	// never change result rows — MergeShards reduces in index order with
+	// index-derived seeds — so this is a serving annotation, not an input.
+	Shards int `json:"shards,omitempty"`
 }
 
 // meta stamps a result's provenance.

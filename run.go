@@ -79,15 +79,30 @@ func Execute(ctx context.Context, req Request) (res *Result, err error) {
 // on the shared worker pool and folds the rows in trial order, so the
 // aggregate is byte-identical at any parallelism.
 func runExchangeSweep(ctx context.Context, n Request, hash string) *ExchangeSweepResult {
+	rows := exchangeShardRows(ctx, n, 0, n.Trials)
+	return foldExchangeSweep(newMeta(n.Exchange.Seed, hash), n.Trials, rows)
+}
+
+// exchangeShardRows computes the trial rows [lo, hi) of a normalized
+// exchange request, each trial's seed derived from its global trial index
+// (seed + t*7919). The full range reproduces the single-node sweep; a
+// sub-range is the shard a cluster worker serves.
+func exchangeShardRows(ctx context.Context, n Request, lo, hi int) []ExchangeResult {
 	base := *n.Exchange
-	rows := sweep.Map(ctx, n.Trials, 0, func(t int) ExchangeResult {
+	return sweep.MapRange(ctx, lo, hi, 0, func(t int) ExchangeResult {
 		o := base
 		o.Seed = base.Seed + uint64(t)*7919
 		return SimulateExchange(o)
 	})
+}
+
+// foldExchangeSweep reduces trial rows (already in trial order) into the
+// sweep aggregate. Sharded merges reuse it over concatenated shard rows,
+// which keeps clustered aggregates byte-identical to local ones.
+func foldExchangeSweep(meta ResultMeta, trials int, rows []ExchangeResult) *ExchangeSweepResult {
 	out := &ExchangeSweepResult{
-		Meta:   newMeta(base.Seed, hash),
-		Trials: n.Trials,
+		Meta:   meta,
+		Trials: trials,
 		Rows:   rows,
 	}
 	var convMicros, convPackets, exch, finalErr float64

@@ -1,0 +1,324 @@
+package blitzcoin
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"blitzcoin/internal/sweep"
+)
+
+// This file is the sharding surface of the v1 API: how a Request's
+// Monte-Carlo work decomposes into trial-range shards that independent
+// blitzd workers can compute, and how shard outputs merge back into the
+// exact Result a single node would have produced.
+//
+// The contract mirrors the sweep engine's: every trial unit derives its
+// randomness from its global trial index alone, shards carry raw per-trial
+// values (whose JSON encoding round-trips exactly), and MergeShards reduces
+// them in index order. A request sharded 1, 2, or 4 ways — or re-sharded
+// after a worker death — therefore yields byte-identical rows.
+
+// ShardRequest is the wire form of POST /v1/shard: the full request for
+// context plus the [Lo, Hi) trial range this worker should compute.
+// OptionsHash, when set, must equal the request's canonical hash — it pins
+// the shard to the coordinator's view of the options, so a worker running
+// a different engine version refuses rather than returning foreign rows.
+type ShardRequest struct {
+	Request     Request `json:"request"`
+	Lo          int     `json:"lo"`
+	Hi          int     `json:"hi"`
+	OptionsHash string  `json:"options_hash,omitempty"`
+}
+
+// ShardResult is one computed shard: the raw per-trial values for [Lo, Hi)
+// of the request's flattened trial axis. Exactly one payload field is set,
+// matching the request kind:
+//
+//   - Exchange: per-trial rows of an exchange sweep
+//   - FigureTrials: figure-specific trial payloads (one per unit)
+//   - Whole: the full Result of an unshardable request (single unit)
+type ShardResult struct {
+	// Meta stamps the engine that computed the shard and the canonical
+	// hash of the request it belongs to.
+	Meta ResultMeta `json:"meta"`
+	Lo   int        `json:"lo"`
+	Hi   int        `json:"hi"`
+
+	Exchange     []ExchangeResult  `json:"exchange,omitempty"`
+	FigureTrials []json.RawMessage `json:"figure_trials,omitempty"`
+	Whole        *Result           `json:"whole,omitempty"`
+}
+
+// ShardUnits returns the length of the request's flattened trial axis: the
+// number of independent trial units a cluster may split into ranges.
+// Exchange requests shard per trial; figures that register a shard
+// decomposition (Fig. 7, the fault study) shard per (point, trial) unit;
+// everything else is one indivisible unit. Invalid requests error.
+func (r Request) ShardUnits() (int, error) {
+	n := r.Normalized()
+	if err := n.Validate(); err != nil {
+		return 0, err
+	}
+	switch n.Kind {
+	case KindExchange:
+		return n.Trials, nil
+	case KindFigure:
+		if s := figureRegistry[n.Figure.Name].shard; s != nil {
+			return s.units(*n.Figure), nil
+		}
+	}
+	return 1, nil
+}
+
+// ExecuteShard computes the trial units [lo, hi) of a request — the worker
+// half of a distributed sweep. The same index-derived seeds drive each unit
+// as in a local run, so the returned values are the exact slice a local
+// execution would have produced. Like Execute, it validates first, converts
+// panics into errors, and returns ctx.Err() rather than a partial shard
+// when cancelled.
+func ExecuteShard(ctx context.Context, req Request, lo, hi int) (res *ShardResult, err error) {
+	n := req.Normalized()
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	hash, err := n.CanonicalHash()
+	if err != nil {
+		return nil, err
+	}
+	units, err := n.ShardUnits()
+	if err != nil {
+		return nil, err
+	}
+	if lo < 0 || hi > units || lo >= hi {
+		return nil, fmt.Errorf("blitzcoin: shard range [%d,%d) outside [0,%d)", lo, hi, units)
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, fmt.Errorf("blitzcoin: %v", p)
+		}
+	}()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	out := &ShardResult{Meta: newMeta(n.seed(), hash), Lo: lo, Hi: hi}
+	switch {
+	case n.Kind == KindExchange:
+		out.Exchange = exchangeShardRows(ctx, n, lo, hi)
+	case n.Kind == KindFigure && figureRegistry[n.Figure.Name].shard != nil:
+		s := figureRegistry[n.Figure.Name].shard
+		o := *n.Figure
+		out.FigureTrials = sweep.MapRange(ctx, lo, hi, 0, func(g int) json.RawMessage {
+			return s.trial(o, g)
+		})
+	default:
+		// One indivisible unit: the shard is the whole computation.
+		whole, err := Execute(ctx, n)
+		if err != nil {
+			return nil, err
+		}
+		out.Whole = whole
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MergeShards reduces computed shards back into the Result a single-node
+// Execute of the request would return. The shards must tile the request's
+// unit range [0, ShardUnits()) exactly — any gap, overlap, or length
+// mismatch errors — and the reduction walks them in range order, so the
+// merged rows are byte-identical to local execution at any shard count.
+// The merged ResultMeta records the shard count as provenance.
+func MergeShards(req Request, shards []*ShardResult) (*Result, error) {
+	n := req.Normalized()
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	hash, err := n.CanonicalHash()
+	if err != nil {
+		return nil, err
+	}
+	units, err := n.ShardUnits()
+	if err != nil {
+		return nil, err
+	}
+	ordered := append([]*ShardResult(nil), shards...)
+	for _, s := range ordered {
+		if s == nil {
+			return nil, fmt.Errorf("blitzcoin: nil shard in merge")
+		}
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Lo < ordered[j].Lo })
+	at := 0
+	for _, s := range ordered {
+		if s.Lo != at || s.Hi <= s.Lo || s.Hi > units {
+			return nil, fmt.Errorf("blitzcoin: shard range [%d,%d) does not tile [0,%d) (next expected lo %d)", s.Lo, s.Hi, units, at)
+		}
+		if s.Meta.OptionsHash != "" && s.Meta.OptionsHash != hash {
+			return nil, fmt.Errorf("blitzcoin: shard [%d,%d) was computed for options %s, want %s", s.Lo, s.Hi, short12(s.Meta.OptionsHash), short12(hash))
+		}
+		at = s.Hi
+	}
+	if at != units {
+		return nil, fmt.Errorf("blitzcoin: shards cover [0,%d) of [0,%d)", at, units)
+	}
+
+	switch {
+	case n.Kind == KindExchange:
+		rows := make([]ExchangeResult, 0, units)
+		for _, s := range ordered {
+			if len(s.Exchange) != s.Hi-s.Lo {
+				return nil, fmt.Errorf("blitzcoin: shard [%d,%d) carries %d exchange rows", s.Lo, s.Hi, len(s.Exchange))
+			}
+			rows = append(rows, s.Exchange...)
+		}
+		meta := newMeta(n.Exchange.Seed, hash)
+		meta.Shards = len(ordered)
+		return &Result{Kind: KindExchange, Exchange: foldExchangeSweep(meta, n.Trials, rows)}, nil
+
+	case n.Kind == KindFigure && figureRegistry[n.Figure.Name].shard != nil:
+		o := *n.Figure
+		trials := make([]json.RawMessage, 0, units)
+		for _, s := range ordered {
+			if len(s.FigureTrials) != s.Hi-s.Lo {
+				return nil, fmt.Errorf("blitzcoin: shard [%d,%d) carries %d figure trials", s.Lo, s.Hi, len(s.FigureTrials))
+			}
+			trials = append(trials, s.FigureTrials...)
+		}
+		lines, err := figureRegistry[o.Name].shard.merge(o, trials)
+		if err != nil {
+			return nil, err
+		}
+		meta := newMeta(o.Seed, hash)
+		meta.Shards = len(ordered)
+		return &Result{Kind: KindFigure, Figure: &FigureResult{
+			Meta:  meta,
+			Name:  o.Name,
+			Title: figureRegistry[o.Name].title,
+			Lines: lines,
+		}}, nil
+
+	default:
+		s := ordered[0]
+		if s.Whole == nil {
+			return nil, fmt.Errorf("blitzcoin: unshardable request merged without a whole result")
+		}
+		whole := *s.Whole
+		switch {
+		case whole.Exchange != nil:
+			whole.Exchange.Meta.Shards = 1
+		case whole.SoC != nil:
+			whole.SoC.Meta.Shards = 1
+		case whole.Figure != nil:
+			whole.Figure.Meta.Shards = 1
+		}
+		return &whole, nil
+	}
+}
+
+// short12 abbreviates a canonical hash for error messages.
+func short12(h string) string {
+	if len(h) > 12 {
+		return h[:12]
+	}
+	return h
+}
+
+// ClusterOptions configures the coordinator of a distributed sweep
+// cluster: which workers it dispatches to and the knobs of shard planning,
+// backpressure, liveness, and retry. The zero value is completed with the
+// defaults noted per field (see Normalized).
+type ClusterOptions struct {
+	// Workers is the static worker list (base URLs, e.g.
+	// "http://10.0.0.2:8425"); more workers may join at runtime via
+	// POST /v1/cluster/join.
+	Workers []string `json:"workers,omitempty"`
+	// Shards fixes the shard count of every request; 0 plans
+	// ShardsPerWorker shards per live worker (clamped to the unit count).
+	Shards int `json:"shards,omitempty"`
+	// ShardsPerWorker is the auto-planning factor. Slightly over-splitting
+	// (default 2) keeps all workers busy when shards finish unevenly and
+	// shrinks the re-dispatch cost of a worker death.
+	ShardsPerWorker int `json:"shards_per_worker,omitempty"`
+	// MaxInflight bounds concurrent shards per worker (backpressure).
+	// Default 2.
+	MaxInflight int `json:"max_inflight,omitempty"`
+	// MaxAttempts bounds dispatch attempts per shard across all workers
+	// before the request fails. Default 4.
+	MaxAttempts int `json:"max_attempts,omitempty"`
+	// RetryBackoffMillis is the base of the exponential per-shard retry
+	// backoff (base, 2x, 4x, ...). Default 100.
+	RetryBackoffMillis int `json:"retry_backoff_millis,omitempty"`
+	// HeartbeatMillis is the liveness-probe cadence. Default 1000.
+	HeartbeatMillis int `json:"heartbeat_millis,omitempty"`
+	// EvictAfterMillis is how long a worker may stay unreachable before it
+	// is evicted (joined workers are dropped; static workers stay listed as
+	// dead and revive on a successful probe). Default 5000.
+	EvictAfterMillis int `json:"evict_after_millis,omitempty"`
+	// ShardTimeoutMillis bounds one shard dispatch, so a hung worker turns
+	// into a retry instead of a wedged request. Default 600000 (10 min).
+	ShardTimeoutMillis int `json:"shard_timeout_millis,omitempty"`
+}
+
+// Normalized returns a copy with every unset field replaced by its
+// documented default.
+func (o ClusterOptions) Normalized() ClusterOptions {
+	o.Workers = append([]string(nil), o.Workers...)
+	if o.ShardsPerWorker == 0 {
+		o.ShardsPerWorker = 2
+	}
+	if o.MaxInflight == 0 {
+		o.MaxInflight = 2
+	}
+	if o.MaxAttempts == 0 {
+		o.MaxAttempts = 4
+	}
+	if o.RetryBackoffMillis == 0 {
+		o.RetryBackoffMillis = 100
+	}
+	if o.HeartbeatMillis == 0 {
+		o.HeartbeatMillis = 1000
+	}
+	if o.EvictAfterMillis == 0 {
+		o.EvictAfterMillis = 5 * o.HeartbeatMillis
+	}
+	if o.ShardTimeoutMillis == 0 {
+		o.ShardTimeoutMillis = 600_000
+	}
+	return o
+}
+
+// Validate reports whether the normalized options are coherent.
+func (o ClusterOptions) Validate() error {
+	o = o.Normalized()
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"shards", o.Shards},
+		{"shards_per_worker", o.ShardsPerWorker},
+		{"max_inflight", o.MaxInflight},
+		{"max_attempts", o.MaxAttempts},
+		{"retry_backoff_millis", o.RetryBackoffMillis},
+		{"heartbeat_millis", o.HeartbeatMillis},
+		{"evict_after_millis", o.EvictAfterMillis},
+		{"shard_timeout_millis", o.ShardTimeoutMillis},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("blitzcoin: negative cluster option %s %d", f.name, f.v)
+		}
+	}
+	for _, w := range o.Workers {
+		if w == "" {
+			return fmt.Errorf("blitzcoin: empty worker URL in cluster options")
+		}
+	}
+	return nil
+}
