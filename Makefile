@@ -8,7 +8,7 @@ SHORTSHA := $(shell git rev-parse --short HEAD)
 BENCH_BASELINE ?= BENCH_8e2d083.json
 
 .PHONY: build test vet race verify bench benchcheck figures server-smoke \
-	cluster-smoke lint fmtcheck blitzlint lint-update
+	cluster-smoke chaos-smoke lint fmtcheck blitzlint lint-update
 
 build:
 	$(GO) build ./...
@@ -45,8 +45,8 @@ race:
 
 # The gate every change must pass: static checks (formatting, vet, the
 # blitzlint domain analyzers), the full test suite under the race detector,
-# the hot-path perf gate, and the daemon + cluster smoke tests.
-verify: lint race benchcheck server-smoke cluster-smoke
+# the hot-path perf gate, and the daemon + cluster + chaos smoke tests.
+verify: lint race benchcheck server-smoke cluster-smoke chaos-smoke
 
 # server-smoke boots a real blitzd on an ephemeral port, runs one exchange
 # request twice through blitzctl, and asserts the repeat is a cache hit.
@@ -58,6 +58,13 @@ server-smoke:
 # single-node execution (must be byte-identical).
 cluster-smoke:
 	sh scripts/cluster_smoke.sh
+
+# chaos-smoke boots a coordinator and three workers — one fail-slow via
+# the -chaos fault plan — runs a fine-grained work-stealing sweep,
+# hard-kills a healthy worker mid-sweep, and diffs the rows against
+# single-node execution (must be byte-identical despite speculation).
+chaos-smoke:
+	sh scripts/chaos_smoke.sh
 
 # bench snapshots the whole benchmark suite (3 samples each) into
 # BENCH_<sha>.json; commit the file to extend the perf trajectory.

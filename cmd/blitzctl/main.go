@@ -11,7 +11,8 @@
 //	blitzctl -req request.json      # or -req - for stdin
 //	blitzctl -figures               # list the figure registry
 //	blitzctl -metrics               # scrape /metrics
-//	blitzctl -cluster               # worker table + shard counters
+//	blitzctl -cluster               # worker table, steal/speculation counters, shard latency
+//	blitzctl -ready                 # readiness probe (/readyz; exit 1 when not ready)
 //
 // Every request runs under -timeout and is cancelled cleanly by SIGINT/
 // SIGTERM. Exit status is 0 on HTTP 200, 1 otherwise.
@@ -48,6 +49,7 @@ func main() {
 	metrics := flag.Bool("metrics", false, "scrape and print /metrics")
 	figures := flag.Bool("figures", false, "list the figure registry")
 	clusterStatus := flag.Bool("cluster", false, "print the coordinator's worker table and shard counters")
+	ready := flag.Bool("ready", false, "probe /readyz (exit 0 only when the daemon is ready)")
 	timeout := flag.Duration("timeout", 10*time.Minute, "request timeout")
 	flag.Parse()
 
@@ -68,6 +70,8 @@ func main() {
 		get(ctx, client, base+"/v1/figures")
 	case *clusterStatus:
 		get(ctx, client, base+"/v1/cluster/status")
+	case *ready:
+		get(ctx, client, base+"/readyz")
 	default:
 		body, err := buildRequest(*reqFile, *figure, *exchange, *socName, *scheme, *dim, *trials, *seed)
 		if err != nil {

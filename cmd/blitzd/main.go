@@ -11,23 +11,39 @@
 //	       [-cache-entries 256] [-cache-mb 64]
 //	       [-addrfile path] [-drain-timeout 30s]
 //	       [-coordinator] [-cluster-workers url,url,...]
+//	       [-steal-unit n] [-no-speculation]
 //	       [-join url -advertise url]
+//	       [-chaos '{"fail_slow":[...]}' -chaos-tile 2]
 //
 // Endpoints: POST /v1/sweep, POST /v1/shard, GET /v1/figures, GET
-// /healthz, GET /metrics, and /debug/pprof; coordinators additionally
-// serve POST /v1/cluster/join and GET /v1/cluster/status. SIGINT/SIGTERM
-// drain gracefully: in-flight sweeps finish (up to -drain-timeout), new
-// ones are refused with 503 + Retry-After.
+// /healthz (liveness), GET /readyz (readiness: drain state, queue depth,
+// and — on coordinators — live-worker availability), GET /metrics, and
+// /debug/pprof; coordinators additionally serve POST /v1/cluster/join
+// and GET /v1/cluster/status. SIGINT/SIGTERM drain gracefully: in-flight
+// sweeps finish (up to -drain-timeout), new ones are refused with 503 +
+// Retry-After.
 //
 // Cluster mode: `-coordinator` makes this daemon split every /v1/sweep
 // across its workers as /v1/shard dispatches and merge the rows
 // deterministically (byte-identical to single-node execution). Workers
 // are listed statically with -cluster-workers and/or self-register by
 // running with `-join http://coordinator -advertise http://self`.
+// Shards are pulled from a work queue by idle workers (-steal-unit sets
+// the grain), and stragglers are speculatively re-executed on a second
+// worker (-spec-percentile/-spec-factor/-spec-min-samples tune the
+// threshold; -no-speculation turns it off).
+//
+// Chaos mode: `-chaos` takes blitzcoin fault-options JSON (the same
+// shape the sweep API's "faults" field takes) and injects those faults
+// into this daemon's HTTP surface — fail-slow stretch, fail-stop
+// connection kills, coordinator-link partitions, and packet drop/dup/
+// delay — with the daemon playing tile -chaos-tile against the
+// coordinator's tile 0. Observability endpoints stay fault-free.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -64,9 +80,17 @@ func main() {
 	heartbeat := flag.Duration("heartbeat", 0, "worker liveness-probe cadence (0 = default 1s)")
 	evictAfter := flag.Duration("evict-after", 0, "unreachable window before a worker is evicted (0 = default 5x heartbeat)")
 	shardTimeout := flag.Duration("shard-timeout", 0, "per-shard dispatch timeout (0 = default 10m)")
+	stealUnit := flag.Int("steal-unit", 0, "max sweep units per shard for work-stealing (0 = use -shards/-shards-per-worker)")
+	noSpeculation := flag.Bool("no-speculation", false, "disable speculative straggler re-execution")
+	specPercentile := flag.Float64("spec-percentile", 0, "completed-shard latency percentile anchoring the straggler threshold (0 = default 0.95)")
+	specFactor := flag.Float64("spec-factor", 0, "straggler threshold multiplier over the percentile latency (0 = default 1.5)")
+	specMinSamples := flag.Int("spec-min-samples", 0, "completed shards required before speculation arms (0 = default 3)")
 
 	joinURL := flag.String("join", "", "coordinator base URL to register this worker with")
 	advertise := flag.String("advertise", "", "base URL this worker is reachable at (required with -join)")
+
+	chaosJSON := flag.String("chaos", "", "fault-options JSON injected into this daemon's HTTP surface (chaos testing)")
+	chaosTile := flag.Int("chaos-tile", 1, "tile index this daemon plays in the -chaos fault plan (coordinator is 0)")
 	flag.Parse()
 	sweep.SetDefaultParallelism(*parallel)
 
@@ -89,14 +113,19 @@ func main() {
 		var err error
 		coord, err = cluster.New(cluster.Config{
 			Options: blitzcoin.ClusterOptions{
-				Workers:            staticWorkers,
-				Shards:             *shards,
-				ShardsPerWorker:    *shardsPerWorker,
-				MaxInflight:        *maxInflight,
-				MaxAttempts:        *maxAttempts,
-				HeartbeatMillis:    int(heartbeat.Milliseconds()),
-				EvictAfterMillis:   int(evictAfter.Milliseconds()),
-				ShardTimeoutMillis: int(shardTimeout.Milliseconds()),
+				Workers:               staticWorkers,
+				Shards:                *shards,
+				ShardsPerWorker:       *shardsPerWorker,
+				MaxInflight:           *maxInflight,
+				MaxAttempts:           *maxAttempts,
+				HeartbeatMillis:       int(heartbeat.Milliseconds()),
+				EvictAfterMillis:      int(evictAfter.Milliseconds()),
+				ShardTimeoutMillis:    int(shardTimeout.Milliseconds()),
+				StealUnit:             *stealUnit,
+				NoSpeculation:         *noSpeculation,
+				SpeculationPercentile: *specPercentile,
+				SpeculationFactor:     *specFactor,
+				SpeculationMinSamples: *specMinSamples,
 			},
 			Logger: log,
 		})
@@ -124,8 +153,22 @@ func main() {
 	}
 	fmt.Printf("blitzd listening on %s\n", bound)
 
+	handler := srv.Handler()
+	if *chaosJSON != "" {
+		var faults blitzcoin.FaultOptions
+		if err := json.Unmarshal([]byte(*chaosJSON), &faults); err != nil {
+			log.Error("chaos", "error", err)
+			os.Exit(1)
+		}
+		if *chaosTile == 0 {
+			log.Error("chaos", "error", "-chaos-tile 0 is the coordinator's tile; pick another")
+			os.Exit(1)
+		}
+		handler = cluster.NewChaos(faults, *chaosTile, log).Wrap(handler)
+		log.Info("chaos armed", "tile", *chaosTile)
+	}
 	httpSrv := &http.Server{
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"context"
+	"time"
+)
+
+// ScaleHooks are the environment's callbacks for elastic membership. The
+// coordinator decides when to scale; the hooks know how (exec a local
+// blitzd, call a cloud API, tell an operator).
+type ScaleHooks struct {
+	// Spawn starts one new worker and returns its base URL. The worker is
+	// expected to keep itself registered (JoinLoop); the autoscaler also
+	// registers the returned URL optimistically so the first heartbeat can
+	// confirm it without waiting for the worker's own join.
+	Spawn func(ctx context.Context) (string, error)
+	// Drain decommissions a worker. It is called only after the
+	// coordinator stopped routing shards to the worker and every shard
+	// already in flight on it has finished — a drain never loses work.
+	Drain func(ctx context.Context, url string) error
+}
+
+// AutoscaleConfig tunes the Autoscale loop. The zero value of each field
+// takes the default noted on it.
+type AutoscaleConfig struct {
+	Hooks ScaleHooks
+	// MinWorkers is the floor of live workers (default 1). Static workers
+	// count toward it but are never drained.
+	MinWorkers int
+	// MaxWorkers caps Spawn calls (default 8).
+	MaxWorkers int
+	// BacklogPerWorker is the scale-up trigger: when queued plus running
+	// shards exceed BacklogPerWorker per live worker, one worker is
+	// spawned per evaluation (default 4).
+	BacklogPerWorker int
+	// IdleAfter is how long a joined worker must sit with nothing in
+	// flight before it is drained (default 30s).
+	IdleAfter time.Duration
+	// Interval is the evaluation cadence (default 1s).
+	Interval time.Duration
+}
+
+func (cfg AutoscaleConfig) withDefaults() AutoscaleConfig {
+	if cfg.MinWorkers <= 0 {
+		cfg.MinWorkers = 1
+	}
+	if cfg.MaxWorkers <= 0 {
+		cfg.MaxWorkers = 8
+	}
+	if cfg.BacklogPerWorker <= 0 {
+		cfg.BacklogPerWorker = 4
+	}
+	if cfg.IdleAfter <= 0 {
+		cfg.IdleAfter = 30 * time.Second
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	return cfg
+}
+
+// Autoscale runs the elastic-membership loop until ctx ends: spawn
+// workers while backlog builds, drain joined workers that sit idle.
+// Blocking — run it in a goroutine.
+func (c *Coordinator) Autoscale(ctx context.Context, cfg AutoscaleConfig) {
+	cfg = cfg.withDefaults()
+	ticker := time.NewTicker(cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-c.stop:
+			return
+		case <-ticker.C:
+		}
+		c.autoscaleOnce(ctx, cfg)
+	}
+}
+
+// autoscaleOnce performs one evaluation: finish pending drains, then
+// scale up under backlog or mark one idle worker for drain.
+func (c *Coordinator) autoscaleOnce(ctx context.Context, cfg AutoscaleConfig) {
+	snap := c.registry.snapshot()
+	alive := 0
+	for _, ws := range snap {
+		if ws.Alive && !ws.Draining {
+			alive++
+		}
+	}
+
+	// Complete drains whose inflight count reached zero: the hook
+	// decommissions the process, then the registry forgets the worker. A
+	// failed hook leaves the worker draining for the next evaluation.
+	for _, ws := range snap {
+		if !ws.Draining || ws.Inflight > 0 {
+			continue
+		}
+		if cfg.Hooks.Drain != nil {
+			if err := cfg.Hooks.Drain(ctx, ws.URL); err != nil {
+				c.log.Warn("cluster drain hook failed", "worker", ws.URL, "error", err)
+				continue
+			}
+		}
+		if c.registry.finishDrain(ws.URL) {
+			c.log.Info("cluster worker drained", "worker", ws.URL)
+		}
+	}
+
+	backlog := c.queueDepth.Load() + c.runningShards.Load()
+	needUp := alive < cfg.MinWorkers ||
+		(backlog > int64(cfg.BacklogPerWorker)*int64(alive) && alive < cfg.MaxWorkers)
+	if needUp && cfg.Hooks.Spawn != nil && alive < cfg.MaxWorkers {
+		url, err := cfg.Hooks.Spawn(ctx)
+		if err != nil {
+			c.log.Warn("cluster spawn hook failed", "error", err)
+			return
+		}
+		c.registry.rejoin(url)
+		c.log.Info("cluster worker spawned", "worker", url, "backlog", backlog, "alive", alive)
+		return
+	}
+
+	// Scale down: drain at most one joined, idle worker per evaluation,
+	// never below the floor and never a static worker.
+	if alive <= cfg.MinWorkers || backlog > 0 {
+		return
+	}
+	for _, ws := range snap {
+		if ws.Static || !ws.Alive || ws.Draining || ws.Inflight > 0 {
+			continue
+		}
+		if time.Duration(ws.IdleMillis)*time.Millisecond < cfg.IdleAfter {
+			continue
+		}
+		if c.registry.beginDrain(ws.URL) {
+			c.log.Info("cluster draining idle worker", "worker", ws.URL, "idle_millis", ws.IdleMillis)
+		}
+		return
+	}
+}

@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"blitzcoin"
+)
+
+// TestAutoscaleSpawnUnderBacklog checks the scale-up trigger: queued
+// work beyond BacklogPerWorker per live worker spawns exactly one worker
+// per evaluation, up to MaxWorkers.
+func TestAutoscaleSpawnUnderBacklog(t *testing.T) {
+	w := newWorker(t)
+	c := newCoordinator(t, blitzcoin.ClusterOptions{Workers: []string{w.URL}})
+	var spawned []string
+	cfg := AutoscaleConfig{
+		Hooks: ScaleHooks{
+			Spawn: func(ctx context.Context) (string, error) {
+				url := fmt.Sprintf("http://spawned-%d", len(spawned))
+				spawned = append(spawned, url)
+				return url, nil
+			},
+		},
+		MaxWorkers:       2,
+		BacklogPerWorker: 4,
+	}.withDefaults()
+
+	// No backlog: no spawn.
+	c.autoscaleOnce(context.Background(), cfg)
+	if len(spawned) != 0 {
+		t.Fatalf("spawned %v with no backlog", spawned)
+	}
+
+	// Backlog past the per-worker threshold: one spawn per evaluation.
+	c.queueDepth.Store(10)
+	c.autoscaleOnce(context.Background(), cfg)
+	if len(spawned) != 1 {
+		t.Fatalf("spawned %v, want exactly one worker", spawned)
+	}
+	found := false
+	for _, ws := range c.registry.snapshot() {
+		if ws.URL == spawned[0] {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("spawned worker not registered optimistically")
+	}
+
+	// At MaxWorkers the backlog no longer spawns.
+	c.autoscaleOnce(context.Background(), cfg)
+	if len(spawned) != 1 {
+		t.Fatalf("spawned %v past MaxWorkers=2", spawned)
+	}
+}
+
+// TestAutoscaleDrainIdleWorker checks scale-down never loses work: an
+// idle joined worker is first marked draining (excluded from dispatch but
+// keeping its inflight shards), and the drain hook only fires once
+// nothing is in flight on it.
+func TestAutoscaleDrainIdleWorker(t *testing.T) {
+	static := newWorker(t)
+	c := newCoordinator(t, blitzcoin.ClusterOptions{Workers: []string{static.URL}})
+	joined := "http://joined-worker"
+	c.registry.rejoin(joined)
+
+	var drained []string
+	cfg := AutoscaleConfig{
+		Hooks: ScaleHooks{
+			Drain: func(ctx context.Context, url string) error {
+				drained = append(drained, url)
+				return nil
+			},
+		},
+		MinWorkers: 1,
+		IdleAfter:  10 * time.Millisecond,
+	}.withDefaults()
+
+	// Give the joined worker an inflight shard, then let it idle past the
+	// window: it must not be drained while the shard runs.
+	url, ok, _ := c.registry.tryAcquire(2, map[string]bool{static.URL: true})
+	if !ok || url != joined {
+		t.Fatalf("acquire on joined worker: %q, %v", url, ok)
+	}
+	time.Sleep(20 * time.Millisecond)
+	c.autoscaleOnce(context.Background(), cfg)
+	if len(drained) != 0 {
+		t.Fatalf("drained %v while a shard was in flight", drained)
+	}
+	for _, ws := range c.registry.snapshot() {
+		if ws.URL == joined && ws.Draining {
+			t.Fatal("busy worker marked draining")
+		}
+	}
+
+	// Release and idle out: first evaluation marks it draining, the next
+	// one decommissions it.
+	c.registry.release(joined)
+	time.Sleep(20 * time.Millisecond)
+	c.autoscaleOnce(context.Background(), cfg)
+	draining := false
+	for _, ws := range c.registry.snapshot() {
+		if ws.URL == joined && ws.Draining {
+			draining = true
+		}
+	}
+	if !draining {
+		t.Fatal("idle joined worker never marked draining")
+	}
+	if _, ok, _ := c.registry.tryAcquire(2, map[string]bool{static.URL: true}); ok {
+		t.Fatal("draining worker still acquirable")
+	}
+	c.autoscaleOnce(context.Background(), cfg)
+	if len(drained) != 1 || drained[0] != joined {
+		t.Fatalf("drain hook calls = %v, want [%s]", drained, joined)
+	}
+	for _, ws := range c.registry.snapshot() {
+		if ws.URL == joined {
+			t.Fatal("drained worker still registered")
+		}
+	}
+	// The static worker is never drained, whatever its idle time.
+	c.autoscaleOnce(context.Background(), cfg)
+	for _, ws := range c.registry.snapshot() {
+		if ws.URL == static.URL && ws.Draining {
+			t.Fatal("static worker marked draining")
+		}
+	}
+}
+
+// TestAutoscaleRejoinClearsDrain checks that a draining worker that
+// re-registers (its JoinLoop still runs) takes traffic again.
+func TestAutoscaleRejoinClearsDrain(t *testing.T) {
+	c := newCoordinator(t, blitzcoin.ClusterOptions{Workers: nil})
+	c.registry.rejoin("http://w")
+	c.registry.beginDrain("http://w")
+	if _, ok, _ := c.registry.tryAcquire(2, nil); ok {
+		t.Fatal("draining worker acquirable")
+	}
+	c.registry.rejoin("http://w")
+	if _, ok, _ := c.registry.tryAcquire(2, nil); !ok {
+		t.Fatal("rejoined worker should be acquirable again")
+	}
+}

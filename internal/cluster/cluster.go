@@ -1,17 +1,20 @@
 // Package cluster distributes blitzcoin Monte-Carlo sweeps across blitzd
 // workers. A Coordinator splits a request's flattened trial axis into
-// contiguous [lo, hi) shards, dispatches them to workers over POST
-// /v1/shard, and merges the shard rows in index order with
-// blitzcoin.MergeShards — so a clustered sweep returns rows byte-identical
-// to single-node execution at any shard count, even after a mid-sweep
-// worker death forces re-dispatch.
+// fine-grained [lo, hi) shards, feeds them through a work-stealing
+// scheduler (idle workers pull the next queued shard; stragglers are
+// speculatively re-executed on a second worker, first completion wins),
+// and merges the shard rows in index order with blitzcoin.MergeShards —
+// so a clustered sweep returns rows byte-identical to single-node
+// execution at any shard count, even after a mid-sweep worker death or a
+// duplicate completion from a speculation race.
 //
 // Worker liveness is tracked two ways: a heartbeat loop probes every
 // registered worker's /healthz on a fixed cadence (evicting workers
 // unreachable past the eviction window), and a transport failure during
 // dispatch demotes the worker immediately so the shard's retry lands
 // elsewhere. Workers register statically (the coordinator's -workers
-// list) or dynamically (POST /v1/cluster/join, kept fresh by JoinLoop).
+// list) or dynamically (POST /v1/cluster/join, kept fresh by JoinLoop);
+// an Autoscaler can add workers under backlog and drain idle ones.
 package cluster
 
 import (
@@ -22,6 +25,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,7 +37,7 @@ import (
 // Config configures a Coordinator.
 type Config struct {
 	// Options are the cluster knobs (workers, shard planning, retry,
-	// liveness). Normalized and validated by New.
+	// liveness, speculation). Normalized and validated by New.
 	Options blitzcoin.ClusterOptions
 	// Logger receives worker state transitions and dispatch failures.
 	// Default: slog.Default().
@@ -42,6 +46,10 @@ type Config struct {
 	// http.Client (per-call timeouts come from contexts).
 	Client *http.Client
 }
+
+// latencyWindow bounds the ring of recent completed-shard latencies the
+// /metrics quantiles are computed over.
+const latencyWindow = 1024
 
 // Coordinator dispatches distributed sweeps. Its Run method has the
 // server.RunFunc shape, so a coordinator blitzd is an ordinary blitzd
@@ -52,10 +60,24 @@ type Coordinator struct {
 	client   *http.Client
 	registry *registry
 
-	dispatched atomic.Uint64
-	retried    atomic.Uint64
-	failed     atomic.Uint64
-	merged     atomic.Uint64
+	dispatched   atomic.Uint64
+	retried      atomic.Uint64
+	failed       atomic.Uint64
+	speculated   atomic.Uint64
+	specWins     atomic.Uint64
+	dupDiscarded atomic.Uint64
+	merged       atomic.Uint64
+
+	// queueDepth and runningShards are scheduler gauges across every
+	// in-flight sweep, surfaced by /readyz for autoscaling decisions.
+	queueDepth    atomic.Int64
+	runningShards atomic.Int64
+
+	// latencies is a ring of recent completed-shard service times
+	// (seconds) across sweeps, for the /metrics p50/p99 gauges.
+	latMu     sync.Mutex
+	latencies []float64
+	latNext   int
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -90,6 +112,54 @@ func New(cfg Config) (*Coordinator, error) {
 func (c *Coordinator) Close() {
 	c.stopOnce.Do(func() { close(c.stop) })
 	c.done.Wait()
+}
+
+// recordShardLatency feeds the cross-sweep latency ring.
+func (c *Coordinator) recordShardLatency(seconds float64) {
+	c.latMu.Lock()
+	if len(c.latencies) < latencyWindow {
+		c.latencies = append(c.latencies, seconds)
+	} else {
+		c.latencies[c.latNext] = seconds
+		c.latNext = (c.latNext + 1) % latencyWindow
+	}
+	c.latMu.Unlock()
+}
+
+// latencyQuantiles returns the p50 and p99 of recent completed-shard
+// latencies in seconds (zeros before any shard completes).
+func (c *Coordinator) latencyQuantiles() (p50, p99 float64) {
+	c.latMu.Lock()
+	sorted := append([]float64(nil), c.latencies...)
+	c.latMu.Unlock()
+	if len(sorted) == 0 {
+		return 0, 0
+	}
+	sort.Float64s(sorted)
+	return percentile(sorted, 0.50), percentile(sorted, 0.99)
+}
+
+// Readiness reports the coordinator's scheduling state for /readyz: the
+// cluster is ready when at least one live, non-draining worker can take
+// shards.
+func (c *Coordinator) Readiness() server.ClusterReadiness {
+	snap := c.registry.snapshot()
+	cr := server.ClusterReadiness{
+		QueueDepth:     c.queueDepth.Load(),
+		RunningShards:  c.runningShards.Load(),
+		WorkerInflight: make(map[string]int, len(snap)),
+	}
+	for _, ws := range snap {
+		if ws.Alive && !ws.Draining {
+			cr.AliveWorkers++
+		}
+		if ws.Draining {
+			cr.DrainingWorkers++
+		}
+		cr.WorkerInflight[ws.URL] = ws.Inflight
+	}
+	cr.Ready = cr.AliveWorkers > 0
+	return cr
 }
 
 // heartbeatLoop probes every registered worker on the heartbeat cadence
@@ -163,12 +233,20 @@ func (c *Coordinator) probe(ctx context.Context, url string) bool {
 // shardRange is one planned dispatch unit.
 type shardRange struct{ lo, hi int }
 
-// plan splits [0, units) into contiguous ranges: the explicit Shards
-// count when set, else ShardsPerWorker per live worker, clamped to the
-// unit count and floored at one.
+// plan splits [0, units) into contiguous ranges. StealUnit, when set,
+// wins: ceil(units/StealUnit) shards of at most StealUnit units each —
+// fine-grained so the work-stealing queue can rebalance around slow
+// workers. Otherwise the explicit Shards count when set, else
+// ShardsPerWorker per live worker; always clamped to the unit count and
+// floored at one.
 func (c *Coordinator) plan(units int) []shardRange {
-	k := c.opts.Shards
-	if k <= 0 {
+	var k int
+	switch {
+	case c.opts.StealUnit > 0:
+		k = (units + c.opts.StealUnit - 1) / c.opts.StealUnit
+	case c.opts.Shards > 0:
+		k = c.opts.Shards
+	default:
 		alive := c.registry.aliveCount()
 		if alive < 1 {
 			alive = 1
@@ -195,9 +273,10 @@ func (c *Coordinator) plan(units int) []shardRange {
 	return out
 }
 
-// Run executes a request across the cluster: plan shards, dispatch them
-// with per-shard retry, merge in index order. It satisfies
-// server.RunFunc, so it plugs directly into a blitzd Server.
+// Run executes a request across the cluster: plan fine-grained shards,
+// schedule them with work-stealing and speculative straggler
+// re-execution, merge in index order. It satisfies server.RunFunc, so it
+// plugs directly into a blitzd Server.
 func (c *Coordinator) Run(ctx context.Context, req blitzcoin.Request) (*blitzcoin.Result, error) {
 	norm := req.Normalized()
 	if err := norm.Validate(); err != nil {
@@ -211,45 +290,10 @@ func (c *Coordinator) Run(ctx context.Context, req blitzcoin.Request) (*blitzcoi
 	if err != nil {
 		return nil, err
 	}
-	ranges := c.plan(units)
-
-	// Dispatchers block in registry.acquire when all live workers are
-	// saturated; wake them when the sweep is cancelled or fails.
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	wake := make(chan struct{})
-	defer close(wake)
-	go func() {
-		select {
-		case <-ctx.Done():
-			c.registry.cond.Broadcast()
-		case <-wake:
-		}
-	}()
-
-	shards := make([]*blitzcoin.ShardResult, len(ranges))
-	errs := make([]error, len(ranges))
-	var wg sync.WaitGroup
-	for i, sr := range ranges {
-		wg.Add(1)
-		go func(i int, sr shardRange) {
-			defer wg.Done()
-			shard, err := c.dispatchShard(ctx, norm, hash, sr)
-			if err != nil {
-				errs[i] = err
-				cancel() // one lost shard fails the sweep; stop the rest
-				return
-			}
-			shards[i] = shard
-		}(i, sr)
+	shards, err := newSched(ctx, c, norm, hash, c.plan(units)).run()
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-
 	res, err := blitzcoin.MergeShards(norm, shards)
 	if err != nil {
 		return nil, err
@@ -264,73 +308,37 @@ type permanentError struct{ err error }
 
 func (e permanentError) Error() string { return e.err.Error() }
 
-// dispatchShard runs one shard to completion: acquire the least-loaded
-// live worker, POST the shard, and on failure retry on the survivors with
-// exponential backoff, up to MaxAttempts.
-func (c *Coordinator) dispatchShard(ctx context.Context, norm blitzcoin.Request, hash string, sr shardRange) (*blitzcoin.ShardResult, error) {
-	backoff := time.Duration(c.opts.RetryBackoffMillis) * time.Millisecond
-	var lastErr error
-	for attempt := 1; attempt <= c.opts.MaxAttempts; attempt++ {
-		if attempt > 1 {
-			c.retried.Add(1)
-			select {
-			case <-ctx.Done():
-				return nil, ctx.Err()
-			case <-time.After(backoff):
-			}
-			backoff *= 2
-		}
-		url, err := c.registry.acquire(ctx, c.opts.MaxInflight)
-		if err != nil {
-			c.failed.Add(1)
-			return nil, fmt.Errorf("cluster: shard [%d,%d): %w", sr.lo, sr.hi, err)
-		}
-		c.dispatched.Add(1)
-		shard, err := c.postShard(ctx, url, norm, hash, sr)
-		c.registry.release(url)
-		if err == nil {
-			return shard, nil
-		}
-		if pe, ok := err.(permanentError); ok {
-			c.failed.Add(1)
-			return nil, fmt.Errorf("cluster: shard [%d,%d) on %s: %w", sr.lo, sr.hi, url, pe.err)
-		}
-		if ctx.Err() != nil {
-			return nil, ctx.Err()
-		}
-		lastErr = err
-		c.log.Warn("cluster shard dispatch failed",
-			"worker", url, "lo", sr.lo, "hi", sr.hi, "attempt", attempt, "error", err)
-	}
-	c.failed.Add(1)
-	return nil, fmt.Errorf("cluster: shard [%d,%d) failed after %d attempts: %w", sr.lo, sr.hi, c.opts.MaxAttempts, lastErr)
-}
-
 // postShard performs one POST /v1/shard call under the shard timeout. A
 // transport failure (connection refused, timeout, torn body) demotes the
-// worker so the retry immediately avoids it; the heartbeat revives the
-// worker if it comes back.
+// worker so the retry immediately avoids it — unless the caller's context
+// was cancelled, which happens to the losing copy of every speculation
+// race and says nothing about the worker's health. The heartbeat revives
+// a demoted worker when it answers again.
 func (c *Coordinator) postShard(ctx context.Context, url string, norm blitzcoin.Request, hash string, sr shardRange) (*blitzcoin.ShardResult, error) {
 	body, err := json.Marshal(blitzcoin.ShardRequest{Request: norm, Lo: sr.lo, Hi: sr.hi, OptionsHash: hash})
 	if err != nil {
 		return nil, permanentError{fmt.Errorf("encoding shard request: %w", err)}
 	}
-	ctx, cancel := context.WithTimeout(ctx, time.Duration(c.opts.ShardTimeoutMillis)*time.Millisecond)
+	callCtx, cancel := context.WithTimeout(ctx, time.Duration(c.opts.ShardTimeoutMillis)*time.Millisecond)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/v1/shard", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(callCtx, http.MethodPost, url+"/v1/shard", bytes.NewReader(body))
 	if err != nil {
 		return nil, permanentError{err}
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.client.Do(req)
 	if err != nil {
-		c.registry.markDead(url)
+		if ctx.Err() == nil {
+			c.registry.markDead(url)
+		}
 		return nil, err
 	}
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(resp.Body)
 	if err != nil {
-		c.registry.markDead(url)
+		if ctx.Err() == nil {
+			c.registry.markDead(url)
+		}
 		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
@@ -345,7 +353,9 @@ func (c *Coordinator) postShard(ctx context.Context, url string, norm blitzcoin.
 	}
 	var envelope server.ShardResponse
 	if err := json.Unmarshal(raw, &envelope); err != nil {
-		c.registry.markDead(url)
+		if ctx.Err() == nil {
+			c.registry.markDead(url)
+		}
 		return nil, fmt.Errorf("decoding shard envelope: %w", err)
 	}
 	var shard blitzcoin.ShardResult

@@ -1,7 +1,6 @@
 package cluster
 
 import (
-	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -23,82 +22,85 @@ type worker struct {
 	// unreachable past the eviction window.
 	static bool
 	alive  bool
+	// draining workers accept no new shards; once their inflight count
+	// reaches zero the autoscaler's drain hook decommissions them.
+	draining bool
 	// lastSeen is the last successful probe or join; eviction measures
 	// from here.
 	lastSeen time.Time
+	// idleSince is when inflight last dropped to zero; the autoscaler
+	// drains joined workers idle past its window.
+	idleSince time.Time
 	// inflight counts shards currently dispatched to this worker; bounded
 	// by ClusterOptions.MaxInflight (backpressure).
 	inflight int
+
+	// Scheduling counters, surfaced per worker in /v1/cluster/status and
+	// /metrics.
+	steals     uint64 // shards picked up after another worker's failed attempt
+	specWins   uint64 // speculative copies that finished first
+	specLosses uint64 // speculative or primary copies beaten by the other copy
 }
 
-// registry is the coordinator's worker table plus the condition variable
-// dispatchers wait on when every live worker is at its in-flight bound.
+// registry is the coordinator's worker table. All acquisition is
+// non-blocking: the sweep scheduler polls for slots on its wake loop
+// instead of parking on a condition variable, which keeps elastic
+// membership (join, eviction, drain) from ever wedging a dispatcher.
 type registry struct {
 	mu      sync.Mutex
-	cond    *sync.Cond
 	workers map[string]*worker
 }
 
 func newRegistry(static []string) *registry {
 	r := &registry{workers: make(map[string]*worker, len(static))}
-	r.cond = sync.NewCond(&r.mu)
 	now := time.Now()
 	for _, u := range static {
 		// Optimistically alive: the first dispatch may beat the first
 		// heartbeat, and a transport error demotes the worker anyway.
-		r.workers[u] = &worker{url: u, static: true, alive: true, lastSeen: now}
+		r.workers[u] = &worker{url: u, static: true, alive: true, lastSeen: now, idleSince: now}
 	}
 	return r
 }
 
-// errNoWorkers fails a dispatch fast when the registry holds no live
-// worker at all (rather than blocking until one joins).
-var errNoWorkers = fmt.Errorf("cluster: no live workers")
-
-// acquire reserves an in-flight slot on the least-loaded live worker,
-// blocking while all live workers are saturated. It fails fast with
-// errNoWorkers when no worker is live, and with ctx.Err() when the sweep
-// is cancelled (the caller broadcasts on cancellation).
-func (r *registry) acquire(ctx context.Context, maxInflight int) (string, error) {
+// tryAcquire reserves an in-flight slot on the least-loaded live,
+// non-draining worker whose URL is not in exclude, without blocking.
+// It returns the worker URL and ok=true on success; anyAlive reports
+// whether any live worker exists at all (excluded or saturated ones
+// included), so the caller can distinguish "try again shortly" from
+// "the cluster is empty".
+func (r *registry) tryAcquire(maxInflight int, exclude map[string]bool) (url string, ok, anyAlive bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for {
-		if err := ctx.Err(); err != nil {
-			return "", err
+	var best *worker
+	for _, w := range r.workers {
+		if !w.alive {
+			continue
 		}
-		var best *worker
-		anyAlive := false
-		for _, w := range r.workers {
-			if !w.alive {
-				continue
-			}
-			anyAlive = true
-			if w.inflight >= maxInflight {
-				continue
-			}
-			if best == nil || w.inflight < best.inflight || (w.inflight == best.inflight && w.url < best.url) {
-				best = w
-			}
+		anyAlive = true
+		if w.draining || w.inflight >= maxInflight || exclude[w.url] {
+			continue
 		}
-		if best != nil {
-			best.inflight++
-			return best.url, nil
+		if best == nil || w.inflight < best.inflight || (w.inflight == best.inflight && w.url < best.url) {
+			best = w
 		}
-		if !anyAlive {
-			return "", errNoWorkers
-		}
-		r.cond.Wait()
 	}
+	if best == nil {
+		return "", false, anyAlive
+	}
+	best.inflight++
+	return best.url, true, true
 }
 
-// release returns an in-flight slot and wakes blocked dispatchers.
+// release returns an in-flight slot.
 func (r *registry) release(url string) {
 	r.mu.Lock()
 	if w := r.workers[url]; w != nil && w.inflight > 0 {
 		w.inflight--
+		if w.inflight == 0 {
+			w.idleSince = time.Now()
+		}
 	}
 	r.mu.Unlock()
-	r.cond.Broadcast()
 }
 
 // markDead demotes a worker after a transport failure so the next
@@ -110,21 +112,93 @@ func (r *registry) markDead(url string) {
 		w.alive = false
 	}
 	r.mu.Unlock()
-	r.cond.Broadcast()
 }
 
-// markAlive records a successful probe or join.
+// markAlive records a successful probe or join. Joining clears any drain
+// mark: a worker that re-registers wants traffic again.
 func (r *registry) markAlive(url string, static bool) {
 	r.mu.Lock()
 	w := r.workers[url]
 	if w == nil {
-		w = &worker{url: url, static: static}
+		now := time.Now()
+		w = &worker{url: url, static: static, idleSince: now}
 		r.workers[url] = w
 	}
 	w.alive = true
 	w.lastSeen = time.Now()
 	r.mu.Unlock()
-	r.cond.Broadcast()
+}
+
+// rejoin is markAlive for explicit joins: it additionally clears the
+// draining mark so a re-registered worker takes traffic again.
+func (r *registry) rejoin(url string) {
+	r.mu.Lock()
+	w := r.workers[url]
+	if w == nil {
+		now := time.Now()
+		w = &worker{url: url, idleSince: now}
+		r.workers[url] = w
+	}
+	w.alive = true
+	w.draining = false
+	w.lastSeen = time.Now()
+	r.mu.Unlock()
+}
+
+// beginDrain marks a worker as draining: it keeps its in-flight shards
+// but is skipped by acquisition. Reports whether the worker exists.
+func (r *registry) beginDrain(url string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := r.workers[url]
+	if w == nil {
+		return false
+	}
+	w.draining = true
+	return true
+}
+
+// finishDrain removes a draining worker once nothing is in flight on it.
+// Reports whether the worker was removed (false while shards remain).
+func (r *registry) finishDrain(url string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := r.workers[url]
+	if w == nil {
+		return true
+	}
+	if !w.draining || w.inflight > 0 {
+		return false
+	}
+	delete(r.workers, url)
+	return true
+}
+
+// addSteal credits url with picking up a shard another worker failed.
+func (r *registry) addSteal(url string) {
+	r.mu.Lock()
+	if w := r.workers[url]; w != nil {
+		w.steals++
+	}
+	r.mu.Unlock()
+}
+
+// addSpecWin credits url's speculative copy with finishing first.
+func (r *registry) addSpecWin(url string) {
+	r.mu.Lock()
+	if w := r.workers[url]; w != nil {
+		w.specWins++
+	}
+	r.mu.Unlock()
+}
+
+// addSpecLoss records that url's copy of a speculated shard was beaten.
+func (r *registry) addSpecLoss(url string) {
+	r.mu.Lock()
+	if w := r.workers[url]; w != nil {
+		w.specLosses++
+	}
+	r.mu.Unlock()
 }
 
 // evictStale demotes workers unreachable past the eviction window:
@@ -144,7 +218,6 @@ func (r *registry) evictStale(window time.Duration) (evicted []string) {
 		evicted = append(evicted, url)
 	}
 	r.mu.Unlock()
-	r.cond.Broadcast()
 	return evicted
 }
 
@@ -160,13 +233,13 @@ func (r *registry) urls() []string {
 	return out
 }
 
-// aliveCount reports the number of live workers.
+// aliveCount reports the number of live, non-draining workers.
 func (r *registry) aliveCount() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	n := 0
 	for _, w := range r.workers {
-		if w.alive {
+		if w.alive && !w.draining {
 			n++
 		}
 	}
@@ -178,9 +251,18 @@ type WorkerStatus struct {
 	URL      string `json:"url"`
 	Static   bool   `json:"static"`
 	Alive    bool   `json:"alive"`
+	Draining bool   `json:"draining"`
 	Inflight int    `json:"inflight"`
 	// LastSeenMillisAgo is the age of the last successful probe or join.
 	LastSeenMillisAgo int64 `json:"last_seen_millis_ago"`
+	// IdleMillis is how long the worker has had nothing in flight
+	// (0 while busy); the autoscaler drains joined workers idle too long.
+	IdleMillis int64 `json:"idle_millis"`
+	// Scheduling counters: shards stolen from failed peers, and
+	// speculative-copy outcomes.
+	Steals            uint64 `json:"steals"`
+	SpeculativeWins   uint64 `json:"speculative_wins"`
+	SpeculativeLosses uint64 `json:"speculative_losses"`
 }
 
 func (r *registry) snapshot() []WorkerStatus {
@@ -188,12 +270,21 @@ func (r *registry) snapshot() []WorkerStatus {
 	r.mu.Lock()
 	out := make([]WorkerStatus, 0, len(r.workers))
 	for _, w := range r.workers {
+		idle := int64(0)
+		if w.inflight == 0 {
+			idle = now.Sub(w.idleSince).Milliseconds()
+		}
 		out = append(out, WorkerStatus{
 			URL:               w.url,
 			Static:            w.static,
 			Alive:             w.alive,
+			Draining:          w.draining,
 			Inflight:          w.inflight,
 			LastSeenMillisAgo: now.Sub(w.lastSeen).Milliseconds(),
+			IdleMillis:        idle,
+			Steals:            w.steals,
+			SpeculativeWins:   w.specWins,
+			SpeculativeLosses: w.specLosses,
 		})
 	}
 	r.mu.Unlock()
@@ -220,19 +311,29 @@ func (c *Coordinator) HandleJoin(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "body must be {\"url\": \"http://host:port\"}"})
 		return
 	}
-	c.registry.markAlive(body.URL, false)
+	c.registry.rejoin(body.URL)
 	c.log.Info("cluster join", "worker", body.URL)
 	writeJSON(w, http.StatusOK, map[string]string{"status": "joined", "url": body.URL})
 }
 
 // StatusBody is the response of GET /v1/cluster/status.
 type StatusBody struct {
-	EngineVersion    string         `json:"engine_version"`
-	Workers          []WorkerStatus `json:"workers"`
-	ShardsDispatched uint64         `json:"shards_dispatched"`
-	ShardsRetried    uint64         `json:"shards_retried"`
-	ShardsFailed     uint64         `json:"shards_failed"`
-	SweepsMerged     uint64         `json:"sweeps_merged"`
+	EngineVersion       string         `json:"engine_version"`
+	Workers             []WorkerStatus `json:"workers"`
+	QueueDepth          int64          `json:"queue_depth"`
+	RunningShards       int64          `json:"running_shards"`
+	ShardsDispatched    uint64         `json:"shards_dispatched"`
+	ShardsRetried       uint64         `json:"shards_retried"`
+	ShardsFailed        uint64         `json:"shards_failed"`
+	ShardsSpeculated    uint64         `json:"shards_speculated"`
+	SpeculativeWins     uint64         `json:"speculative_wins"`
+	DuplicatesDiscarded uint64         `json:"duplicates_discarded"`
+	SweepsMerged        uint64         `json:"sweeps_merged"`
+	// ShardLatencyP50Millis / P99Millis summarize recent completed-shard
+	// service latencies (the window the speculation threshold is
+	// derived from); 0 until any shard completes.
+	ShardLatencyP50Millis float64 `json:"shard_latency_p50_millis"`
+	ShardLatencyP99Millis float64 `json:"shard_latency_p99_millis"`
 }
 
 // HandleStatus serves GET /v1/cluster/status.
@@ -241,39 +342,72 @@ func (c *Coordinator) HandleStatus(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "GET only"})
 		return
 	}
+	p50, p99 := c.latencyQuantiles()
 	writeJSON(w, http.StatusOK, StatusBody{
-		EngineVersion:    blitzcoin.EngineVersion,
-		Workers:          c.registry.snapshot(),
-		ShardsDispatched: c.dispatched.Load(),
-		ShardsRetried:    c.retried.Load(),
-		ShardsFailed:     c.failed.Load(),
-		SweepsMerged:     c.merged.Load(),
+		EngineVersion:         blitzcoin.EngineVersion,
+		Workers:               c.registry.snapshot(),
+		QueueDepth:            c.queueDepth.Load(),
+		RunningShards:         c.runningShards.Load(),
+		ShardsDispatched:      c.dispatched.Load(),
+		ShardsRetried:         c.retried.Load(),
+		ShardsFailed:          c.failed.Load(),
+		ShardsSpeculated:      c.speculated.Load(),
+		SpeculativeWins:       c.specWins.Load(),
+		DuplicatesDiscarded:   c.dupDiscarded.Load(),
+		SweepsMerged:          c.merged.Load(),
+		ShardLatencyP50Millis: p50 * 1000,
+		ShardLatencyP99Millis: p99 * 1000,
 	})
 }
 
-// WriteMetrics appends the cluster section of /metrics: shard counters
-// plus a per-worker liveness gauge.
+// WriteMetrics appends the cluster section of /metrics: shard counters,
+// scheduler gauges, latency quantiles, and per-worker series.
 func (c *Coordinator) WriteMetrics(w io.Writer) {
-	fmt.Fprintln(w, "# HELP blitzd_cluster_shards_dispatched_total Shard dispatches sent to workers (including retries).")
-	fmt.Fprintln(w, "# TYPE blitzd_cluster_shards_dispatched_total counter")
-	fmt.Fprintf(w, "blitzd_cluster_shards_dispatched_total %d\n", c.dispatched.Load())
-	fmt.Fprintln(w, "# HELP blitzd_cluster_shards_retried_total Shard dispatches retried after a worker failure.")
-	fmt.Fprintln(w, "# TYPE blitzd_cluster_shards_retried_total counter")
-	fmt.Fprintf(w, "blitzd_cluster_shards_retried_total %d\n", c.retried.Load())
-	fmt.Fprintln(w, "# HELP blitzd_cluster_shards_failed_total Shards that exhausted every dispatch attempt.")
-	fmt.Fprintln(w, "# TYPE blitzd_cluster_shards_failed_total counter")
-	fmt.Fprintf(w, "blitzd_cluster_shards_failed_total %d\n", c.failed.Load())
-	fmt.Fprintln(w, "# HELP blitzd_cluster_sweeps_merged_total Distributed sweeps merged successfully.")
-	fmt.Fprintln(w, "# TYPE blitzd_cluster_sweeps_merged_total counter")
-	fmt.Fprintf(w, "blitzd_cluster_sweeps_merged_total %d\n", c.merged.Load())
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("blitzd_cluster_shards_dispatched_total", "Shard dispatches sent to workers (including retries and speculative copies).", c.dispatched.Load())
+	counter("blitzd_cluster_shards_retried_total", "Shard dispatches retried after a worker failure.", c.retried.Load())
+	counter("blitzd_cluster_shards_failed_total", "Shards that exhausted every dispatch attempt.", c.failed.Load())
+	counter("blitzd_cluster_shards_speculated_total", "Speculative straggler copies launched.", c.speculated.Load())
+	counter("blitzd_cluster_speculative_wins_total", "Speculative copies that finished before the original.", c.specWins.Load())
+	counter("blitzd_cluster_duplicates_discarded_total", "Late or duplicate shard completions discarded idempotently.", c.dupDiscarded.Load())
+	counter("blitzd_cluster_sweeps_merged_total", "Distributed sweeps merged successfully.", c.merged.Load())
+	fmt.Fprintln(w, "# HELP blitzd_cluster_queue_depth Shards waiting for a worker slot.")
+	fmt.Fprintln(w, "# TYPE blitzd_cluster_queue_depth gauge")
+	fmt.Fprintf(w, "blitzd_cluster_queue_depth %d\n", c.queueDepth.Load())
+	fmt.Fprintln(w, "# HELP blitzd_cluster_running_shards Shard copies currently executing on workers.")
+	fmt.Fprintln(w, "# TYPE blitzd_cluster_running_shards gauge")
+	fmt.Fprintf(w, "blitzd_cluster_running_shards %d\n", c.runningShards.Load())
+	p50, p99 := c.latencyQuantiles()
+	fmt.Fprintln(w, "# HELP blitzd_cluster_shard_latency_seconds Recent completed-shard service latency quantiles.")
+	fmt.Fprintln(w, "# TYPE blitzd_cluster_shard_latency_seconds gauge")
+	fmt.Fprintf(w, "blitzd_cluster_shard_latency_seconds{quantile=\"0.5\"} %g\n", p50)
+	fmt.Fprintf(w, "blitzd_cluster_shard_latency_seconds{quantile=\"0.99\"} %g\n", p99)
 	fmt.Fprintln(w, "# HELP blitzd_cluster_worker_up Worker liveness (1 alive, 0 dead) by worker URL.")
 	fmt.Fprintln(w, "# TYPE blitzd_cluster_worker_up gauge")
-	for _, ws := range c.registry.snapshot() {
+	snap := c.registry.snapshot()
+	for _, ws := range snap {
 		up := 0
 		if ws.Alive {
 			up = 1
 		}
 		fmt.Fprintf(w, "blitzd_cluster_worker_up{worker=%q} %d\n", ws.URL, up)
+	}
+	fmt.Fprintln(w, "# HELP blitzd_cluster_worker_steals_total Shards a worker picked up after another worker's failed attempt.")
+	fmt.Fprintln(w, "# TYPE blitzd_cluster_worker_steals_total counter")
+	for _, ws := range snap {
+		fmt.Fprintf(w, "blitzd_cluster_worker_steals_total{worker=%q} %d\n", ws.URL, ws.Steals)
+	}
+	fmt.Fprintln(w, "# HELP blitzd_cluster_worker_spec_wins_total Speculative copies a worker won.")
+	fmt.Fprintln(w, "# TYPE blitzd_cluster_worker_spec_wins_total counter")
+	for _, ws := range snap {
+		fmt.Fprintf(w, "blitzd_cluster_worker_spec_wins_total{worker=%q} %d\n", ws.URL, ws.SpeculativeWins)
+	}
+	fmt.Fprintln(w, "# HELP blitzd_cluster_worker_spec_losses_total Copies on a worker beaten by the other copy of a speculated shard.")
+	fmt.Fprintln(w, "# TYPE blitzd_cluster_worker_spec_losses_total counter")
+	for _, ws := range snap {
+		fmt.Fprintf(w, "blitzd_cluster_worker_spec_losses_total{worker=%q} %d\n", ws.URL, ws.SpeculativeLosses)
 	}
 }
 

@@ -1,14 +1,29 @@
 package server
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // flight is one in-progress computation shared by every request that asked
 // for the same canonical hash while it ran. done closes when bytes/err are
 // final.
+//
+// Shard flights (leaseShard) additionally carry a cancellable context and
+// a waiter count: when every attached request has abandoned the flight —
+// a speculation race was lost, or the coordinator cancelled the sweep —
+// the computation itself is cancelled so the worker slot frees up, instead
+// of burning a pool slot on rows nobody will read. Sweep flights (lease)
+// keep the opposite policy: they run detached so the result still lands
+// in the cache for the next asker.
 type flight struct {
 	done  chan struct{}
 	bytes []byte
 	err   error
+
+	ctx     context.Context
+	cancel  context.CancelFunc
+	waiters int
 }
 
 // flightGroup coalesces concurrent identical requests: the first caller
@@ -25,7 +40,8 @@ func newFlightGroup() *flightGroup {
 }
 
 // lease returns the flight for key and whether the caller is its leader.
-// The leader must call complete exactly once.
+// The leader must call complete exactly once. The computation is
+// detached: it cannot be cancelled by departing waiters.
 func (g *flightGroup) lease(key string) (*flight, bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -37,6 +53,35 @@ func (g *flightGroup) lease(key string) (*flight, bool) {
 	return f, true
 }
 
+// leaseShard is lease for cancellable shard computations: the returned
+// flight carries a context derived from base that abandon cancels once
+// the last waiter departs. Every caller must call abandon exactly once if
+// it stops waiting before the flight completes.
+func (g *flightGroup) leaseShard(key string, base context.Context) (*flight, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.m[key]; ok {
+		f.waiters++
+		return f, false
+	}
+	ctx, cancel := context.WithCancel(base)
+	f := &flight{done: make(chan struct{}), ctx: ctx, cancel: cancel, waiters: 1}
+	g.m[key] = f
+	return f, true
+}
+
+// abandon detaches one waiter from a shard flight; the last departure
+// cancels the computation.
+func (g *flightGroup) abandon(f *flight) {
+	g.mu.Lock()
+	f.waiters--
+	last := f.waiters <= 0
+	g.mu.Unlock()
+	if last && f.cancel != nil {
+		f.cancel()
+	}
+}
+
 // complete publishes the leader's outcome and retires the flight: later
 // requests for the key start fresh (and will hit the cache instead).
 func (g *flightGroup) complete(key string, f *flight, b []byte, err error) {
@@ -44,5 +89,8 @@ func (g *flightGroup) complete(key string, f *flight, b []byte, err error) {
 	g.mu.Lock()
 	delete(g.m, key)
 	g.mu.Unlock()
+	if f.cancel != nil {
+		f.cancel()
+	}
 	close(f.done)
 }

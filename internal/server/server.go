@@ -32,8 +32,33 @@ type ClusterBackend interface {
 	// HandleStatus serves GET /v1/cluster/status (worker table and shard
 	// counters for operators and blitzctl -cluster).
 	HandleStatus(w http.ResponseWriter, r *http.Request)
+	// Readiness reports scheduling state for the /readyz endpoint.
+	Readiness() ClusterReadiness
 	// WriteMetrics appends the cluster's Prometheus text section.
 	WriteMetrics(w io.Writer)
+}
+
+// ClusterReadiness is the coordinator section of the /readyz body: queue
+// depth and per-worker inflight so an autoscaler can add workers under
+// backlog and drain idle ones.
+type ClusterReadiness struct {
+	Ready           bool           `json:"ready"`
+	AliveWorkers    int            `json:"alive_workers"`
+	DrainingWorkers int            `json:"draining_workers"`
+	QueueDepth      int64          `json:"queue_depth"`
+	RunningShards   int64          `json:"running_shards"`
+	WorkerInflight  map[string]int `json:"worker_inflight,omitempty"`
+}
+
+// readyBody is the body of GET /readyz. Distinct from /healthz: liveness
+// says the process is up, readiness says it should receive new work.
+type readyBody struct {
+	Status        string            `json:"status"`
+	EngineVersion string            `json:"engine_version"`
+	Draining      bool              `json:"draining"`
+	QueuedSweeps  int64             `json:"queued_sweeps"`
+	BusySweeps    int64             `json:"busy_sweeps"`
+	Cluster       *ClusterReadiness `json:"cluster,omitempty"`
 }
 
 // Config configures a Server. The zero value is completed with the
@@ -145,7 +170,8 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 //	GET  /v1/figures        — list the figure registry
 //	POST /v1/cluster/join   — worker self-registration (coordinator mode)
 //	GET  /v1/cluster/status — worker table (coordinator mode)
-//	GET  /healthz           — liveness
+//	GET  /healthz           — liveness (process up, engine version)
+//	GET  /readyz            — readiness (drain state, queue depth, cluster backlog)
 //	GET  /metrics           — Prometheus text exposition
 //	     /debug/pprof       — the standard profiles
 func (s *Server) Handler() http.Handler {
@@ -160,6 +186,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.instrument("healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "engine_version": blitzcoin.EngineVersion})
 	}))
+	mux.HandleFunc("/readyz", s.instrument("readyz", s.handleReady))
 	mux.HandleFunc("/metrics", s.instrument("metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		s.metrics.write(w, s.cache, s.pool)
@@ -173,6 +200,36 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// handleReady serves GET /readyz: 200 while the daemon should receive
+// new work, 503 while draining or (in coordinator mode) while no live
+// worker can take shards. /healthz stays 200 through both — a draining
+// process is alive, just not accepting.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	body := readyBody{
+		Status:        "ready",
+		EngineVersion: blitzcoin.EngineVersion,
+		Draining:      s.draining.Load(),
+		QueuedSweeps:  s.pool.queued.Load(),
+		BusySweeps:    s.pool.busy.Load(),
+	}
+	ready := !body.Draining
+	if s.cluster != nil {
+		cr := s.cluster.Readiness()
+		body.Cluster = &cr
+		ready = ready && cr.Ready
+	}
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+		body.Status = "unready"
+		if body.Draining {
+			body.Status = "draining"
+		}
+		w.Header().Set("Retry-After", "5")
+	}
+	writeJSON(w, status, body)
 }
 
 // Shutdown drains the server: new sweeps are refused with 503, in-flight
@@ -335,12 +392,16 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	f, leader := s.flights.lease(key)
+	// Shard flights are cancellable, unlike sweep flights: the coordinator
+	// cancels the losing copy of every speculation race, and keeping the
+	// loser running would burn a pool slot on rows the winner already
+	// produced byte-identically.
+	f, leader := s.flights.leaseShard(key, s.baseCtx)
 	if leader {
 		done := s.pool.track()
 		go func() {
 			defer done()
-			b, err := s.computeShard(key, norm, sr.Lo, sr.Hi)
+			b, err := s.computeShard(f.ctx, key, norm, sr.Lo, sr.Hi)
 			s.flights.complete(key, f, b, err)
 		}()
 	} else {
@@ -350,6 +411,7 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 	select {
 	case <-f.done:
 	case <-r.Context().Done():
+		s.flights.abandon(f)
 		s.finish(w, r, start, "shard", 499, r.Context().Err())
 		return
 	}
@@ -365,13 +427,14 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 }
 
 // computeShard runs one validated shard on the bounded pool and caches its
-// marshaled ShardResult under the range-extended key.
-func (s *Server) computeShard(key string, norm blitzcoin.Request, lo, hi int) ([]byte, error) {
-	if err := s.pool.acquire(s.baseCtx); err != nil {
+// marshaled ShardResult under the range-extended key. ctx is the flight
+// context: it dies with the last interested client.
+func (s *Server) computeShard(ctx context.Context, key string, norm blitzcoin.Request, lo, hi int) ([]byte, error) {
+	if err := s.pool.acquire(ctx); err != nil {
 		return nil, err
 	}
 	defer s.pool.release()
-	res, err := blitzcoin.ExecuteShard(s.baseCtx, norm, lo, hi)
+	res, err := blitzcoin.ExecuteShard(ctx, norm, lo, hi)
 	if err != nil {
 		return nil, err
 	}

@@ -207,6 +207,9 @@ type fakeCluster struct{}
 
 func (fakeCluster) HandleJoin(w http.ResponseWriter, r *http.Request)   { w.WriteHeader(http.StatusOK) }
 func (fakeCluster) HandleStatus(w http.ResponseWriter, r *http.Request) { w.WriteHeader(http.StatusOK) }
+func (fakeCluster) Readiness() ClusterReadiness {
+	return ClusterReadiness{Ready: true, AliveWorkers: 1}
+}
 func (fakeCluster) WriteMetrics(w io.Writer) {
 	io.WriteString(w, "blitzd_cluster_fake_metric 1\n") //nolint:errcheck
 }

@@ -17,10 +17,12 @@ const (
 	APIVersion = "v1"
 	// EngineVersion names the simulation semantics. Bumped whenever a
 	// change makes equal options produce different rows, invalidating
-	// every previously cached result. (4 also marks the sharding surface:
+	// every previously cached result. (4 added the sharding surface:
 	// coordinators refuse workers whose engine disagrees, so mixed-version
-	// clusters cannot merge rows from different semantics.)
-	EngineVersion = "4"
+	// clusters cannot merge rows from different semantics. 5 marks the
+	// elastic work-stealing cluster: duplicate-tolerant MergeShards and
+	// the speculation/steal knobs on ClusterOptions.)
+	EngineVersion = "5"
 )
 
 // RequestKind discriminates the payload of a Request.

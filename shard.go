@@ -131,11 +131,15 @@ func ExecuteShard(ctx context.Context, req Request, lo, hi int) (res *ShardResul
 }
 
 // MergeShards reduces computed shards back into the Result a single-node
-// Execute of the request would return. The shards must tile the request's
-// unit range [0, ShardUnits()) exactly — any gap, overlap, or length
-// mismatch errors — and the reduction walks them in range order, so the
-// merged rows are byte-identical to local execution at any shard count.
-// The merged ResultMeta records the shard count as provenance.
+// Execute of the request would return. After discarding exact-duplicate
+// ranges (speculative re-execution can legitimately complete the same
+// shard twice, and determinism makes the copies interchangeable), the
+// surviving shards must tile the request's unit range [0, ShardUnits())
+// exactly — any gap, partial overlap, or length mismatch errors — and the
+// reduction walks them in range order, so the merged rows are
+// byte-identical to local execution at any shard count, arrival order, or
+// duplication pattern. The merged ResultMeta records the distinct shard
+// count as provenance.
 func MergeShards(req Request, shards []*ShardResult) (*Result, error) {
 	n := req.Normalized()
 	if err := n.Validate(); err != nil {
@@ -155,7 +159,25 @@ func MergeShards(req Request, shards []*ShardResult) (*Result, error) {
 			return nil, fmt.Errorf("blitzcoin: nil shard in merge")
 		}
 	}
-	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Lo < ordered[j].Lo })
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].Lo != ordered[j].Lo {
+			return ordered[i].Lo < ordered[j].Lo
+		}
+		return ordered[i].Hi < ordered[j].Hi
+	})
+	// Drop exact duplicates (same [Lo, Hi)): the first copy wins, exactly
+	// as the coordinator's first-result-wins rule would have chosen.
+	deduped := ordered[:0]
+	for _, s := range ordered {
+		if len(deduped) > 0 {
+			prev := deduped[len(deduped)-1]
+			if prev.Lo == s.Lo && prev.Hi == s.Hi {
+				continue
+			}
+		}
+		deduped = append(deduped, s)
+	}
+	ordered = deduped
 	at := 0
 	for _, s := range ordered {
 		if s.Lo != at || s.Hi <= s.Lo || s.Hi > units {
@@ -247,6 +269,12 @@ type ClusterOptions struct {
 	// (default 2) keeps all workers busy when shards finish unevenly and
 	// shrinks the re-dispatch cost of a worker death.
 	ShardsPerWorker int `json:"shards_per_worker,omitempty"`
+	// StealUnit, when positive, bounds the trial units per planned shard:
+	// the sweep splits into ceil(units/StealUnit) shards of at most
+	// StealUnit units each, overriding Shards/ShardsPerWorker. Smaller
+	// units mean finer-grained work stealing — an idle worker can always
+	// pull more — at the cost of more dispatch round trips.
+	StealUnit int `json:"steal_unit,omitempty"`
 	// MaxInflight bounds concurrent shards per worker (backpressure).
 	// Default 2.
 	MaxInflight int `json:"max_inflight,omitempty"`
@@ -265,6 +293,23 @@ type ClusterOptions struct {
 	// ShardTimeoutMillis bounds one shard dispatch, so a hung worker turns
 	// into a retry instead of a wedged request. Default 600000 (10 min).
 	ShardTimeoutMillis int `json:"shard_timeout_millis,omitempty"`
+
+	// NoSpeculation disables straggler re-execution. By default the
+	// coordinator speculatively re-dispatches any shard whose runtime
+	// exceeds SpeculationFactor times the SpeculationPercentile of
+	// completed-shard latencies; the first byte-identical result wins and
+	// the losing copy is cancelled, so speculation never changes rows —
+	// only makespan.
+	NoSpeculation bool `json:"no_speculation,omitempty"`
+	// SpeculationPercentile is the completed-shard latency percentile the
+	// straggler threshold is based on, in (0, 1]. Default 0.95.
+	SpeculationPercentile float64 `json:"speculation_percentile,omitempty"`
+	// SpeculationFactor multiplies the percentile latency to form the
+	// straggler threshold; must be at least 1. Default 1.5.
+	SpeculationFactor float64 `json:"speculation_factor,omitempty"`
+	// SpeculationMinSamples is how many shards must complete before the
+	// latency percentile is trusted and speculation arms. Default 3.
+	SpeculationMinSamples int `json:"speculation_min_samples,omitempty"`
 }
 
 // Normalized returns a copy with every unset field replaced by its
@@ -292,6 +337,15 @@ func (o ClusterOptions) Normalized() ClusterOptions {
 	if o.ShardTimeoutMillis == 0 {
 		o.ShardTimeoutMillis = 600_000
 	}
+	if o.SpeculationPercentile == 0 {
+		o.SpeculationPercentile = 0.95
+	}
+	if o.SpeculationFactor == 0 {
+		o.SpeculationFactor = 1.5
+	}
+	if o.SpeculationMinSamples == 0 {
+		o.SpeculationMinSamples = 3
+	}
 	return o
 }
 
@@ -304,6 +358,8 @@ func (o ClusterOptions) Validate() error {
 	}{
 		{"shards", o.Shards},
 		{"shards_per_worker", o.ShardsPerWorker},
+		{"steal_unit", o.StealUnit},
+		{"speculation_min_samples", o.SpeculationMinSamples},
 		{"max_inflight", o.MaxInflight},
 		{"max_attempts", o.MaxAttempts},
 		{"retry_backoff_millis", o.RetryBackoffMillis},
@@ -314,6 +370,12 @@ func (o ClusterOptions) Validate() error {
 		if f.v < 0 {
 			return fmt.Errorf("blitzcoin: negative cluster option %s %d", f.name, f.v)
 		}
+	}
+	if o.SpeculationPercentile <= 0 || o.SpeculationPercentile > 1 {
+		return fmt.Errorf("blitzcoin: speculation percentile %v outside (0,1]", o.SpeculationPercentile)
+	}
+	if o.SpeculationFactor < 1 {
+		return fmt.Errorf("blitzcoin: speculation factor %v below 1", o.SpeculationFactor)
 	}
 	for _, w := range o.Workers {
 		if w == "" {

@@ -195,18 +195,29 @@ func TestMergeShardsTilingValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// A partial overlap is not an exact duplicate and cannot tile.
+	c, err := ExecuteShard(ctx, req, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	cases := map[string][]*ShardResult{
-		"gap":        {a},
-		"overlap":    {a, a, b},
-		"nil shard":  {a, nil},
-		"no shards":  {},
-		"duplicated": {b, b},
+		"gap":             {a},
+		"partial overlap": {a, c, b},
+		"nil shard":       {a, nil},
+		"no shards":       {},
+		"duplicated gap":  {b, b}, // deduped to {b}: still a gap at 0
 	}
 	for name, shards := range cases {
 		if _, err := MergeShards(req, shards); err == nil {
 			t.Errorf("%s: want error", name)
 		}
+	}
+
+	// Exact duplicates — what a lost speculation race delivers — are
+	// discarded and the merge succeeds.
+	if _, err := MergeShards(req, []*ShardResult{a, b, a}); err != nil {
+		t.Errorf("exact duplicate shard should merge: %v", err)
 	}
 
 	// A shard computed for different options must be refused by hash.
@@ -236,6 +247,9 @@ func TestClusterOptionsNormalizeValidate(t *testing.T) {
 		o.EvictAfterMillis != 5000 || o.ShardTimeoutMillis != 600_000 {
 		t.Fatalf("defaults = %+v", o)
 	}
+	if o.SpeculationPercentile != 0.95 || o.SpeculationFactor != 1.5 || o.SpeculationMinSamples != 3 {
+		t.Fatalf("speculation defaults = %+v", o)
+	}
 	if err := (ClusterOptions{}).Validate(); err != nil {
 		t.Fatalf("zero value should validate: %v", err)
 	}
@@ -245,4 +259,89 @@ func TestClusterOptionsNormalizeValidate(t *testing.T) {
 	if err := (ClusterOptions{Workers: []string{""}}).Validate(); err == nil {
 		t.Fatal("empty worker URL: want error")
 	}
+	if err := (ClusterOptions{StealUnit: -1}).Validate(); err == nil {
+		t.Fatal("negative steal unit: want error")
+	}
+	if err := (ClusterOptions{SpeculationPercentile: 1.5}).Validate(); err == nil {
+		t.Fatal("percentile above 1: want error")
+	}
+	if err := (ClusterOptions{SpeculationFactor: 0.5}).Validate(); err == nil {
+		t.Fatal("speculation factor below 1: want error")
+	}
+}
+
+// FuzzMergeShards hammers the merge with the exact garbage a speculating
+// work-stealing scheduler can produce: duplicated, out-of-order,
+// overlapping, and missing shard completions in arbitrary combinations.
+// The invariant under fuzz is one-sided soundness — whenever MergeShards
+// accepts a multiset, its rows must be byte-identical to the single-node
+// result; anything that cannot be deduplicated into an exact tiling must
+// be refused.
+func FuzzMergeShards(f *testing.F) {
+	ctx := context.Background()
+	req := shardTestRequests()["exchange"] // 6 shard units
+	want, err := Execute(ctx, req)
+	if err != nil {
+		f.Fatal(err)
+	}
+	clearShards(want)
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		f.Fatal(err)
+	}
+	// The shard pool: every contiguous split a coordinator could plan for
+	// k = 1, 2, 3, 6, plus one deliberately overlapping range.
+	var pool []*ShardResult
+	for _, k := range []int{1, 2, 3, 6} {
+		for _, r := range splitUnits(6, k) {
+			s, err := ExecuteShard(ctx, req, r[0], r[1])
+			if err != nil {
+				f.Fatal(err)
+			}
+			pool = append(pool, s)
+		}
+	}
+	overlapping, err := ExecuteShard(ctx, req, 1, 4)
+	if err != nil {
+		f.Fatal(err)
+	}
+	pool = append(pool, overlapping)
+
+	f.Add([]byte{0})                         // whole-range shard alone
+	f.Add([]byte{1, 2})                      // clean 2-way tiling
+	f.Add([]byte{2, 1})                      // out of order
+	f.Add([]byte{1, 1, 2})                   // duplicate completion
+	f.Add([]byte{1, 12, 2})                  // partial overlap injected
+	f.Add([]byte{6, 7, 8, 9, 10, 11, 6, 11}) // 6-way with dup head and tail
+	f.Fuzz(func(t *testing.T, sel []byte) {
+		if len(sel) > 24 {
+			sel = sel[:24]
+		}
+		shards := make([]*ShardResult, 0, len(sel))
+		distinct := make(map[[2]int]bool)
+		for _, b := range sel {
+			s := pool[int(b)%len(pool)]
+			shards = append(shards, s)
+			distinct[[2]int{s.Lo, s.Hi}] = true
+		}
+		merged, err := MergeShards(req, shards)
+		if err != nil {
+			return // refused multisets are fine; only acceptance is audited
+		}
+		var gotShards int
+		if merged.Exchange != nil {
+			gotShards = merged.Exchange.Meta.Shards
+		}
+		if gotShards != len(distinct) {
+			t.Fatalf("meta shards %d, want %d distinct ranges", gotShards, len(distinct))
+		}
+		clearShards(merged)
+		gotJSON, err := json.Marshal(merged)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(gotJSON) != string(wantJSON) {
+			t.Fatalf("accepted merge differs from single-node\n got: %s\nwant: %s", gotJSON, wantJSON)
+		}
+	})
 }
