@@ -5,10 +5,10 @@ SHORTSHA := $(shell git rev-parse --short HEAD)
 # The committed perf baseline `make benchcheck` gates against. Update it to
 # the freshly written BENCH_<sha>.json whenever a PR intentionally shifts
 # performance, and commit both.
-BENCH_BASELINE ?= BENCH_8e2d083.json
+BENCH_BASELINE ?= BENCH_f33851c.json
 
-.PHONY: build test vet race verify bench benchcheck figures server-smoke \
-	cluster-smoke chaos-smoke lint fmtcheck blitzlint lint-update
+.PHONY: build test vet race verify bench benchcheck bench-report figures \
+	server-smoke cluster-smoke chaos-smoke lint fmtcheck blitzlint lint-update
 
 build:
 	$(GO) build ./...
@@ -72,11 +72,22 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ -count=3 -benchtime=1x . \
 		| $(GO) run ./cmd/benchjson -sha $(SHORTSHA) -goversion "$$($(GO) env GOVERSION)" -out BENCH_$(SHORTSHA).json
 
-# benchcheck fails if the emulator hot path regressed more than 20% in
-# ns/op or allocs/op against the committed baseline snapshot.
+# benchcheck fails if either hot path — the 400-tile emulator exchange or
+# the full-SoC run — regressed more than 20% in ns/op or allocs/op against
+# the committed baseline snapshot; the failure names the offending
+# benchmark and metric.
 benchcheck:
-	$(GO) test -bench=BenchmarkExchangeThroughput -benchmem -run=^$$ -count=3 . \
-		| $(GO) run ./cmd/benchjson -baseline $(BENCH_BASELINE) -bench BenchmarkExchangeThroughput -max-regress 0.20
+	$(GO) test -bench='^(BenchmarkExchangeThroughput|BenchmarkSoCRunThroughput)$$' -benchmem -run=^$$ -count=3 . \
+		| $(GO) run ./cmd/benchjson -baseline $(BENCH_BASELINE) \
+			-bench BenchmarkExchangeThroughput,BenchmarkSoCRunThroughput -max-regress 0.20
+
+# bench-report renders the committed BENCH_<sha>.json trajectory (ordered by
+# when each snapshot first entered history, then any uncommitted ones) into
+# BENCHMARKS.md. Re-run after `make bench` and commit the result.
+bench-report:
+	@files="$$( (git log --reverse --pretty=format: --name-only --diff-filter=A -- 'BENCH_*.json' | sed '/^$$/d'; ls BENCH_*.json) | awk '!seen[$$0]++')"; \
+		$(GO) run ./cmd/benchjson -report $$files > BENCHMARKS.md
+	@echo "bench-report: wrote BENCHMARKS.md"
 
 figures:
 	$(GO) run ./cmd/blitzsim -fig all

@@ -403,6 +403,20 @@ func BenchmarkExchangeThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkExchangeThroughput64x64 demonstrates the SoA core's headroom
+// beyond the paper's largest emulated SoC: a 4096-tile hotspot exchange,
+// an order of magnitude past the 400-tile sweeps. Not gated by benchcheck
+// (no committed baseline predates it); it documents how far the emulator
+// scales on one core.
+func BenchmarkExchangeThroughput64x64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		SimulateExchange(ExchangeOptions{
+			Dim: 64, Torus: true, RandomPairing: true, Init: InitHotspot,
+			Seed: uint64(i),
+		})
+	}
+}
+
 // BenchmarkSoCRunThroughput measures full-SoC simulation performance for
 // one 3x3 workload run.
 func BenchmarkSoCRunThroughput(b *testing.B) {

@@ -7,16 +7,24 @@
 //
 //	go test -bench=. -benchmem -count=3 . | benchjson -sha abc1234 -out BENCH_abc1234.json
 //
-// Check mode reads fresh benchmark output on stdin and compares one
+// Check mode reads fresh benchmark output on stdin and compares each gated
 // benchmark's best ns/op and allocs/op against the committed baseline,
-// failing (exit 1) on a regression beyond -max-regress:
+// failing (exit 1) with the offending benchmark and metric named when any
+// regresses beyond -max-regress. -bench takes a comma-separated list:
 //
-//	go test -bench=BenchmarkExchangeThroughput -benchmem . | \
-//	    benchjson -baseline BENCH_abc1234.json -bench BenchmarkExchangeThroughput -max-regress 0.20
+//	go test -bench='^(BenchmarkExchangeThroughput|BenchmarkSoCRunThroughput)$' -benchmem . | \
+//	    benchjson -baseline BENCH_abc1234.json \
+//	    -bench BenchmarkExchangeThroughput,BenchmarkSoCRunThroughput -max-regress 0.20
+//
+// Report mode renders the committed snapshot sequence as a markdown
+// trajectory table (one row per benchmark, one column per snapshot SHA, with
+// the percentage delta of best ns/op against the previous snapshot):
+//
+//	benchjson -report BENCH_abc1234.json BENCH_def5678.json > BENCHMARKS.md
 //
 // The perf trajectory of the repository is the sequence of committed
-// BENCH_<sha>.json files; `make bench` and `make benchcheck` drive the two
-// modes.
+// BENCH_<sha>.json files; `make bench`, `make benchcheck`, and
+// `make bench-report` drive the three modes.
 package main
 
 import (
@@ -139,7 +147,7 @@ func readStdin() []string {
 	return lines
 }
 
-func check(baselinePath, bench string, maxRegress float64, cur *Snapshot) error {
+func check(baselinePath, benches string, maxRegress float64, cur *Snapshot) error {
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return fmt.Errorf("read baseline: %w", err)
@@ -148,33 +156,115 @@ func check(baselinePath, bench string, maxRegress float64, cur *Snapshot) error 
 	if err := json.Unmarshal(raw, &base); err != nil {
 		return fmt.Errorf("parse baseline %s: %w", baselinePath, err)
 	}
-	bb, cb := base.find(bench), cur.find(bench)
-	if bb == nil {
-		return fmt.Errorf("baseline %s has no %s", baselinePath, bench)
-	}
-	if cb == nil {
-		return fmt.Errorf("stdin output has no %s", bench)
-	}
-	fail := false
-	gate := func(metric string, baseVals, curVals []float64) {
-		b, okB := best(baseVals)
-		c, okC := best(curVals)
-		if !okB || !okC || b == 0 {
-			return
+	var offending []string
+	for _, bench := range strings.Split(benches, ",") {
+		bench = strings.TrimSpace(bench)
+		bb, cb := base.find(bench), cur.find(bench)
+		if bb == nil {
+			return fmt.Errorf("baseline %s has no %s", baselinePath, bench)
 		}
-		ratio := c / b
-		status := "ok"
-		if ratio > 1+maxRegress {
-			status = "REGRESSION"
-			fail = true
+		if cb == nil {
+			return fmt.Errorf("stdin output has no %s", bench)
 		}
-		fmt.Printf("benchcheck %s %s: baseline=%.0f current=%.0f (%+.1f%%) %s\n",
-			bench, metric, b, c, 100*(ratio-1), status)
+		gate := func(metric string, baseVals, curVals []float64) {
+			b, okB := best(baseVals)
+			c, okC := best(curVals)
+			if !okB || !okC || b == 0 {
+				return
+			}
+			ratio := c / b
+			status := "ok"
+			if ratio > 1+maxRegress {
+				status = "REGRESSION"
+				offending = append(offending, bench+" "+metric)
+			}
+			fmt.Printf("benchcheck %s %s: baseline=%.0f current=%.0f (%+.1f%%) %s\n",
+				bench, metric, b, c, 100*(ratio-1), status)
+		}
+		gate("ns/op", bb.NsPerOp, cb.NsPerOp)
+		gate("allocs/op", bb.AllocsPerOp, cb.AllocsPerOp)
 	}
-	gate("ns/op", bb.NsPerOp, cb.NsPerOp)
-	gate("allocs/op", bb.AllocsPerOp, cb.AllocsPerOp)
-	if fail {
-		return fmt.Errorf("%s regressed more than %.0f%% vs %s", bench, 100*maxRegress, baselinePath)
+	if len(offending) > 0 {
+		return fmt.Errorf("regressed more than %.0f%% vs %s: %s",
+			100*maxRegress, baselinePath, strings.Join(offending, ", "))
+	}
+	return nil
+}
+
+// report renders the snapshot files (in trajectory order) as a markdown
+// table: one row per benchmark, one column per snapshot, each cell the best
+// ns/op with its delta against the previous snapshot that has the benchmark.
+// Unreadable paths are skipped with a warning so a pruned snapshot does not
+// break the trajectory.
+func report(paths []string) error {
+	var snaps []*Snapshot
+	for _, path := range paths {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: skipping %s: %v\n", path, err)
+			continue
+		}
+		s := &Snapshot{}
+		if err := json.Unmarshal(raw, s); err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+		if s.SHA == "" {
+			s.SHA = strings.TrimSuffix(strings.TrimPrefix(path, "BENCH_"), ".json")
+		}
+		snaps = append(snaps, s)
+	}
+	if len(snaps) == 0 {
+		return fmt.Errorf("no readable snapshots")
+	}
+
+	// Row order: first appearance across the trajectory.
+	var names []string
+	seen := map[string]bool{}
+	for _, s := range snaps {
+		for _, b := range s.Benchmarks {
+			if !seen[b.Name] {
+				seen[b.Name] = true
+				names = append(names, b.Name)
+			}
+		}
+	}
+
+	fmt.Println("# Benchmark trajectory")
+	fmt.Println()
+	fmt.Println("Best-of-N ns/op per committed `BENCH_<sha>.json` snapshot; the")
+	fmt.Println("percentage is the delta against the previous snapshot that ran the")
+	fmt.Println("benchmark. Regenerate with `make bench-report` after `make bench`.")
+	fmt.Println("See BENCHMARKING.md for the run-validity policy.")
+	fmt.Println()
+	head, rule := "| benchmark |", "|---|"
+	for _, s := range snaps {
+		head += " " + s.SHA + " |"
+		rule += "---:|"
+	}
+	fmt.Println(head)
+	fmt.Println(rule)
+	for _, name := range names {
+		row := "| " + strings.TrimPrefix(name, "Benchmark") + " |"
+		prev, havePrev := 0.0, false
+		for _, s := range snaps {
+			b := s.find(name)
+			if b == nil {
+				row += " — |"
+				continue
+			}
+			v, ok := best(b.NsPerOp)
+			if !ok {
+				row += " — |"
+				continue
+			}
+			cell := fmt.Sprintf("%.0f", v)
+			if havePrev && prev > 0 {
+				cell += fmt.Sprintf(" (%+.1f%%)", 100*(v/prev-1))
+			}
+			prev, havePrev = v, true
+			row += " " + cell + " |"
+		}
+		fmt.Println(row)
 	}
 	return nil
 }
@@ -184,9 +274,18 @@ func main() {
 	sha := flag.String("sha", "", "git short SHA to record in the snapshot")
 	goVersion := flag.String("goversion", "", "go version to record in the snapshot")
 	baseline := flag.String("baseline", "", "check mode: committed snapshot to compare against")
-	bench := flag.String("bench", "BenchmarkExchangeThroughput", "check mode: benchmark to gate on")
+	bench := flag.String("bench", "BenchmarkExchangeThroughput", "check mode: comma-separated benchmarks to gate on")
 	maxRegress := flag.Float64("max-regress", 0.20, "check mode: allowed fractional regression")
+	doReport := flag.Bool("report", false, "report mode: render the snapshot files given as args into a markdown trajectory table")
 	flag.Parse()
+
+	if *doReport {
+		if err := report(flag.Args()); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	snap := parse(readStdin())
 	snap.SHA = *sha

@@ -33,105 +33,28 @@ import (
 //     exchange it already timed out.
 
 // maxNbrs is the mesh degree: a tile has at most four distinct neighbors, so
-// all per-neighbor state lives in fixed-size slot arrays indexed by the
+// all per-neighbor state lives in fixed-size slot ranges indexed by the
 // neighbor's position in N/E/S/W order — no maps on the exchange hot path.
 const maxNbrs = 4
 
-// tileState is the per-tile emulator state: the has/max registers, the
-// round-robin neighbor pointer, the dynamic-timing interval, and the
-// random-pairing counters.
-type tileState struct {
-	id       int
-	has, max int64
-	// nbrs[:nbrCount] are the distinct neighbors in N/E/S/W order. Slots are
-	// never removed; a partner pruned as dead is tombstoned in nbrDead so
-	// any held slot index stays valid.
-	nbrs       [maxNbrs]int
-	nbrCount   int
-	liveNbrs   int // neighbors not tombstoned
-	rr         int // round-robin slot cursor
-	interval   sim.Cycles
-	exchanges  int  // initiated exchanges, for random-pairing cadence
-	srOffset   int  // shift-register state for PairShiftRegister
-	zeroStreak int  // consecutive unproductive exchanges (dynamic timing)
-	busy       bool // an initiated exchange is in flight
-	// locked means this tile has reported its status to a 4-way center and
-	// must hold its coin count frozen until the center's update arrives —
-	// the synchronization barrier Sec. III-B attributes to the 4-way
-	// technique.
-	locked bool
-
-	// pend collects 4-way status replies per neighbor slot; pendMask has a
-	// bit per answered slot, pendWant is the number of replies the attempt
-	// is waiting for, and pendActive marks a 4-way attempt in flight. The
-	// storage is reused across attempts — no per-exchange allocation.
-	pend       [maxNbrs]noc.CoinMsg
-	pendMask   uint8
-	pendWant   int
-	pendActive bool
-
-	// seq numbers this tile's initiated exchanges; acks and 4-way replies
-	// echo it so responses to a timed-out attempt are recognizably stale.
-	seq uint64
-	// curPartner is the 1-way partner of the in-flight exchange, for
-	// liveness bookkeeping on timeout.
-	curPartner int
-	// lockFrom is the 4-way center holding our participation lock; lockSeq
-	// epochs the lock so a stale watchdog never breaks a newer lock.
-	lockFrom int
-	lockSeq  uint64
-
-	// Fault state (driven by the injector callbacks).
-	dead  bool    // fail-stopped: initiates nothing, absorbs nothing
-	stuck bool    // coin register frozen: setHas is a silent no-op
-	slow  float64 // fail-slow factor (> 1 stretches intervals), 0 if none
-
-	// Liveness tracking. Neighbor partners use the slot arrays; random
-	// pairing can also strike non-neighbor partners, which go to the lazy
-	// far maps — nil until a failure is recorded, so healthy runs pay
-	// nothing. pruned flags that any partner (near or far) was tombstoned,
-	// which is what bounds the random-pairing search loops.
-	nbrFailCnt [maxNbrs]int
-	nbrDead    [maxNbrs]bool
-	farFail    map[int]int
-	farDead    map[int]bool
-	pruned     bool
-
-	// nbrHas caches the last coin count observed from each neighbor slot
-	// (from status messages), the information the thermal guard consults.
-	// The hardware gets this for free: it is the same status traffic the
-	// exchange already carries. nbrSeen marks slots that have reported.
-	nbrHas  [maxNbrs]int64
-	nbrSeen [maxNbrs]bool
-}
-
-// slotOf returns the neighbor-slot index of tile j, or -1 when j is not a
-// neighbor.
-func (t *tileState) slotOf(j int) int {
-	for s := 0; s < t.nbrCount; s++ {
-		if t.nbrs[s] == j {
-			return s
-		}
-	}
-	return -1
-}
-
-// nextRRPartner advances the round-robin cursor to the next live neighbor
-// and returns it, or -1 when every neighbor is tombstoned. With no
-// tombstones the visit sequence is exactly the pre-tombstone emulator's.
-func (t *tileState) nextRRPartner() int {
-	if t.liveNbrs == 0 || t.nbrCount == 0 {
-		return -1
-	}
-	for k := 0; k < t.nbrCount; k++ {
-		s := t.rr % t.nbrCount
-		t.rr++
-		if !t.nbrDead[s] {
-			return t.nbrs[s]
-		}
-	}
-	return -1
-}
+// Per-tile status flags, packed one byte per tile in Emulator.flags.
+const (
+	// fBusy: an initiated exchange is in flight.
+	fBusy uint8 = 1 << iota
+	// fLocked: this tile has reported its status to a 4-way center and must
+	// hold its coin count frozen until the center's update arrives — the
+	// synchronization barrier Sec. III-B attributes to the 4-way technique.
+	fLocked
+	// fPendActive: a 4-way attempt is collecting status replies.
+	fPendActive
+	// fDead: fail-stopped — initiates nothing, absorbs nothing.
+	fDead
+	// fStuck: coin register frozen — setHas is a silent no-op.
+	fStuck
+	// fPruned: some partner (near or far) was tombstoned, which is what
+	// bounds the random-pairing search loops.
+	fPruned
+)
 
 // Result summarizes one emulator run.
 type Result struct {
@@ -187,18 +110,79 @@ func (r Result) ConvergenceMicros() float64 {
 
 // Emulator runs the coin-exchange algorithm over a simulated NoC. It mirrors
 // the paper's Python emulator, with timing expressed in NoC cycles.
+//
+// # Memory layout
+//
+// Per-tile state is struct-of-arrays: each field lives in a flat array
+// indexed by tile id, and per-neighbor state in flat [maxNbrs*n] tables
+// indexed by tile*maxNbrs+slot. The exchange hot loop therefore streams
+// over contiguous same-typed memory (the has/max registers it actually
+// touches) instead of striding across fat per-tile structs, and the arrays
+// of one element type share a single slab allocation. Events reach the
+// emulator as typed kernel ops carrying (tile, x) — no per-event closures
+// anywhere on the tick/timeout/watchdog chains.
 type Emulator struct {
 	cfg    Config
 	kernel *sim.Kernel
 	net    *noc.Network
 	src    *rng.Source
-	tiles  []tileState
+	n      int // tile count
+
+	// Hot per-tile state, one entry per tile (views of shared slabs).
+	has, max []int64
+	// interval is the dynamic-timing exchange interval.
+	interval []sim.Cycles
+	// seqNo numbers each tile's initiated exchanges; acks and 4-way replies
+	// echo it so responses to a timed-out attempt are recognizably stale.
+	// lockSeq epochs the participation lock so a stale watchdog never
+	// breaks a newer lock.
+	seqNo, lockSeq []uint64
+	flags          []uint8
+	// pendMask has a bit per neighbor slot that answered the in-flight
+	// 4-way attempt; nbrDeadMask tombstones pruned neighbor slots (slots
+	// are never removed, so any held index stays valid); nbrSeenMask marks
+	// slots that have reported a coin count.
+	pendMask, nbrDeadMask, nbrSeenMask []uint8
+	// slow is the fail-slow factor (> 1 stretches intervals), 0 if none.
+	slow []float64
+	// errTerms caches each live tile's convergence-metric contribution.
+	errTerms []float64
+
+	// Small per-tile counters and cursors. rr is the round-robin slot
+	// cursor; srOffset the PairShiftRegister state; zeroStreak counts
+	// consecutive unproductive exchanges (dynamic timing); curPartner the
+	// 1-way partner of the in-flight exchange; lockFrom the 4-way center
+	// holding our participation lock; pendWant the reply count a 4-way
+	// attempt waits for; exchCnt the initiated-exchange count driving the
+	// random-pairing cadence; nbrCount/liveNbrs the total and
+	// not-tombstoned neighbor slot counts.
+	rr, srOffset, zeroStreak       []int32
+	curPartner, lockFrom, pendWant []int32
+	exchCnt, nbrCount, liveNbrs    []int32
+
+	// Flat [maxNbrs*n] neighbor-slot tables, indexed tile*maxNbrs+slot.
+	// nbrs[i*maxNbrs : i*maxNbrs+nbrCount[i]] are tile i's distinct
+	// neighbors in N/E/S/W order. nbrHas caches the last coin count
+	// observed from each slot (from status messages), the information the
+	// thermal guard consults — the hardware gets this for free, it is the
+	// same status traffic the exchange already carries. nbrFailCnt counts
+	// consecutive strikes for liveness pruning. pend collects 4-way status
+	// replies; the storage is reused across attempts.
+	nbrs       []int32
+	nbrHas     []int64
+	nbrFailCnt []int32
+	pend       []noc.CoinMsg
+
+	// Far-partner liveness (random pairing can strike non-neighbor
+	// partners): lazy per-tile maps, nil until a failure is recorded, so
+	// healthy runs pay nothing.
+	farFail []map[int]int
+	farDead []map[int]bool
 
 	sumHas, sumMax int64
 	activeCount    int // live tiles with max > 0
 	liveCount      int // tiles not fail-stopped
 	alpha          float64
-	errTerms       []float64
 	errSum         float64
 
 	converged   bool
@@ -248,12 +232,17 @@ type Emulator struct {
 	// response time since the triggering activity change (or Init).
 	onConverged func(response sim.Cycles)
 
-	// tickFn is the single event callback all exchange ticks run through
-	// (the arg is the *tileState); allocating it once keeps the tick chain
-	// free of per-event closures.
-	tickFn func(any)
+	// Typed kernel ops: every exchange tick, retry timeout, lock watchdog,
+	// and audit travels the event queue as a 16-byte (op, tile, x) event —
+	// no per-event closure allocation, no indirect interface call. The
+	// hardened trio is registered lazily (registerHardenedOps) so healthy
+	// runs don't pay for handlers that are never scheduled.
+	opTick, opTimeout, opWatchdog, opAudit sim.OpCode
+
 	// gatherHas/gatherMax are reusable scratch for the 4-way group split.
 	gatherHas, gatherMax []int64
+	// auditCands is reusable scratch for the audit's repair ordering.
+	auditCands []auditCand
 }
 
 // NewEmulator builds an emulator for cfg, drawing randomness from src. It
@@ -278,29 +267,90 @@ func NewEmulatorOn(k *sim.Kernel, net *noc.Network, cfg Config, src *rng.Source)
 	if net.Mesh() != cfg.Mesh {
 		panic("coin: network mesh does not match config mesh")
 	}
+	n := cfg.Mesh.N()
 	e := &Emulator{
 		cfg:    cfg,
 		kernel: k,
 		net:    net,
 		src:    src,
-		tiles:  make([]tileState, cfg.Mesh.N()),
+		n:      n,
 	}
+
+	// Carve every per-tile array of one element type out of a single slab:
+	// five allocations cover all hot state, and arrays the exchange loop
+	// touches together are contiguous.
+	i64 := make([]int64, (2+maxNbrs)*n+2*(1+maxNbrs))
+	e.has = i64[:n:n]
+	e.max = i64[n : 2*n : 2*n]
+	e.nbrHas = i64[2*n : (2+maxNbrs)*n : (2+maxNbrs)*n]
+	g := (2 + maxNbrs) * n
+	e.gatherHas = i64[g : g : g+1+maxNbrs]
+	e.gatherMax = i64[g+1+maxNbrs : g+1+maxNbrs : g+2*(1+maxNbrs)]
+
+	i32 := make([]int32, (2*maxNbrs+9)*n)
+	carve := func(k int) (s []int32) {
+		s, i32 = i32[:k*n:k*n], i32[k*n:]
+		return s
+	}
+	e.nbrs = carve(maxNbrs)
+	e.nbrFailCnt = carve(maxNbrs)
+	e.rr = carve(1)
+	e.srOffset = carve(1)
+	e.zeroStreak = carve(1)
+	e.curPartner = carve(1)
+	e.lockFrom = carve(1)
+	e.pendWant = carve(1)
+	e.exchCnt = carve(1)
+	e.nbrCount = carve(1)
+	e.liveNbrs = carve(1)
+
+	u64 := make([]uint64, 3*n)
+	e.interval = u64[:n:n]
+	e.seqNo = u64[n : 2*n : 2*n]
+	e.lockSeq = u64[2*n:]
+
+	u8 := make([]uint8, 4*n)
+	e.flags = u8[:n:n]
+	e.pendMask = u8[n : 2*n : 2*n]
+	e.nbrDeadMask = u8[2*n : 3*n : 3*n]
+	e.nbrSeenMask = u8[3*n:]
+
+	f64 := make([]float64, 2*n)
+	e.slow = f64[:n:n]
+	e.errTerms = f64[n:]
+
+	e.pend = make([]noc.CoinMsg, maxNbrs*n)
+
 	handler := func(p *noc.Packet) { e.onPacket(p.Dst, p) }
-	for i := range e.tiles {
-		t := &e.tiles[i]
-		t.id = i
-		for _, nb := range cfg.Mesh.DistinctNeighbors(i) {
-			t.nbrs[t.nbrCount] = nb
-			t.nbrCount++
+	var nbuf [maxNbrs]int
+	for i := 0; i < n; i++ {
+		for _, nb := range cfg.Mesh.AppendDistinctNeighbors(i, nbuf[:0]) {
+			e.nbrs[i*maxNbrs+int(e.nbrCount[i])] = int32(nb)
+			e.nbrCount[i]++
 		}
-		t.liveNbrs = t.nbrCount
-		t.interval = cfg.RefreshInterval
-		t.srOffset = 1
+		e.liveNbrs[i] = e.nbrCount[i]
+		e.interval[i] = cfg.RefreshInterval
+		e.srOffset[i] = 1
 		e.net.SetHandler(i, noc.PlanePM, handler)
 	}
-	e.tickFn = func(a any) { e.tick(a.(*tileState)) }
+	e.opTick = k.RegisterOp(func(tile int32, _ uint64) { e.tick(int(tile)) })
 	e.hardened = cfg.Harden
+	if e.hardened {
+		e.registerHardenedOps()
+	}
 	return e
+}
+
+// registerHardenedOps installs the recovery machinery's typed event
+// handlers. Idempotent; called when hardening turns on (construction or
+// AttachFaults) so unhardened runs never register them.
+func (e *Emulator) registerHardenedOps() {
+	if e.opTimeout != 0 {
+		return
+	}
+	e.opTimeout = e.kernel.RegisterOp(func(tile int32, x uint64) { e.exchangeTimeout(int(tile), x) })
+	e.opWatchdog = e.kernel.RegisterOp(func(tile int32, x uint64) { e.lockWatchdog(int(tile), x) })
+	e.opAudit = e.kernel.RegisterOp(func(int32, uint64) { e.audit() })
 }
 
 // AttachFaults wires a fault injector into the emulator: the network
@@ -313,35 +363,68 @@ func (e *Emulator) AttachFaults(in *fault.Injector) {
 		panic("coin: AttachFaults after Init")
 	}
 	e.hardened = true
+	e.registerHardenedOps()
 	e.injector = in
 	e.net.AttachFaults(in)
 	in.OnTileKill(e.killTile)
-	in.OnStuckCounter(func(i int) { e.tiles[i].stuck = true })
-	in.OnFailSlow(func(i int, f float64) { e.tiles[i].slow = f })
+	in.OnStuckCounter(func(i int) { e.flags[i] |= fStuck })
+	in.OnFailSlow(func(i int, f float64) { e.slow[i] = f })
 }
 
 // Faults returns the attached injector, or nil.
 func (e *Emulator) Faults() *fault.Injector { return e.injector }
 
+// slotOf returns tile i's neighbor-slot index of tile j, or -1 when j is
+// not a neighbor.
+func (e *Emulator) slotOf(i, j int) int {
+	base := i * maxNbrs
+	for s := 0; s < int(e.nbrCount[i]); s++ {
+		if int(e.nbrs[base+s]) == j {
+			return s
+		}
+	}
+	return -1
+}
+
+// nextRRPartner advances tile i's round-robin cursor to the next live
+// neighbor and returns it, or -1 when every neighbor is tombstoned. With no
+// tombstones the visit sequence is exactly the pre-tombstone emulator's.
+func (e *Emulator) nextRRPartner(i int) int {
+	nc := int(e.nbrCount[i])
+	if e.liveNbrs[i] == 0 || nc == 0 {
+		return -1
+	}
+	for k := 0; k < nc; k++ {
+		s := int(e.rr[i]) % nc
+		e.rr[i]++
+		if e.nbrDeadMask[i]&(1<<s) == 0 {
+			return int(e.nbrs[i*maxNbrs+s])
+		}
+	}
+	return -1
+}
+
 // observeNeighbor records a neighbor's reported coin count for the thermal
 // guard.
-func (e *Emulator) observeNeighbor(t *tileState, from int, has int64) {
+func (e *Emulator) observeNeighbor(i, from int, has int64) {
 	if e.cfg.ThermalCap <= 0 {
 		return
 	}
-	if s := t.slotOf(from); s >= 0 {
-		t.nbrHas[s] = has
-		t.nbrSeen[s] = true
+	if s := e.slotOf(i, from); s >= 0 {
+		e.nbrHas[i*maxNbrs+s] = has
+		e.nbrSeenMask[i] |= 1 << s
 	}
 }
 
 // neighborhoodLoad returns the tile's own count plus the last observed
 // counts of its neighbors — the quantity the thermal cap bounds.
-func (e *Emulator) neighborhoodLoad(t *tileState) int64 {
-	load := t.has
-	for s := 0; s < t.nbrCount; s++ {
-		if t.nbrSeen[s] {
-			load += t.nbrHas[s]
+func (e *Emulator) neighborhoodLoad(i int) int64 {
+	load := e.has[i]
+	base := i * maxNbrs
+	seen := e.nbrSeenMask[i]
+	for s := 0; s < int(e.nbrCount[i]); s++ {
+		if seen&(1<<s) != 0 {
+			load += e.nbrHas[base+s]
 		}
 	}
 	return load
@@ -351,31 +434,31 @@ func (e *Emulator) neighborhoodLoad(t *tileState) int64 {
 // tests and monitoring. With the guard disabled it computes the exact sum
 // of the tile's and its neighbors' current counts.
 func (e *Emulator) NeighborhoodLoad(i int) int64 {
-	t := &e.tiles[i]
 	if e.cfg.ThermalCap > 0 {
-		return e.neighborhoodLoad(t)
+		return e.neighborhoodLoad(i)
 	}
-	load := t.has
-	for s := 0; s < t.nbrCount; s++ {
-		load += e.tiles[t.nbrs[s]].has
+	load := e.has[i]
+	base := i * maxNbrs
+	for s := 0; s < int(e.nbrCount[i]); s++ {
+		load += e.has[e.nbrs[base+s]]
 	}
 	return load
 }
 
-// thermalClamp limits the coins tile t may accept in an exchange that
-// would move it from t.has to proposed, returning the allowed new count.
+// thermalClamp limits the coins tile i may accept in an exchange that
+// would move it from has[i] to proposed, returning the allowed new count.
 // Giving coins away is never restricted.
-func (e *Emulator) thermalClamp(t *tileState, proposed int64) int64 {
-	if e.cfg.ThermalCap <= 0 || proposed <= t.has {
+func (e *Emulator) thermalClamp(i int, proposed int64) int64 {
+	if e.cfg.ThermalCap <= 0 || proposed <= e.has[i] {
 		return proposed
 	}
-	headroom := e.cfg.ThermalCap - e.neighborhoodLoad(t)
+	headroom := e.cfg.ThermalCap - e.neighborhoodLoad(i)
 	if headroom < 0 {
 		headroom = 0
 	}
-	if gain := proposed - t.has; gain > headroom {
+	if gain := proposed - e.has[i]; gain > headroom {
 		e.thermalRejects++
-		return t.has + headroom
+		return e.has[i] + headroom
 	}
 	return proposed
 }
@@ -384,27 +467,27 @@ func (e *Emulator) thermalClamp(t *tileState, proposed int64) int64 {
 // tile at a random phase within one refresh interval, breaking lockstep as
 // independent hardware FSMs would.
 func (e *Emulator) Init(a Assignment) {
-	a.validate(len(e.tiles))
+	a.validate(e.n)
 	if e.initialized {
 		panic("coin: Init called twice; create a new Emulator per run")
 	}
 	e.initialized = true
-	for i := range e.tiles {
-		e.tiles[i].has = a.Has[i]
-		e.tiles[i].max = a.Max[i]
-		e.poolTarget += a.Has[i]
+	copy(e.has, a.Has)
+	copy(e.max, a.Max)
+	for _, h := range a.Has {
+		e.poolTarget += h
 	}
 	if e.armInjector {
 		e.injector.Arm(e.kernel)
 	}
 	e.recomputeError()
 	e.checkConvergence()
-	for i := range e.tiles {
+	for i := 0; i < e.n; i++ {
 		phase := sim.Cycles(e.src.Int63n(int64(e.cfg.RefreshInterval))) + 1
-		e.scheduleTickAfter(&e.tiles[i], phase)
+		e.kernel.ScheduleOp(phase, e.opTick, int32(i), 0)
 	}
 	if e.hardened {
-		e.kernel.Schedule(e.cfg.AuditInterval, e.audit)
+		e.kernel.ScheduleOp(e.cfg.AuditInterval, e.opAudit, 0, 0)
 	}
 }
 
@@ -434,14 +517,14 @@ func (e *Emulator) errTerm(has, max int64) float64 {
 // constant between recomputations and per-exchange updates stay O(1).
 func (e *Emulator) recomputeError() {
 	e.sumHas, e.sumMax, e.activeCount, e.liveCount = 0, 0, 0, 0
-	for i := range e.tiles {
-		if e.tiles[i].dead {
+	for i := 0; i < e.n; i++ {
+		if e.flags[i]&fDead != 0 {
 			continue
 		}
 		e.liveCount++
-		e.sumHas += e.tiles[i].has
-		e.sumMax += e.tiles[i].max
-		if e.tiles[i].max > 0 {
+		e.sumHas += e.has[i]
+		e.sumMax += e.max[i]
+		if e.max[i] > 0 {
 			e.activeCount++
 		}
 	}
@@ -450,16 +533,13 @@ func (e *Emulator) recomputeError() {
 	} else {
 		e.alpha = 0
 	}
-	if e.errTerms == nil {
-		e.errTerms = make([]float64, len(e.tiles))
-	}
 	e.errSum = 0
-	for i := range e.tiles {
-		if e.tiles[i].dead {
+	for i := 0; i < e.n; i++ {
+		if e.flags[i]&fDead != 0 {
 			e.errTerms[i] = 0
 			continue
 		}
-		e.errTerms[i] = e.errTerm(e.tiles[i].has, e.tiles[i].max)
+		e.errTerms[i] = e.errTerm(e.has[i], e.max[i])
 		e.errSum += e.errTerms[i]
 	}
 }
@@ -487,17 +567,16 @@ func (e *Emulator) GlobalErr() float64 {
 // setHas applies a coin-count change and maintains the error metric,
 // movement clock, and convergence detection.
 func (e *Emulator) setHas(i int, v int64) {
-	t := &e.tiles[i]
 	// A stuck coin register silently absorbs writes — the fault the audit
 	// exists to detect. A dead tile's register is gone entirely.
-	if t.stuck || t.dead {
+	if e.flags[i]&(fStuck|fDead) != 0 {
 		return
 	}
-	if t.has == v {
+	if e.has[i] == v {
 		return
 	}
-	t.has = v
-	nt := e.errTerm(v, t.max)
+	e.has[i] = v
+	nt := e.errTerm(v, e.max[i])
 	e.errSum += nt - e.errTerms[i]
 	e.errTerms[i] = nt
 	e.lastMovement = e.kernel.Now()
@@ -511,10 +590,10 @@ func (e *Emulator) setHas(i int, v int64) {
 func (e *Emulator) SetOnChange(fn func(tile int, has int64)) { e.onChange = fn }
 
 // Has returns tile i's current coin count.
-func (e *Emulator) Has(i int) int64 { return e.tiles[i].has }
+func (e *Emulator) Has(i int) int64 { return e.has[i] }
 
 // Max returns tile i's current target.
-func (e *Emulator) Max(i int) int64 { return e.tiles[i].max }
+func (e *Emulator) Max(i int) int64 { return e.max[i] }
 
 func (e *Emulator) checkConvergence() {
 	if !e.converged && e.GlobalErr() < e.cfg.Threshold {
@@ -541,10 +620,10 @@ func (e *Emulator) SetMax(tile int, max int64) {
 	}
 	// A dead tile has no target: its FSM is gone and its max is already
 	// excluded from the error metric.
-	if e.tiles[tile].dead {
+	if e.flags[tile]&fDead != 0 {
 		return
 	}
-	e.tiles[tile].max = max
+	e.max[tile] = max
 	e.recomputeError()
 	e.converged = false
 	e.convergedAt = 0
@@ -554,10 +633,9 @@ func (e *Emulator) SetMax(tile int, max int64) {
 	// triggers an immediate exchange: the start/end of execution is
 	// precisely the event the FSM reacts to (Sec. III-A), so it does not
 	// wait out a steady-state interval.
-	t := &e.tiles[tile]
-	t.interval = e.cfg.RefreshInterval
-	if e.initialized && !t.busy && !t.locked {
-		e.kernel.ScheduleCall(1, e.tickFn, t)
+	e.interval[tile] = e.cfg.RefreshInterval
+	if e.initialized && e.flags[tile]&(fBusy|fLocked) == 0 {
+		e.kernel.ScheduleOp(1, e.opTick, int32(tile), 0)
 	}
 	e.checkConvergence()
 }
@@ -573,12 +651,10 @@ func (e *Emulator) ResponseCycles() sim.Cycles {
 
 // Snapshot returns copies of the current has and max vectors.
 func (e *Emulator) Snapshot() (has, max []int64) {
-	has = make([]int64, len(e.tiles))
-	max = make([]int64, len(e.tiles))
-	for i := range e.tiles {
-		has[i] = e.tiles[i].has
-		max[i] = e.tiles[i].max
-	}
+	has = make([]int64, e.n)
+	max = make([]int64, e.n)
+	copy(has, e.has)
+	copy(max, e.max)
 	return has, max
 }
 
@@ -596,61 +672,65 @@ func (e *Emulator) ThermalRejects() uint64 { return e.thermalRejects }
 func (e *Emulator) FlagCounts() (busy, locked int) { return e.busyCount, e.lockedCount }
 
 // TileDead reports whether tile i has fail-stopped.
-func (e *Emulator) TileDead(i int) bool { return e.tiles[i].dead }
+func (e *Emulator) TileDead(i int) bool { return e.flags[i]&fDead != 0 }
 
 // NetworkStats returns the NoC statistics so far.
 func (e *Emulator) NetworkStats() noc.Stats { return e.net.Stats() }
 
-// scheduleTickAfter schedules tile t's next exchange attempt.
-func (e *Emulator) scheduleTickAfter(t *tileState, d sim.Cycles) {
-	e.kernel.ScheduleCall(d, e.tickFn, t)
-}
-
-// tick is one exchange attempt by tile t. A tile whose previous exchange is
-// still in flight skips this slot, as the hardware FSM would.
-func (e *Emulator) tick(t *tileState) {
+// tick is one exchange attempt by tile i. The next tick reschedules at the
+// interval in effect when this one fired (matching the hardware's periodic
+// FSM), after any packets this attempt pushed — so intra-cycle event order
+// is exactly the schedule order.
+func (e *Emulator) tick(i int) {
 	// A dead tile's FSM is gone: stop the tick chain entirely.
-	if t.dead {
+	if e.flags[i]&fDead != 0 {
 		return
 	}
-	defer e.scheduleTickAfter(t, e.effInterval(t))
+	d := e.effInterval(i)
+	e.tickAttempt(i)
+	e.kernel.ScheduleOp(d, e.opTick, int32(i), 0)
+}
+
+// tickAttempt is the body of one exchange attempt. A tile whose previous
+// exchange is still in flight skips this slot, as the hardware FSM would.
+func (e *Emulator) tickAttempt(i int) {
 	// Frozen: the end-of-run settle phase stops new initiations so in-flight
 	// exchanges can drain; the tick chain stays alive for later Run calls.
 	if e.frozen {
 		return
 	}
-	if t.busy || t.locked || t.liveNbrs == 0 {
+	if e.flags[i]&(fBusy|fLocked) != 0 || e.liveNbrs[i] == 0 {
 		return
 	}
-	useRandom := e.cfg.RandomPairing && (t.exchanges+1)%e.cfg.RandomPairingEvery == 0
+	useRandom := e.cfg.RandomPairing && (int(e.exchCnt[i])+1)%e.cfg.RandomPairingEvery == 0
 	// A tile in the relinquish state — execution ended (max 0) but coins
 	// still held — gains nothing from neighbors that are also idle, so it
 	// seeks a taker anywhere on the SoC every exchange. This is what
 	// returns orphaned coins to newly active tiles quickly.
-	if e.cfg.RandomPairing && t.max == 0 && t.has > 0 {
+	if e.cfg.RandomPairing && e.max[i] == 0 && e.has[i] > 0 {
 		useRandom = true
 	}
-	t.exchanges++
+	e.exchCnt[i]++
 	e.exchanges++
 	if e.cfg.Mode == FourWay && !useRandom {
-		e.startFourWay(t)
+		e.startFourWay(i)
 		return
 	}
-	partner := e.choosePartner(t, useRandom)
+	partner := e.choosePartner(i, useRandom)
 	if partner < 0 {
 		// Every candidate partner is known dead; keep ticking — the audit
 		// still rebalances the pool around this tile.
 		return
 	}
-	e.startOneWay(t, partner)
+	e.startOneWay(i, partner)
 }
 
 // effInterval is the tile's exchange interval with any fail-slow stretch.
-func (e *Emulator) effInterval(t *tileState) sim.Cycles {
-	if t.slow > 1 {
-		return sim.Cycles(float64(t.interval) * t.slow)
+func (e *Emulator) effInterval(i int) sim.Cycles {
+	if e.slow[i] > 1 {
+		return sim.Cycles(float64(e.interval[i]) * e.slow[i])
 	}
-	return t.interval
+	return e.interval[i]
 }
 
 // sendUpdate emits a coin-update packet and tracks nonzero deltas in flight.
@@ -666,50 +746,51 @@ func (e *Emulator) sendUpdate(src, dst int, delta int64, ack bool, seq uint64) {
 	}
 }
 
-// choosePartner returns the next exchange partner: the round-robin neighbor,
-// or a non-neighbor under random pairing. Partners pruned as dead are
-// excluded; -1 means no live candidate exists.
-func (e *Emulator) choosePartner(t *tileState, random bool) int {
+// choosePartner returns tile i's next exchange partner: the round-robin
+// neighbor, or a non-neighbor under random pairing. Partners pruned as dead
+// are excluded; -1 means no live candidate exists.
+func (e *Emulator) choosePartner(i int, random bool) int {
 	if !random {
-		return t.nextRRPartner()
+		return e.nextRRPartner(i)
 	}
-	n := len(e.tiles)
-	isNeighbor := func(j int) bool {
-		return j == t.id || t.slotOf(j) >= 0
-	}
+	n := e.n
 	// Small meshes can have every other tile as a neighbor; fall back to
 	// the round-robin neighbor.
-	if t.nbrCount >= n-1 {
-		return t.nextRRPartner()
+	if int(e.nbrCount[i]) >= n-1 {
+		return e.nextRRPartner(i)
+	}
+	var farDead map[int]bool
+	if e.farDead != nil {
+		farDead = e.farDead[i]
 	}
 	// With pruned partners the search loops need a bound: liveness is
 	// local knowledge, and a heavily damaged mesh may leave no eligible
 	// non-neighbor. The bound only engages once something was pruned, so
 	// healthy runs keep the original draw sequence exactly.
-	bounded := t.pruned
+	bounded := e.flags[i]&fPruned != 0
 	switch e.cfg.Pairing {
 	case PairShiftRegister:
 		// Walk the offset register until it lands on a non-neighbor. The
 		// register visits every offset, guaranteeing any (a, b) pair with
 		// opposing errors is eventually paired (Sec. III-E).
 		for tries := 0; ; tries++ {
-			j := (t.id + t.srOffset) % n
-			t.srOffset = t.srOffset%(n-1) + 1
-			if !isNeighbor(j) && !t.farDead[j] {
+			j := (i + int(e.srOffset[i])) % n
+			e.srOffset[i] = e.srOffset[i]%int32(n-1) + 1
+			if j != i && e.slotOf(i, j) < 0 && !farDead[j] {
 				return j
 			}
 			if bounded && tries >= n {
-				return t.nextRRPartner()
+				return e.nextRRPartner(i)
 			}
 		}
 	default: // PairUniform
 		for tries := 0; ; tries++ {
 			j := e.src.Intn(n)
-			if !isNeighbor(j) && !t.farDead[j] {
+			if j != i && e.slotOf(i, j) < 0 && !farDead[j] {
 				return j
 			}
 			if bounded && tries >= 4*n {
-				return t.nextRRPartner()
+				return e.nextRRPartner(i)
 			}
 		}
 	}
@@ -718,43 +799,42 @@ func (e *Emulator) choosePartner(t *tileState, random bool) int {
 // startOneWay initiates Algorithm 2 with the chosen partner: send our
 // status; the partner computes the split, applies its side, and returns our
 // delta. Two messages per exchange — 8 per four-neighbor rotation.
-func (e *Emulator) startOneWay(t *tileState, partner int) {
-	t.busy = true
+func (e *Emulator) startOneWay(i, partner int) {
+	e.flags[i] |= fBusy
 	e.busyCount++
-	t.seq++
-	t.curPartner = partner
-	e.net.SendCoin(noc.PlanePM, noc.KindCoinStatus, t.id, partner,
-		noc.CoinMsg{Has: t.has, Max: t.max, Seq: t.seq})
-	e.armExchangeTimeout(t)
+	e.seqNo[i]++
+	e.curPartner[i] = int32(partner)
+	e.net.SendCoin(noc.PlanePM, noc.KindCoinStatus, i, partner,
+		noc.CoinMsg{Has: e.has[i], Max: e.max[i], Seq: e.seqNo[i]})
+	e.armExchangeTimeout(i)
 }
 
 // startFourWay initiates Algorithm 1: request status from every live
 // neighbor, then split the group's coins. Three messages per neighbor — 12
 // per exchange on an interior tile.
-func (e *Emulator) startFourWay(t *tileState) {
-	t.busy = true
+func (e *Emulator) startFourWay(i int) {
+	e.flags[i] |= fBusy | fPendActive
 	e.busyCount++
-	t.seq++
-	t.pendActive = true
-	t.pendMask = 0
-	t.pendWant = t.liveNbrs
-	for s := 0; s < t.nbrCount; s++ {
-		if !t.nbrDead[s] {
-			e.net.SendCoin(noc.PlanePM, noc.KindCoinRequest, t.id, t.nbrs[s],
-				noc.CoinMsg{Seq: t.seq})
+	e.seqNo[i]++
+	e.pendMask[i] = 0
+	e.pendWant[i] = e.liveNbrs[i]
+	base := i * maxNbrs
+	for s := 0; s < int(e.nbrCount[i]); s++ {
+		if e.nbrDeadMask[i]&(1<<s) == 0 {
+			e.net.SendCoin(noc.PlanePM, noc.KindCoinRequest, i, int(e.nbrs[base+s]),
+				noc.CoinMsg{Seq: e.seqNo[i]})
 		}
 	}
-	e.armExchangeTimeout(t)
+	e.armExchangeTimeout(i)
 }
 
 // armExchangeTimeout schedules the hardened initiator's retry timer for the
 // exchange the tile just started.
-func (e *Emulator) armExchangeTimeout(t *tileState) {
+func (e *Emulator) armExchangeTimeout(i int) {
 	if !e.hardened {
 		return
 	}
-	i, seq := t.id, t.seq
-	e.kernel.Schedule(e.cfg.ExchangeTimeout, func() { e.exchangeTimeout(i, seq) })
+	e.kernel.ScheduleOp(e.cfg.ExchangeTimeout, e.opTimeout, int32(i), e.seqNo[i])
 }
 
 // exchangeTimeout abandons an exchange whose completion never arrived:
@@ -764,41 +844,41 @@ func (e *Emulator) armExchangeTimeout(t *tileState) {
 // (deltas always conserve), and the audit repairs whatever was lost in the
 // fabric.
 func (e *Emulator) exchangeTimeout(i int, seq uint64) {
-	t := &e.tiles[i]
-	if t.dead || !t.busy || t.seq != seq {
+	if e.flags[i]&fDead != 0 || e.flags[i]&fBusy == 0 || e.seqNo[i] != seq {
 		return
 	}
 	e.retries++
-	if t.pendActive {
+	if e.flags[i]&fPendActive != 0 {
 		// Release the neighbors that did join the group with zero-delta
 		// updates, and strike the ones that never answered. Tombstoning
 		// never moves slots, so this iteration is safe against the pruning
 		// strikePartner may do mid-loop.
-		for s := 0; s < t.nbrCount; s++ {
-			if t.nbrDead[s] {
+		base := i * maxNbrs
+		for s := 0; s < int(e.nbrCount[i]); s++ {
+			if e.nbrDeadMask[i]&(1<<s) != 0 {
 				continue
 			}
 			switch {
-			case t.pendMask&(1<<s) == 0:
-				e.strikePartner(t, t.nbrs[s])
-			case !t.pend[s].Nack:
-				e.sendUpdate(t.id, t.nbrs[s], 0, false, seq)
+			case e.pendMask[i]&(1<<s) == 0:
+				e.strikePartner(i, int(e.nbrs[base+s]))
+			case !e.pend[base+s].Nack:
+				e.sendUpdate(i, int(e.nbrs[base+s]), 0, false, seq)
 			}
 		}
-		t.pendActive = false
-		t.pendMask = 0
+		e.flags[i] &^= fPendActive
+		e.pendMask[i] = 0
 	} else {
-		e.strikePartner(t, t.curPartner)
+		e.strikePartner(i, int(e.curPartner[i]))
 	}
-	t.busy = false
+	e.flags[i] &^= fBusy
 	e.busyCount--
 	// Exponential retry back-off: a tile facing a lossy or partitioned
 	// fabric slows down instead of spamming it.
-	ni := sim.Cycles(float64(t.interval) * e.cfg.RetryBackoff)
+	ni := sim.Cycles(float64(e.interval[i]) * e.cfg.RetryBackoff)
 	if ni > e.cfg.MaxInterval {
 		ni = e.cfg.MaxInterval
 	}
-	t.interval = ni
+	e.interval[i] = ni
 }
 
 // strikePartner records a timed-out exchange against a partner; after
@@ -807,45 +887,48 @@ func (e *Emulator) exchangeTimeout(i int, seq uint64) {
 // are tombstoned in place — their slot index stays valid for any iteration
 // or reply in flight — and non-neighbor partners (random pairing) go to the
 // lazy far maps.
-func (e *Emulator) strikePartner(t *tileState, partner int) {
+func (e *Emulator) strikePartner(i, partner int) {
 	if partner < 0 {
 		return
 	}
-	if s := t.slotOf(partner); s >= 0 {
-		t.nbrFailCnt[s]++
-		if t.nbrFailCnt[s] < e.cfg.NeighborDeadAfter || t.nbrDead[s] {
+	if s := e.slotOf(i, partner); s >= 0 {
+		e.nbrFailCnt[i*maxNbrs+s]++
+		if int(e.nbrFailCnt[i*maxNbrs+s]) < e.cfg.NeighborDeadAfter || e.nbrDeadMask[i]&(1<<s) != 0 {
 			return
 		}
-		t.nbrDead[s] = true
-		t.liveNbrs--
-		t.pruned = true
+		e.nbrDeadMask[i] |= 1 << s
+		e.liveNbrs[i]--
+		e.flags[i] |= fPruned
 		e.nbrsPruned++
 		return
 	}
-	if t.farFail == nil {
-		t.farFail = make(map[int]int)
+	if e.farFail == nil {
+		e.farFail = make([]map[int]int, e.n)
+		e.farDead = make([]map[int]bool, e.n)
 	}
-	t.farFail[partner]++
-	if t.farFail[partner] < e.cfg.NeighborDeadAfter {
+	if e.farFail[i] == nil {
+		e.farFail[i] = make(map[int]int)
+	}
+	e.farFail[i][partner]++
+	if e.farFail[i][partner] < e.cfg.NeighborDeadAfter {
 		return
 	}
-	if t.farDead == nil {
-		t.farDead = make(map[int]bool)
+	if e.farDead[i] == nil {
+		e.farDead[i] = make(map[int]bool)
 	}
-	if !t.farDead[partner] {
-		t.farDead[partner] = true
-		t.pruned = true
+	if !e.farDead[i][partner] {
+		e.farDead[i][partner] = true
+		e.flags[i] |= fPruned
 		e.nbrsPruned++
 	}
 }
 
 // onPacket dispatches a delivered PM-plane packet.
 func (e *Emulator) onPacket(tile int, p *noc.Packet) {
-	t := &e.tiles[tile]
 	// A packet can be in flight when its destination fail-stops: the dead
 	// tile absorbs it. The omniscient in-flight accounting still settles —
 	// the coins it carried are gone, which the audit detects and re-mints.
-	if t.dead {
+	if e.flags[tile]&fDead != 0 {
 		if p.Kind == noc.KindCoinUpdate {
 			if d := p.Coin.Delta; d != 0 && !p.Dup {
 				e.nonzeroInFlight--
@@ -859,19 +942,19 @@ func (e *Emulator) onPacket(tile int, p *noc.Packet) {
 		seq := p.Coin.Seq
 		// 4-way: join the center's group if free, else refuse. Joining
 		// freezes our coin count until the center's update releases us.
-		if t.busy || t.locked {
+		if e.flags[tile]&(fBusy|fLocked) != 0 {
 			e.net.SendCoin(noc.PlanePM, noc.KindCoinStatus, tile, p.Src,
 				noc.CoinMsg{Reply: true, Nack: true, Seq: seq})
 			return
 		}
-		e.lockTile(t, p.Src)
+		e.lockTile(tile, p.Src)
 		e.net.SendCoin(noc.PlanePM, noc.KindCoinStatus, tile, p.Src,
-			noc.CoinMsg{Has: t.has, Max: t.max, Reply: true, Seq: seq})
+			noc.CoinMsg{Has: e.has[tile], Max: e.max[tile], Reply: true, Seq: seq})
 	case noc.KindCoinStatus:
 		if p.Coin.Reply {
-			e.onFourWayStatus(t, p.Src, p.Coin)
+			e.onFourWayStatus(tile, p.Src, p.Coin)
 		} else {
-			e.onOneWayInitiate(t, p.Src, p.Coin)
+			e.onOneWayInitiate(tile, p.Src, p.Coin)
 		}
 	case noc.KindCoinUpdate:
 		msg := p.Coin
@@ -881,20 +964,20 @@ func (e *Emulator) onPacket(tile int, p *noc.Packet) {
 			e.nonzeroInFlight--
 			e.inFlightDelta -= msg.Delta
 		}
-		e.setHas(tile, t.has+msg.Delta)
+		e.setHas(tile, e.has[tile]+msg.Delta)
 		if msg.Ack {
 			// Completion of our 1-way initiation. The sequence check
 			// rejects a late ack for an attempt the timeout already
 			// abandoned (its delta above still applied — conservation).
-			if t.busy && !t.pendActive && msg.Seq == t.seq {
-				t.busy = false
+			if e.flags[tile]&fBusy != 0 && e.flags[tile]&fPendActive == 0 && msg.Seq == e.seqNo[tile] {
+				e.flags[tile] &^= fBusy
 				e.busyCount--
-				if s := t.slotOf(p.Src); s >= 0 {
-					t.nbrFailCnt[s] = 0
-				} else if t.farFail != nil {
-					delete(t.farFail, p.Src)
+				if s := e.slotOf(tile, p.Src); s >= 0 {
+					e.nbrFailCnt[tile*maxNbrs+s] = 0
+				} else if e.farFail != nil && e.farFail[tile] != nil {
+					delete(e.farFail[tile], p.Src)
 				}
-				e.adjustTiming(t, msg.Delta)
+				e.adjustTiming(tile, msg.Delta)
 			}
 		} else {
 			// A 4-way center's push releases our participation lock; a
@@ -902,10 +985,10 @@ func (e *Emulator) onPacket(tile int, p *noc.Packet) {
 			// ripple propagates at full speed (Sec. III-D). Hardened: only
 			// the lock's owner may release it, so a straggler push from a
 			// center we already gave up on can't break a newer lock.
-			if !e.hardened || !t.locked || t.lockFrom == p.Src {
-				e.unlockTile(t)
+			if !e.hardened || e.flags[tile]&fLocked == 0 || int(e.lockFrom[tile]) == p.Src {
+				e.unlockTile(tile)
 			}
-			e.adjustTiming(t, msg.Delta)
+			e.adjustTiming(tile, msg.Delta)
 		}
 	case noc.KindRegAccess, noc.KindInterrupt, noc.KindOther:
 		// Non-coin plane-5 traffic (CSR accesses, interrupts) shares the
@@ -916,23 +999,22 @@ func (e *Emulator) onPacket(tile int, p *noc.Packet) {
 	}
 }
 
-// lockTile freezes t's coins on behalf of a 4-way center. Hardened, a
+// lockTile freezes tile i's coins on behalf of a 4-way center. Hardened, a
 // watchdog frees the lock if the center dies before its update arrives.
-func (e *Emulator) lockTile(t *tileState, center int) {
-	t.locked = true
-	t.lockFrom = center
-	t.lockSeq++
+func (e *Emulator) lockTile(i, center int) {
+	e.flags[i] |= fLocked
+	e.lockFrom[i] = int32(center)
+	e.lockSeq[i]++
 	e.lockedCount++
 	if e.hardened {
-		i, ls := t.id, t.lockSeq
-		e.kernel.Schedule(e.cfg.LockTimeout, func() { e.lockWatchdog(i, ls) })
+		e.kernel.ScheduleOp(e.cfg.LockTimeout, e.opWatchdog, int32(i), e.lockSeq[i])
 	}
 }
 
-// unlockTile releases t's participation lock if held.
-func (e *Emulator) unlockTile(t *tileState) {
-	if t.locked {
-		t.locked = false
+// unlockTile releases tile i's participation lock if held.
+func (e *Emulator) unlockTile(i int) {
+	if e.flags[i]&fLocked != 0 {
+		e.flags[i] &^= fLocked
 		e.lockedCount--
 	}
 }
@@ -941,28 +1023,27 @@ func (e *Emulator) unlockTile(t *tileState) {
 // lost in the fabric): without it the tile would refuse every exchange
 // forever. The lock epoch guards against breaking a newer lock.
 func (e *Emulator) lockWatchdog(i int, lockSeq uint64) {
-	t := &e.tiles[i]
-	if t.dead || !t.locked || t.lockSeq != lockSeq {
+	if e.flags[i]&fDead != 0 || e.flags[i]&fLocked == 0 || e.lockSeq[i] != lockSeq {
 		return
 	}
-	e.unlockTile(t)
+	e.unlockTile(i)
 	e.locksBroken++
 	// The center is suspect: strike it so a repeatedly dying or silent
 	// center is eventually pruned from our pairing sets.
-	e.strikePartner(t, t.lockFrom)
+	e.strikePartner(i, int(e.lockFrom[i]))
 }
 
 // onOneWayInitiate runs the receiver side of Algorithm 2: split against the
 // initiator's reported state, apply our half, return theirs as a delta.
-func (e *Emulator) onOneWayInitiate(t *tileState, from int, msg noc.CoinMsg) {
+func (e *Emulator) onOneWayInitiate(i, from int, msg noc.CoinMsg) {
 	// A locked tile's coins are spoken for by a 4-way center; refuse the
 	// exchange with a zero-coin ack so the initiator completes cleanly.
-	if t.locked {
-		e.sendUpdate(t.id, from, 0, true, msg.Seq)
+	if e.flags[i]&fLocked != 0 {
+		e.sendUpdate(i, from, 0, true, msg.Seq)
 		return
 	}
-	e.observeNeighbor(t, from, msg.Has)
-	newI, newJ := PairSplit(msg.Has, msg.Max, t.has, t.max)
+	e.observeNeighbor(i, from, msg.Has)
+	newI, newJ := PairSplit(msg.Has, msg.Max, e.has[i], e.max[i])
 	// The hardware coin register cannot hold more than the cap; the
 	// residue of a clamped transfer stays with the partner, conserving the
 	// pool.
@@ -980,51 +1061,52 @@ func (e *Emulator) onOneWayInitiate(t *tileState, from int, msg noc.CoinMsg) {
 	// the refused residue stays with the initiator.
 	{
 		total := newI + newJ
-		clamped := e.thermalClamp(t, newJ)
+		clamped := e.thermalClamp(i, newJ)
 		if clamped != newJ {
 			newJ = clamped
 			newI = total - newJ
 		}
 	}
 	deltaI := newI - msg.Has
-	deltaJ := newJ - t.has
+	deltaJ := newJ - e.has[i]
 	// A stuck register cannot apply its side of the split: sending the
 	// initiator its full delta anyway would double those coins. Refuse the
 	// exchange instead (zero-delta ack); the drifted residue from splits
 	// that already happened is the audit's problem, not new exchanges'.
-	if t.stuck {
-		e.sendUpdate(t.id, from, 0, true, msg.Seq)
+	if e.flags[i]&fStuck != 0 {
+		e.sendUpdate(i, from, 0, true, msg.Seq)
 		return
 	}
-	e.setHas(t.id, newJ)
-	e.sendUpdate(t.id, from, deltaI, true, msg.Seq)
+	e.setHas(i, newJ)
+	e.sendUpdate(i, from, deltaI, true, msg.Seq)
 	// The receiver also observes whether the exchange was productive, so
 	// both parties' dynamic timing reacts — a coin wave travelling across
 	// the mesh keeps every tile it touches at the fast exchange rate.
-	e.adjustTiming(t, deltaJ)
+	e.adjustTiming(i, deltaJ)
 }
 
 // onFourWayStatus collects a neighbor's reply; when all polled neighbors
 // have answered, compute the group split and push each neighbor's delta.
-func (e *Emulator) onFourWayStatus(t *tileState, from int, msg noc.CoinMsg) {
-	slot := t.slotOf(from)
-	if !t.pendActive || msg.Seq != t.seq || slot < 0 {
+func (e *Emulator) onFourWayStatus(i, from int, msg noc.CoinMsg) {
+	slot := e.slotOf(i, from)
+	if e.flags[i]&fPendActive == 0 || msg.Seq != e.seqNo[i] || slot < 0 {
 		// Stale reply: the attempt it answers was completed, aborted, or
 		// abandoned by timeout. Hardened, a non-nack straggler gets an
 		// immediate zero-delta release — the responder locked itself for
 		// nothing and should not have to wait for its watchdog.
-		if e.hardened && !msg.Nack && msg.Seq != t.seq {
-			e.sendUpdate(t.id, from, 0, false, msg.Seq)
+		if e.hardened && !msg.Nack && msg.Seq != e.seqNo[i] {
+			e.sendUpdate(i, from, 0, false, msg.Seq)
 		}
 		return
 	}
+	base := i * maxNbrs
 	if !msg.Nack {
-		e.observeNeighbor(t, from, msg.Has)
-		t.nbrFailCnt[slot] = 0
+		e.observeNeighbor(i, from, msg.Has)
+		e.nbrFailCnt[base+slot] = 0
 	}
-	t.pend[slot] = msg
-	t.pendMask |= 1 << slot
-	if bits.OnesCount8(t.pendMask) < t.pendWant {
+	e.pend[base+slot] = msg
+	e.pendMask[i] |= 1 << slot
+	if bits.OnesCount8(e.pendMask[i]) < int(e.pendWant[i]) {
 		return
 	}
 	// If any neighbor refused, abort: release the ones that did join with
@@ -1032,54 +1114,52 @@ func (e *Emulator) onFourWayStatus(t *tileState, from int, msg noc.CoinMsg) {
 	// resolution that makes overlapping group exchanges safe. Slots are
 	// visited in N/E/S/W order, so the release-packet order — and thus NoC
 	// contention — is identical between identically seeded runs.
+	nc := int(e.nbrCount[i])
 	anyNack := false
-	for s := 0; s < t.nbrCount; s++ {
-		if t.pendMask&(1<<s) != 0 && t.pend[s].Nack {
+	for s := 0; s < nc; s++ {
+		if e.pendMask[i]&(1<<s) != 0 && e.pend[base+s].Nack {
 			anyNack = true
 			break
 		}
 	}
 	if anyNack {
-		for s := 0; s < t.nbrCount; s++ {
-			if t.pendMask&(1<<s) != 0 && !t.pend[s].Nack {
-				e.sendUpdate(t.id, t.nbrs[s], 0, false, t.seq)
+		for s := 0; s < nc; s++ {
+			if e.pendMask[i]&(1<<s) != 0 && !e.pend[base+s].Nack {
+				e.sendUpdate(i, int(e.nbrs[base+s]), 0, false, e.seqNo[i])
 			}
 		}
-		t.pendActive = false
-		t.pendMask = 0
-		t.busy = false
+		e.flags[i] &^= fPendActive | fBusy
+		e.pendMask[i] = 0
 		e.busyCount--
-		e.adjustTiming(t, 0)
+		e.adjustTiming(i, 0)
 		return
 	}
-	has := append(e.gatherHas[:0], t.has)
-	max := append(e.gatherMax[:0], t.max)
-	for s := 0; s < t.nbrCount; s++ {
-		if t.pendMask&(1<<s) != 0 {
-			has = append(has, t.pend[s].Has)
-			max = append(max, t.pend[s].Max)
+	has := append(e.gatherHas[:0], e.has[i])
+	max := append(e.gatherMax[:0], e.max[i])
+	for s := 0; s < nc; s++ {
+		if e.pendMask[i]&(1<<s) != 0 {
+			has = append(has, e.pend[base+s].Has)
+			max = append(max, e.pend[base+s].Max)
 		}
 	}
-	e.gatherHas, e.gatherMax = has, max
 	out := GroupSplit(has, max)
 	var moved int64
-	e.setHas(t.id, out[0])
+	e.setHas(i, out[0])
 	moved += abs64(out[0] - has[0])
 	k := 0
-	for s := 0; s < t.nbrCount; s++ {
-		if t.pendMask&(1<<s) == 0 {
+	for s := 0; s < nc; s++ {
+		if e.pendMask[i]&(1<<s) == 0 {
 			continue
 		}
 		k++
 		delta := out[k] - has[k]
 		moved += abs64(delta)
-		e.sendUpdate(t.id, t.nbrs[s], delta, false, t.seq)
+		e.sendUpdate(i, int(e.nbrs[base+s]), delta, false, e.seqNo[i])
 	}
-	t.pendActive = false
-	t.pendMask = 0
-	t.busy = false
+	e.flags[i] &^= fPendActive | fBusy
+	e.pendMask[i] = 0
 	e.busyCount--
-	e.adjustTiming(t, moved)
+	e.adjustTiming(i, moved)
 }
 
 func abs64(v int64) int64 {
@@ -1095,19 +1175,18 @@ func abs64(v int64) int64 {
 // The kill counts as an activity change: convergence re-arms and the next
 // threshold crossing measures the re-convergence after the fault.
 func (e *Emulator) killTile(i int) {
-	t := &e.tiles[i]
-	if t.dead {
+	if e.flags[i]&fDead != 0 {
 		return
 	}
-	t.dead = true
+	e.flags[i] |= fDead
 	e.tilesDead++
-	if t.busy {
-		t.busy = false
+	if e.flags[i]&fBusy != 0 {
+		e.flags[i] &^= fBusy
 		e.busyCount--
 	}
-	e.unlockTile(t)
-	t.pendActive = false
-	t.pendMask = 0
+	e.unlockTile(i)
+	e.flags[i] &^= fPendActive
+	e.pendMask[i] = 0
 	e.recomputeError()
 	e.converged = false
 	e.convergedAt = 0
@@ -1127,14 +1206,21 @@ func (e *Emulator) audit() {
 	if e.liveCount > 0 {
 		e.runAudit()
 	}
-	e.kernel.Schedule(e.cfg.AuditInterval, e.audit)
+	e.kernel.ScheduleOp(e.cfg.AuditInterval, e.opAudit, 0, 0)
+}
+
+// auditCand is one audit repair candidate: a live tile with a working
+// register, ranked by how far below its local target it sits.
+type auditCand struct {
+	id   int
+	need float64 // target minus has: positive wants coins
 }
 
 func (e *Emulator) runAudit() {
 	var liveSum int64
-	for i := range e.tiles {
-		if !e.tiles[i].dead {
-			liveSum += e.tiles[i].has
+	for i := 0; i < e.n; i++ {
+		if e.flags[i]&fDead == 0 {
+			liveSum += e.has[i]
 		}
 	}
 	diff := e.poolTarget - liveSum - e.inFlightDelta
@@ -1144,22 +1230,21 @@ func (e *Emulator) runAudit() {
 	e.auditRepairs++
 	// Candidates: live tiles with working registers. A stuck register
 	// cannot be repaired in place; its drift is repaired on its peers.
-	type cand struct {
-		id   int
-		need float64 // target minus has: positive wants coins
+	if e.auditCands == nil {
+		e.auditCands = make([]auditCand, 0, e.liveCount)
 	}
-	cands := make([]cand, 0, e.liveCount)
-	for i := range e.tiles {
-		t := &e.tiles[i]
-		if t.dead || t.stuck {
+	cands := e.auditCands[:0]
+	for i := 0; i < e.n; i++ {
+		if e.flags[i]&(fDead|fStuck) != 0 {
 			continue
 		}
-		target := e.alpha * float64(t.max)
+		target := e.alpha * float64(e.max[i])
 		if e.cfg.CoinCap > 0 && target > float64(e.cfg.CoinCap) {
 			target = float64(e.cfg.CoinCap)
 		}
-		cands = append(cands, cand{id: i, need: target - float64(t.has)})
+		cands = append(cands, auditCand{id: i, need: target - float64(e.has[i])})
 	}
+	e.auditCands = cands
 	if len(cands) == 0 {
 		return
 	}
@@ -1176,17 +1261,16 @@ func (e *Emulator) runAudit() {
 			if remaining == 0 {
 				break
 			}
-			t := &e.tiles[c.id]
 			grant := remaining
 			if e.cfg.CoinCap > 0 {
-				if room := e.cfg.CoinCap - t.has; room < grant {
+				if room := e.cfg.CoinCap - e.has[c.id]; room < grant {
 					grant = room
 				}
 			}
 			if grant <= 0 {
 				continue
 			}
-			e.setHas(c.id, t.has+grant)
+			e.setHas(c.id, e.has[c.id]+grant)
 			e.coinsMinted += grant
 			remaining -= grant
 		}
@@ -1206,15 +1290,14 @@ func (e *Emulator) runAudit() {
 			if remaining == 0 {
 				break
 			}
-			t := &e.tiles[c.id]
 			take := remaining
-			if t.has < take {
-				take = t.has
+			if e.has[c.id] < take {
+				take = e.has[c.id]
 			}
 			if take <= 0 {
 				continue
 			}
-			e.setHas(c.id, t.has-take)
+			e.setHas(c.id, e.has[c.id]-take)
 			e.coinsBurned += take
 			remaining -= take
 		}
@@ -1228,31 +1311,31 @@ func (e *Emulator) runAudit() {
 // on the first miss would slow the transient it exists to speed up.
 // Productive exchanges shrink the interval by ShrinkK down to the base
 // refresh interval (with the default ShrinkK this is a snap back to base).
-func (e *Emulator) adjustTiming(t *tileState, moved int64) {
+func (e *Emulator) adjustTiming(i int, moved int64) {
 	if !e.cfg.DynamicTiming {
 		return
 	}
 	if moved == 0 {
 		// A relinquishing tile keeps probing at full rate until its
 		// orphaned coins find a taker.
-		if t.max == 0 && t.has > 0 {
-			t.interval = e.cfg.RefreshInterval
+		if e.max[i] == 0 && e.has[i] > 0 {
+			e.interval[i] = e.cfg.RefreshInterval
 			return
 		}
-		t.zeroStreak++
-		if t.zeroStreak < 4 {
+		e.zeroStreak[i]++
+		if e.zeroStreak[i] < 4 {
 			return
 		}
-		ni := sim.Cycles(float64(t.interval) * e.cfg.Lambda)
+		ni := sim.Cycles(float64(e.interval[i]) * e.cfg.Lambda)
 		if ni > e.cfg.MaxInterval {
 			ni = e.cfg.MaxInterval
 		}
-		t.interval = ni
+		e.interval[i] = ni
 	} else {
-		t.zeroStreak = 0
+		e.zeroStreak[i] = 0
 		// Snap a backed-off tile to the base rate, then accelerate below
 		// it: converging regions exchange faster than the base rate.
-		ni := t.interval
+		ni := e.interval[i]
 		if ni > e.cfg.RefreshInterval {
 			ni = e.cfg.RefreshInterval
 		}
@@ -1261,7 +1344,7 @@ func (e *Emulator) adjustTiming(t *tileState, moved int64) {
 		} else {
 			ni = e.cfg.MinInterval
 		}
-		t.interval = ni
+		e.interval[i] = ni
 	}
 }
 
@@ -1325,7 +1408,7 @@ func (e *Emulator) Run() Result {
 	finalErr, worst := e.liveGlobalError(has, max)
 	var coinsEnd int64
 	for i, h := range has {
-		if !e.tiles[i].dead {
+		if e.flags[i]&fDead == 0 {
 			coinsEnd += h
 		}
 	}
@@ -1363,7 +1446,7 @@ func (e *Emulator) liveGlobalError(has, max []int64) (float64, float64) {
 	lh := make([]int64, 0, e.liveCount)
 	lm := make([]int64, 0, e.liveCount)
 	for i := range has {
-		if !e.tiles[i].dead {
+		if e.flags[i]&fDead == 0 {
 			lh = append(lh, has[i])
 			lm = append(lm, max[i])
 		}

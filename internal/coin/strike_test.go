@@ -28,32 +28,31 @@ func strikeCfg() Config {
 func TestTimeoutStrikesEverySilentNeighbor(t *testing.T) {
 	e := NewEmulator(strikeCfg(), rng.New(1))
 	center := 4 // interior tile of the 3x3: four distinct neighbors
-	ts := &e.tiles[center]
-	if ts.nbrCount != 4 {
-		t.Fatalf("center has %d neighbor slots, want 4", ts.nbrCount)
+	if e.nbrCount[center] != 4 {
+		t.Fatalf("center has %d neighbor slots, want 4", e.nbrCount[center])
 	}
-	e.startFourWay(ts)
-	if !ts.busy || !ts.pendActive {
+	e.startFourWay(center)
+	if e.flags[center]&fBusy == 0 || e.flags[center]&fPendActive == 0 {
 		t.Fatal("startFourWay did not mark the exchange in flight")
 	}
-	e.exchangeTimeout(center, ts.seq)
+	e.exchangeTimeout(center, e.seqNo[center])
 
-	if ts.liveNbrs != 0 {
-		t.Fatalf("liveNbrs = %d after all-silent timeout, want 0", ts.liveNbrs)
+	if e.liveNbrs[center] != 0 {
+		t.Fatalf("liveNbrs = %d after all-silent timeout, want 0", e.liveNbrs[center])
 	}
-	for s := 0; s < ts.nbrCount; s++ {
-		if !ts.nbrDead[s] {
-			t.Fatalf("neighbor slot %d (tile %d) not tombstoned", s, ts.nbrs[s])
+	for s := 0; s < int(e.nbrCount[center]); s++ {
+		if e.nbrDeadMask[center]&(1<<s) == 0 {
+			t.Fatalf("neighbor slot %d (tile %d) not tombstoned", s, e.nbrs[center*maxNbrs+s])
 		}
 	}
 	if e.nbrsPruned != 4 {
 		t.Fatalf("nbrsPruned = %d, want 4", e.nbrsPruned)
 	}
 	// Tombstones must not move or remove slots: any held index stays valid.
-	if ts.nbrCount != 4 {
-		t.Fatalf("nbrCount = %d after pruning, want 4 (slots are never deleted)", ts.nbrCount)
+	if e.nbrCount[center] != 4 {
+		t.Fatalf("nbrCount = %d after pruning, want 4 (slots are never deleted)", e.nbrCount[center])
 	}
-	if ts.busy {
+	if e.flags[center]&fBusy != 0 {
 		t.Fatal("timeout left the center busy")
 	}
 }
@@ -63,21 +62,21 @@ func TestTimeoutStrikesEverySilentNeighbor(t *testing.T) {
 func TestTimeoutPartialAnswersStrikeOnlySilent(t *testing.T) {
 	e := NewEmulator(strikeCfg(), rng.New(1))
 	center := 4
-	ts := &e.tiles[center]
-	e.startFourWay(ts)
-	joined, nacked := ts.nbrs[0], ts.nbrs[1]
-	e.onFourWayStatus(ts, joined, noc.CoinMsg{Has: 3, Max: 8, Reply: true, Seq: ts.seq})
-	e.onFourWayStatus(ts, nacked, noc.CoinMsg{Reply: true, Nack: true, Seq: ts.seq})
+	e.startFourWay(center)
+	base := center * maxNbrs
+	joined, nacked := int(e.nbrs[base]), int(e.nbrs[base+1])
+	e.onFourWayStatus(center, joined, noc.CoinMsg{Has: 3, Max: 8, Reply: true, Seq: e.seqNo[center]})
+	e.onFourWayStatus(center, nacked, noc.CoinMsg{Reply: true, Nack: true, Seq: e.seqNo[center]})
 
 	sentBefore := e.net.Stats().Sent
-	e.exchangeTimeout(center, ts.seq)
+	e.exchangeTimeout(center, e.seqNo[center])
 	if e.nbrsPruned != 2 {
 		t.Fatalf("nbrsPruned = %d, want 2 (the two silent neighbors)", e.nbrsPruned)
 	}
-	if ts.nbrDead[0] || ts.nbrDead[1] {
+	if e.nbrDeadMask[center]&0b11 != 0 {
 		t.Fatal("an answering neighbor was tombstoned")
 	}
-	if !ts.nbrDead[2] || !ts.nbrDead[3] {
+	if e.nbrDeadMask[center]&0b1100 != 0b1100 {
 		t.Fatal("a silent neighbor was not tombstoned")
 	}
 	// Exactly one release packet: the joined neighbor. The nack'd one never
@@ -90,20 +89,24 @@ func TestTimeoutPartialAnswersStrikeOnlySilent(t *testing.T) {
 // The round-robin cursor must skip tombstoned slots and keep cycling the
 // survivors in slot order.
 func TestNextRRPartnerSkipsTombstones(t *testing.T) {
-	ts := tileState{nbrs: [maxNbrs]int{10, 11, 12, 13}, nbrCount: 4, liveNbrs: 4}
-	ts.nbrDead[1] = true
-	ts.liveNbrs--
+	e := NewEmulator(strikeCfg(), rng.New(1))
+	center := 4
+	base := center * maxNbrs
+	nbrs := [maxNbrs]int{10, 11, 12, 13}
+	for s, nb := range nbrs {
+		e.nbrs[base+s] = int32(nb)
+	}
+	e.nbrDeadMask[center] = 1 << 1
+	e.liveNbrs[center]--
 	want := []int{10, 12, 13, 10, 12, 13}
 	for i, w := range want {
-		if got := ts.nextRRPartner(); got != w {
+		if got := e.nextRRPartner(center); got != w {
 			t.Fatalf("draw %d = %d, want %d", i, got, w)
 		}
 	}
-	for s := range ts.nbrDead {
-		ts.nbrDead[s] = true
-	}
-	ts.liveNbrs = 0
-	if got := ts.nextRRPartner(); got != -1 {
+	e.nbrDeadMask[center] = 0b1111
+	e.liveNbrs[center] = 0
+	if got := e.nextRRPartner(center); got != -1 {
 		t.Fatalf("all-dead draw = %d, want -1", got)
 	}
 }

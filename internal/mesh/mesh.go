@@ -145,18 +145,30 @@ func (m Mesh) Neighbors(i int) []int {
 // order. Used by the behavioral emulator where a pair exchange with the same
 // tile twice per rotation would double-count packets.
 func (m Mesh) DistinctNeighbors(i int) []int {
-	ns := m.Neighbors(i)
-	out := ns[:0]
-	for _, n := range ns {
+	return m.AppendDistinctNeighbors(i, make([]int, 0, NumDirections))
+}
+
+// AppendDistinctNeighbors appends tile i's distinct neighbors to out (in
+// direction order, duplicates and self-loops skipped) and returns the
+// extended slice. Passing a stack buffer of capacity NumDirections makes the
+// per-tile neighbor walk allocation-free — constructors that visit every
+// tile of a large mesh use this instead of DistinctNeighbors.
+func (m Mesh) AppendDistinctNeighbors(i int, out []int) []int {
+	start := len(out)
+	for d := North; d < numDirections; d++ {
+		j, ok := m.Neighbor(i, d)
+		if !ok {
+			continue
+		}
 		dup := false
-		for _, o := range out {
-			if o == n {
+		for _, o := range out[start:] {
+			if o == j {
 				dup = true
 				break
 			}
 		}
 		if !dup {
-			out = append(out, n)
+			out = append(out, j)
 		}
 	}
 	return out

@@ -185,12 +185,22 @@ type Network struct {
 	stats    Stats
 	faults   *fault.Injector
 
-	// deliverFn is the single event callback all deliveries run through;
-	// allocating it once keeps Send free of per-packet closures.
-	deliverFn func(any)
-	// pool recycles packets created by SendCoin.
+	// Deliveries travel the kernel as typed (opDeliver, dst, slot) events:
+	// slots holds each in-flight packet under a small integer index, so the
+	// event itself is pointer-free and no per-packet closure or interface
+	// boxing exists anywhere on the send path.
+	opDeliver sim.OpCode
+	slots     []*Packet
+	freeSlots []int32
+	// pool recycles packets created by SendCoin, refilled a slab at a time.
 	pool []*Packet
 }
+
+// poolBatch is how many packets one pool refill allocates (as a single
+// slab): the exchange workload keeps a few hundred packets in flight at
+// peak, so warming the pool costs a handful of allocations, not one per
+// packet.
+const poolBatch = 64
 
 // New builds a network over the given mesh using kernel for timing.
 func New(k *sim.Kernel, m mesh.Mesh, cfg Config) *Network {
@@ -204,8 +214,27 @@ func New(k *sim.Kernel, m mesh.Mesh, cfg Config) *Network {
 		n.eject[p] = make([]sim.Cycles, m.N())
 		n.handlers[p] = make([]Handler, m.N())
 	}
-	n.deliverFn = func(a any) { n.deliver(a.(*Packet)) }
+	n.opDeliver = k.RegisterOp(func(_ int32, x uint64) {
+		p := n.slots[x]
+		n.slots[x] = nil
+		n.freeSlots = append(n.freeSlots, int32(x))
+		n.deliver(p)
+	})
 	return n
+}
+
+// schedDeliver parks p in the slot table and schedules its delivery event.
+func (n *Network) schedDeliver(t sim.Cycles, p *Packet) {
+	var slot int32
+	if k := len(n.freeSlots) - 1; k >= 0 {
+		slot = n.freeSlots[k]
+		n.freeSlots = n.freeSlots[:k]
+		n.slots[slot] = p
+	} else {
+		n.slots = append(n.slots, p)
+		slot = int32(len(n.slots) - 1)
+	}
+	n.kernel.AtOp(t, n.opDeliver, int32(p.Dst), uint64(slot))
 }
 
 // Mesh returns the topology the network routes over.
@@ -303,7 +332,7 @@ func (n *Network) Send(p *Packet) bool {
 	}
 	n.eject[p.Plane][p.Dst] = t + 1
 
-	n.kernel.AtCall(t, n.deliverFn, p)
+	n.schedDeliver(t, p)
 
 	if v.Dup {
 		// The duplicate trails the original through the ejection port with
@@ -316,7 +345,7 @@ func (n *Network) Send(p *Packet) bool {
 			td = free
 		}
 		n.eject[p.Plane][p.Dst] = td + 1
-		n.kernel.AtCall(td, n.deliverFn, &dup)
+		n.schedDeliver(td, &dup)
 	}
 	return true
 }
@@ -327,6 +356,32 @@ func (n *Network) Send(p *Packet) bool {
 // of Send disappears from the exchange hot path. The return value matches
 // Send's: false means an injected fault discarded the packet.
 func (n *Network) SendCoin(plane Plane, kind Kind, src, dst int, msg CoinMsg) bool {
+	p := n.getPooled()
+	p.Plane, p.Kind, p.Src, p.Dst, p.Coin = plane, kind, src, dst, msg
+	ok := n.Send(p)
+	if !ok {
+		n.pool = append(n.pool, p)
+	}
+	return ok
+}
+
+// SendData injects a pooled packet with an interface payload — the same
+// recycling discipline as SendCoin for non-coin traffic like DMA flits, whose
+// per-flit packets would otherwise dominate the SoC runner's allocations.
+// Handlers must not retain the packet (the payload may be).
+func (n *Network) SendData(plane Plane, kind Kind, src, dst int, payload interface{}) bool {
+	p := n.getPooled()
+	p.Plane, p.Kind, p.Src, p.Dst, p.Payload = plane, kind, src, dst, payload
+	ok := n.Send(p)
+	if !ok {
+		n.pool = append(n.pool, p)
+	}
+	return ok
+}
+
+// getPooled returns a zeroed pooled packet, refilling the free list by slab
+// when it runs dry.
+func (n *Network) getPooled() *Packet {
 	var p *Packet
 	if k := len(n.pool) - 1; k >= 0 {
 		p = n.pool[k]
@@ -334,15 +389,14 @@ func (n *Network) SendCoin(plane Plane, kind Kind, src, dst int, msg CoinMsg) bo
 		n.pool = n.pool[:k]
 		*p = Packet{}
 	} else {
-		p = new(Packet)
+		batch := make([]Packet, poolBatch)
+		p = &batch[0]
+		for i := range batch[1:] {
+			n.pool = append(n.pool, &batch[1+i])
+		}
 	}
 	p.pooled = true
-	p.Plane, p.Kind, p.Src, p.Dst, p.Coin = plane, kind, src, dst, msg
-	ok := n.Send(p)
-	if !ok {
-		n.pool = append(n.pool, p)
-	}
-	return ok
+	return p
 }
 
 func (n *Network) deliver(p *Packet) {

@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"testing"
+
+	"blitzcoin/internal/rng"
+)
+
+// refSched is the unbatched reference scheduler: a plain sorted insert on
+// (time, arrival sequence) with one closure per event, exactly the semantics
+// the calendar-queue kernel batches away. It exists only to pin the kernel's
+// observable behavior — execution order and count — independent of the ring
+// buckets, the occupancy bitmap, and the spill heap.
+type refSched struct {
+	now   Cycles
+	seq   uint64
+	count uint64
+	queue []refEv
+}
+
+type refEv struct {
+	at  Cycles
+	seq uint64
+	fn  func()
+}
+
+func (r *refSched) schedule(delay Cycles, fn func()) {
+	if delay < 1 {
+		delay = 1
+	}
+	e := refEv{at: r.now + delay, seq: r.seq, fn: fn}
+	r.seq++
+	// Insert keeping (at, seq) order; the slice stays sorted because seq is
+	// monotone, so the insertion point is the first entry with a later time.
+	i := len(r.queue)
+	for i > 0 && r.queue[i-1].at > e.at {
+		i--
+	}
+	r.queue = append(r.queue, refEv{})
+	copy(r.queue[i+1:], r.queue[i:])
+	r.queue[i] = e
+	_ = e.seq
+}
+
+func (r *refSched) run() {
+	for len(r.queue) > 0 {
+		e := r.queue[0]
+		r.queue = r.queue[1:]
+		r.now = e.at
+		r.count++
+		e.fn()
+	}
+}
+
+// workload drives one scheduler implementation through a deterministic
+// self-expanding event cascade and returns the execution log. Each executed
+// event logs (id, now) and may schedule up to two children with delays drawn
+// from a dedicated rng stream — including delays past the kernel's 1024-cycle
+// ring horizon, so the spill heap and bucket migration are exercised, and
+// same-cycle fan-out (delay resolution to the same target cycle from
+// different parents), so intra-cycle FIFO order is exercised.
+func workload(schedule func(Cycles, func()), getNow func() Cycles, seeds []uint64) *[]uint64 {
+	log := new([]uint64)
+	src := rng.New(12345)
+	nextID := uint64(0)
+
+	var spawn func(id uint64, depth int)
+	spawn = func(id uint64, depth int) {
+		*log = append(*log, id<<32|uint64(getNow()&0xffffffff))
+		if depth >= 5 {
+			return
+		}
+		kids := int(src.Uint64() % 3) // 0, 1, or 2 children
+		for c := 0; c < kids; c++ {
+			// Mix short delays (same-cycle collisions), mid delays, and
+			// beyond-horizon delays that land in the spill heap.
+			var d Cycles
+			switch src.Uint64() % 4 {
+			case 0:
+				d = Cycles(1 + src.Uint64()%3)
+			case 1:
+				d = Cycles(1 + src.Uint64()%100)
+			case 2:
+				d = Cycles(900 + src.Uint64()%300) // straddles the horizon
+			default:
+				d = Cycles(2000 + src.Uint64()%5000) // deep spill
+			}
+			nextID++
+			cid := nextID
+			cdepth := depth + 1
+			schedule(d, func() { spawn(cid, cdepth) })
+		}
+	}
+
+	for _, s := range seeds {
+		nextID++
+		id := nextID
+		schedule(Cycles(1+s%700), func() { spawn(id, 0) })
+	}
+	return log
+}
+
+// TestKernelMatchesReferenceScheduler is the batching property test: the
+// calendar-queue kernel must execute the exact event sequence — same events,
+// same order, same timestamps, same Executed() count — as the naive
+// one-event-at-a-time reference scheduler, for a cascade that exercises
+// same-cycle ordering, horizon wrap, and the spill heap.
+func TestKernelMatchesReferenceScheduler(t *testing.T) {
+	seeds := make([]uint64, 40)
+	for i := range seeds {
+		seeds[i] = uint64(i) * 17
+	}
+
+	ref := &refSched{}
+	wantLog := workload(ref.schedule, func() Cycles { return ref.now }, seeds)
+	ref.run()
+
+	var k Kernel
+	gotLog := workload(k.Schedule, k.Now, seeds)
+	k.Drain()
+
+	if k.Executed() != ref.count {
+		t.Fatalf("Executed() = %d, reference executed %d", k.Executed(), ref.count)
+	}
+	got, want := *gotLog, *wantLog
+	if len(got) != len(want) {
+		t.Fatalf("kernel logged %d events, reference %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d: kernel ran (id=%d, t=%d), reference ran (id=%d, t=%d)",
+				i, got[i]>>32, got[i]&0xffffffff, want[i]>>32, want[i]&0xffffffff)
+		}
+	}
+	if k.Executed() == 0 || len(want) < 100 {
+		t.Fatalf("degenerate cascade: %d events", len(want))
+	}
+}
+
+// TestKernelOpsMatchClosures pins the typed-op path to the closure path: the
+// same cascade scheduled via ScheduleOp must interleave identically with
+// closure events, because ops and closures share one (time, seq) order.
+func TestKernelOpsMatchClosures(t *testing.T) {
+	run := func(useOps bool) ([]uint64, uint64) {
+		var k Kernel
+		var log []uint64
+		var op OpCode
+		if useOps {
+			op = k.RegisterOp(func(tile int32, x uint64) {
+				log = append(log, uint64(tile)<<32|x)
+			})
+		}
+		emit := func(d Cycles, tile int32, x uint64) {
+			if useOps {
+				k.ScheduleOp(d, op, tile, x)
+			} else {
+				k.Schedule(d, func() { log = append(log, uint64(tile)<<32|x) })
+			}
+		}
+		src := rng.New(777)
+		for i := int32(0); i < 300; i++ {
+			emit(Cycles(1+src.Uint64()%3000), i, src.Uint64()&0xffff)
+		}
+		// Closure events interleave with the op stream in both runs.
+		for i := 0; i < 50; i++ {
+			d := Cycles(1 + src.Uint64()%3000)
+			k.Schedule(d, func() { log = append(log, 1<<63|uint64(d)) })
+		}
+		k.Drain()
+		return log, k.Executed()
+	}
+
+	opLog, opN := run(true)
+	clLog, clN := run(false)
+	if opN != clN {
+		t.Fatalf("Executed(): ops=%d closures=%d", opN, clN)
+	}
+	if len(opLog) != len(clLog) {
+		t.Fatalf("log length: ops=%d closures=%d", len(opLog), len(clLog))
+	}
+	for i := range opLog {
+		if opLog[i] != clLog[i] {
+			t.Fatalf("event %d differs: op-path=%x closure-path=%x", i, opLog[i], clLog[i])
+		}
+	}
+}

@@ -22,7 +22,9 @@ type accelTile struct {
 	curve *power.Curve
 	pm    *core.TilePM
 
+	series       string  // cached power-trace series name ("tNN-accel")
 	freqMHz      float64 // effective clock, piecewise constant
+	pendFreq     float64 // frequency the latest actuation will settle to
 	freqEpoch    int     // guards stale actuation events
 	active       bool    // a task occupies the tile (including DMA phases)
 	computing    bool    // the compute phase is running (work progresses)
@@ -55,9 +57,15 @@ type Runner struct {
 	src    *rng.Source
 	rec    *trace.Recorder
 
-	tiles     map[int]*accelTile
+	// tiles is dense over mesh indices (nil for unmanaged tiles), so the
+	// typed event handlers resolve a tile id with one indexed load.
+	tiles     []*accelTile
 	tileOrder []int // sorted mesh indices for deterministic iteration
 	byAccel   map[string][]int
+
+	// UVFR settle and task completion travel the kernel as typed
+	// (op, tile, epoch) events — no per-event closures on the SoC hot path.
+	opSettle, opComplete sim.OpCode
 
 	graph           *workload.Graph
 	done            map[int]bool
@@ -96,9 +104,11 @@ func New(cfg Config) *Runner {
 		net:     net,
 		src:     src,
 		rec:     trace.NewRecorder(),
-		tiles:   make(map[int]*accelTile),
+		tiles:   make([]*accelTile, cfg.Mesh.N()),
 		byAccel: make(map[string][]int),
 	}
+	r.opSettle = k.RegisterOp(func(tile int32, x uint64) { r.settleDone(int(tile), int(x)) })
+	r.opComplete = k.RegisterOp(func(tile int32, x uint64) { r.completionDue(int(tile), int(x)) })
 	if cfg.Faults != nil && cfg.Faults.Enabled() {
 		r.injector = fault.NewInjector(*cfg.Faults)
 		net.AttachFaults(r.injector)
@@ -142,6 +152,7 @@ func New(cfg Config) *Runner {
 		t := &accelTile{
 			idx:     idx,
 			accel:   cfg.Tiles[idx].Accel,
+			series:  fmt.Sprintf("t%02d-%s", idx, cfg.Tiles[idx].Accel),
 			curve:   c,
 			pm:      core.NewTilePM(c, mwPerCoin),
 			taskID:  -1,
@@ -207,8 +218,8 @@ func New(cfg Config) *Runner {
 // Kills addressed at unmanaged tiles only affect the NoC (the fault layer
 // already swallows their traffic).
 func (r *Runner) killTile(idx int) {
-	t, ok := r.tiles[idx]
-	if !ok || t.dead {
+	t := r.tiles[idx]
+	if t == nil || t.dead {
 		return
 	}
 	now := r.kernel.Now()
@@ -246,7 +257,7 @@ func (r *Runner) Kernel() *sim.Kernel { return r.kernel }
 // tile a target proportional to its power at Fmax.
 func (r *Runner) targetMW(t *accelTile) float64 {
 	if r.cfg.Strategy == AbsoluteProportional {
-		return r.cfg.CombinedPMaxMW() / float64(len(r.tiles))
+		return r.cfg.CombinedPMaxMW() / float64(len(r.tileOrder))
 	}
 	return t.curve.PMax()
 }
@@ -280,19 +291,12 @@ func (r *Runner) startDMA(t *accelTile, toMem bool, flits int, done func()) {
 		if i%2 == 1 {
 			plane = noc.PlaneDMA1
 		}
-		r.net.Send(&noc.Packet{
-			Plane:   plane,
-			Kind:    noc.KindOther,
-			Src:     src,
-			Dst:     dst,
-			Payload: tr,
-		})
+		r.net.SendData(plane, noc.KindOther, src, dst, tr)
 	}
 }
 
 // recordPower appends the tile's current draw to its trace series.
 func (r *Runner) recordPower(t *accelTile) {
-	name := fmt.Sprintf("t%02d-%s", t.idx, t.accel)
 	var p float64
 	switch {
 	case t.dead:
@@ -302,15 +306,15 @@ func (r *Runner) recordPower(t *accelTile) {
 	default:
 		p = t.curve.IdlePowerMW()
 	}
-	r.rec.Series(name).Record(r.kernel.Now(), p)
+	r.rec.Series(t.series).Record(r.kernel.Now(), p)
 }
 
 // onAllocation handles a power-allocation change from the PM scheme: it
 // retargets the tile's regulator and applies the new effective frequency
 // after the UVFR settling delay.
 func (r *Runner) onAllocation(tileIdx int, mw float64) {
-	t, ok := r.tiles[tileIdx]
-	if !ok || t.dead {
+	t := r.tiles[tileIdx]
+	if t == nil || t.dead {
 		return
 	}
 	now := r.kernel.Now()
@@ -318,43 +322,53 @@ func (r *Runner) onAllocation(tileIdx int, mw float64) {
 
 	t.pm.SetPowerMW(mw)
 	settle, _ := t.pm.Reg.SettleCycles(512)
-	newF := t.pm.FreqMHz()
 
+	// Epoch-guard the actuation: only the newest settle event applies, and
+	// pendFreq is exactly the frequency that event was armed with.
+	t.pendFreq = t.pm.FreqMHz()
 	t.freqEpoch++
-	epoch := t.freqEpoch
-	r.kernel.Schedule(settle, func() {
-		if t.freqEpoch != epoch {
-			return
-		}
-		r.progressTo(t, r.kernel.Now())
-		t.freqMHz = newF
-		r.recordPower(t)
-		if t.computing {
-			r.scheduleCompletion(t)
-		}
-	})
+	r.kernel.ScheduleOp(settle, r.opSettle, int32(t.idx), uint64(t.freqEpoch))
+}
+
+// settleDone applies a UVFR actuation once the regulator settles, unless a
+// newer retarget superseded it.
+func (r *Runner) settleDone(idx, epoch int) {
+	t := r.tiles[idx]
+	if t.freqEpoch != epoch {
+		return
+	}
+	r.progressTo(t, r.kernel.Now())
+	t.freqMHz = t.pendFreq
+	r.recordPower(t)
+	if t.computing {
+		r.scheduleCompletion(t)
+	}
 }
 
 // scheduleCompletion (re)arms the task-completion event at the current
 // frequency.
 func (r *Runner) scheduleCompletion(t *accelTile) {
 	t.compEpoch++
-	epoch := t.compEpoch
 	if t.freqMHz <= 0 {
 		panic("soc: tile clock stalled with an active task")
 	}
 	eta := sim.Cycles(math.Ceil(t.remaining*800.0/t.freqMHz)) + 1
-	r.kernel.Schedule(eta, func() {
-		if t.compEpoch != epoch || !t.computing {
-			return
-		}
-		r.progressTo(t, r.kernel.Now())
-		if t.remaining <= 0.5 {
-			r.completeTask(t)
-		} else {
-			r.scheduleCompletion(t)
-		}
-	})
+	r.kernel.ScheduleOp(eta, r.opComplete, int32(t.idx), uint64(t.compEpoch))
+}
+
+// completionDue fires when the task armed at this epoch should have finished
+// at the frequency then in effect; a frequency change re-arms it instead.
+func (r *Runner) completionDue(idx, epoch int) {
+	t := r.tiles[idx]
+	if t.compEpoch != epoch || !t.computing {
+		return
+	}
+	r.progressTo(t, r.kernel.Now())
+	if t.remaining <= 0.5 {
+		r.completeTask(t)
+	} else {
+		r.scheduleCompletion(t)
+	}
 }
 
 // startTask dispatches a ready task onto an idle tile: request power, fetch
