@@ -8,7 +8,8 @@ SHORTSHA := $(shell git rev-parse --short HEAD)
 BENCH_BASELINE ?= BENCH_f33851c.json
 
 .PHONY: build test vet race verify bench benchcheck bench-report figures \
-	server-smoke cluster-smoke chaos-smoke lint fmtcheck blitzlint lint-update
+	server-smoke cluster-smoke chaos-smoke stream-smoke lint fmtcheck \
+	blitzlint lint-update
 
 build:
 	$(GO) build ./...
@@ -45,8 +46,9 @@ race:
 
 # The gate every change must pass: static checks (formatting, vet, the
 # blitzlint domain analyzers), the full test suite under the race detector,
-# the hot-path perf gate, and the daemon + cluster + chaos smoke tests.
-verify: lint race benchcheck server-smoke cluster-smoke chaos-smoke
+# the hot-path perf gate, and the daemon + cluster + chaos + streaming
+# smoke tests.
+verify: lint race benchcheck server-smoke cluster-smoke chaos-smoke stream-smoke
 
 # server-smoke boots a real blitzd on an ephemeral port, runs one exchange
 # request twice through blitzctl, and asserts the repeat is a cache hit.
@@ -65,6 +67,13 @@ cluster-smoke:
 # single-node execution (must be byte-identical despite speculation).
 chaos-smoke:
 	sh scripts/chaos_smoke.sh
+
+# stream-smoke boots blitzd with a results ledger, follows a figure sweep
+# live over SSE through blitzctl -stream, verifies the served result
+# against the ledger's Merkle proof (-verify), and hard-kills a subscriber
+# mid-stream to prove the daemon is unaffected.
+stream-smoke:
+	sh scripts/stream_smoke.sh
 
 # bench snapshots the whole benchmark suite (3 samples each) into
 # BENCH_<sha>.json; commit the file to extend the perf trajectory.

@@ -14,11 +14,26 @@
 //	blitzctl -cluster               # worker table, steal/speculation counters, shard latency
 //	blitzctl -ready                 # readiness probe (/readyz; exit 1 when not ready)
 //
+// Live telemetry and ledger audits:
+//
+//	blitzctl -figure 7 -stream      # follow the sweep live over SSE while it runs
+//	blitzctl -stream -hash <h>      # follow an already-running sweep by hash
+//	blitzctl -exchange -verify      # run, then verify the result against the ledger
+//
+// -stream subscribes to GET /v1/stream before POSTing, prints each event
+// to stderr as it arrives (per-trial progress, convergence markers, live
+// series points, shard dispatches on a coordinator), and waits for the
+// sweep-done event. -verify recomputes the canonical result SHA of the
+// served result, fetches GET /v1/ledger/proof, and checks the Merkle
+// inclusion proof locally — exit 0 only if the daemon's ledger really
+// contains the result that was served.
+//
 // Every request runs under -timeout and is cancelled cleanly by SIGINT/
 // SIGTERM. Exit status is 0 on HTTP 200, 1 otherwise.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -27,6 +42,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
 	"strings"
@@ -34,6 +50,7 @@ import (
 	"time"
 
 	"blitzcoin"
+	"blitzcoin/internal/ledger"
 )
 
 func main() {
@@ -50,6 +67,9 @@ func main() {
 	figures := flag.Bool("figures", false, "list the figure registry")
 	clusterStatus := flag.Bool("cluster", false, "print the coordinator's worker table and shard counters")
 	ready := flag.Bool("ready", false, "probe /readyz (exit 0 only when the daemon is ready)")
+	stream := flag.Bool("stream", false, "follow the sweep's live events over SSE while it runs")
+	verify := flag.Bool("verify", false, "verify the served result against the daemon's ledger")
+	hashFlag := flag.String("hash", "", "with -stream: follow this request hash instead of POSTing a sweep")
 	timeout := flag.Duration("timeout", 10*time.Minute, "request timeout")
 	flag.Parse()
 
@@ -72,14 +92,179 @@ func main() {
 		get(ctx, client, base+"/v1/cluster/status")
 	case *ready:
 		get(ctx, client, base+"/readyz")
+	case *stream && *hashFlag != "":
+		// Follow an already-running (or cached) sweep without launching one.
+		connected := make(chan struct{})
+		followStream(ctx, client, base, *hashFlag, connected)
 	default:
 		body, err := buildRequest(*reqFile, *figure, *exchange, *socName, *scheme, *dim, *trials, *seed)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "blitzctl: %v\n", err)
 			os.Exit(1)
 		}
-		post(ctx, client, base+"/v1/sweep", body)
+		runSweep(ctx, client, base, body, *stream, *verify)
 	}
+}
+
+// runSweep POSTs the request, optionally following its live event stream
+// while it runs and verifying the served result against the ledger after.
+func runSweep(ctx context.Context, client *http.Client, base string, body []byte, stream, verify bool) {
+	hash := ""
+	if stream || verify {
+		var req blitzcoin.Request
+		if err := json.Unmarshal(body, &req); err != nil {
+			fail(fmt.Errorf("decoding request for hashing: %w", err))
+		}
+		norm := req.Normalized()
+		h, err := norm.CanonicalHash()
+		if err != nil {
+			fail(err)
+		}
+		hash = h
+	}
+
+	var streamDone chan struct{}
+	if stream {
+		// Subscribe before POSTing so no event outruns us; if the sweep is
+		// already cached the stream answers with a synthetic sweep-done.
+		connected := make(chan struct{})
+		streamDone = make(chan struct{})
+		go func() {
+			defer close(streamDone)
+			followStream(ctx, client, base, hash, connected)
+		}()
+		select {
+		case <-connected:
+		case <-time.After(5 * time.Second):
+		case <-ctx.Done():
+		}
+	}
+
+	resp, respBody := postCapture(ctx, client, base+"/v1/sweep", body)
+	os.Stdout.Write(respBody) //nolint:errcheck // best effort to a pipe
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "blitzctl: HTTP %s\n", resp.Status)
+		os.Exit(1)
+	}
+
+	if streamDone != nil {
+		select {
+		case <-streamDone:
+		case <-time.After(10 * time.Second):
+			fmt.Fprintln(os.Stderr, "blitzctl: stream did not complete; continuing")
+		case <-ctx.Done():
+		}
+	}
+	if verify {
+		verifyAgainstLedger(ctx, client, base, respBody)
+	}
+}
+
+// followStream prints the SSE events of one sweep hash to stderr until
+// the stream reports sweep-done/sweep-failed or ends. connected closes
+// once the subscription is established (or has failed).
+func followStream(ctx context.Context, client *http.Client, base, hash string, connected chan struct{}) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		base+"/v1/stream?hash="+url.QueryEscape(hash), nil)
+	if err != nil {
+		close(connected)
+		fmt.Fprintf(os.Stderr, "blitzctl: stream: %v\n", err)
+		return
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		close(connected)
+		fmt.Fprintf(os.Stderr, "blitzctl: stream: %v\n", err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		close(connected)
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		fmt.Fprintf(os.Stderr, "blitzctl: stream: HTTP %s: %s\n", resp.Status, bytes.TrimSpace(body))
+		return
+	}
+	close(connected)
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	event := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			fmt.Fprintf(os.Stderr, "stream %-14s %s\n", event, strings.TrimPrefix(line, "data: "))
+			if event == "sweep-done" || event == "sweep-failed" {
+				return
+			}
+		}
+	}
+}
+
+// sweepEnvelope is the slice of the POST /v1/sweep response that
+// verification needs.
+type sweepEnvelope struct {
+	RequestHash   string          `json:"request_hash"`
+	EngineVersion string          `json:"engine_version"`
+	Result        json.RawMessage `json:"result"`
+}
+
+// verifyAgainstLedger audits a served sweep response: recompute the
+// canonical result SHA locally, fetch the daemon's inclusion proof, check
+// that the proof binds (hash, engine, SHA), and verify the Merkle path
+// locally. Exits 1 on any mismatch.
+func verifyAgainstLedger(ctx context.Context, client *http.Client, base string, respBody []byte) {
+	var env sweepEnvelope
+	if err := json.Unmarshal(respBody, &env); err != nil {
+		fail(fmt.Errorf("decoding sweep envelope: %w", err))
+	}
+	sha, err := blitzcoin.CanonicalResultSHA(env.Result)
+	if err != nil {
+		fail(err)
+	}
+
+	u := base + "/v1/ledger/proof?hash=" + url.QueryEscape(env.RequestHash) +
+		"&engine=" + url.QueryEscape(env.EngineVersion)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		fail(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		fail(err)
+	}
+	defer resp.Body.Close()
+	proofBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fail(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "blitzctl: verify: HTTP %s: %s\n", resp.Status, bytes.TrimSpace(proofBody))
+		os.Exit(1)
+	}
+	var p ledger.Proof
+	if err := json.Unmarshal(proofBody, &p); err != nil {
+		fail(fmt.Errorf("decoding ledger proof: %w", err))
+	}
+
+	switch {
+	case p.Key != env.RequestHash:
+		fmt.Fprintf(os.Stderr, "blitzctl: verify FAILED: proof is for options %s, served %s\n", p.Key, env.RequestHash)
+		os.Exit(1)
+	case p.Engine != env.EngineVersion:
+		fmt.Fprintf(os.Stderr, "blitzctl: verify FAILED: proof engine %s, served %s\n", p.Engine, env.EngineVersion)
+		os.Exit(1)
+	case p.ResultSHA != sha:
+		fmt.Fprintf(os.Stderr, "blitzctl: verify FAILED: ledger holds result %s, served result hashes to %s\n", p.ResultSHA, sha)
+		os.Exit(1)
+	}
+	if err := p.Verify(); err != nil {
+		fmt.Fprintf(os.Stderr, "blitzctl: verify FAILED: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "blitzctl: ledger verification OK (seq=%d tree=%d root=%s)\n", p.Seq, p.TreeSize, p.Root)
 }
 
 // buildRequest assembles the POST body from the selected mode.
@@ -125,7 +310,9 @@ func get(ctx context.Context, client *http.Client, url string) {
 	emit(resp)
 }
 
-func post(ctx context.Context, client *http.Client, url string, body []byte) {
+// postCapture POSTs and returns the full response (body read to the end)
+// so callers can both print and inspect it.
+func postCapture(ctx context.Context, client *http.Client, url string, body []byte) (*http.Response, []byte) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
 		fail(err)
@@ -135,7 +322,12 @@ func post(ctx context.Context, client *http.Client, url string, body []byte) {
 	if err != nil {
 		fail(err)
 	}
-	emit(resp)
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fail(err)
+	}
+	return resp, b
 }
 
 // fail reports a transport-level error, naming the timeout when the

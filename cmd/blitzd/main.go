@@ -10,18 +10,28 @@
 //	blitzd [-addr :8425] [-workers 2] [-parallel 0]
 //	       [-cache-entries 256] [-cache-mb 64]
 //	       [-addrfile path] [-drain-timeout 30s]
+//	       [-ledger path.jsonl] [-ledger-batch 8]
 //	       [-coordinator] [-cluster-workers url,url,...]
 //	       [-steal-unit n] [-no-speculation]
 //	       [-join url -advertise url]
 //	       [-chaos '{"fail_slow":[...]}' -chaos-tile 2]
 //
 // Endpoints: POST /v1/sweep, POST /v1/shard, GET /v1/figures, GET
-// /healthz (liveness), GET /readyz (readiness: drain state, queue depth,
-// and — on coordinators — live-worker availability), GET /metrics, and
-// /debug/pprof; coordinators additionally serve POST /v1/cluster/join
-// and GET /v1/cluster/status. SIGINT/SIGTERM drain gracefully: in-flight
-// sweeps finish (up to -drain-timeout), new ones are refused with 503 +
-// Retry-After.
+// /v1/stream (follow a sweep's live events over SSE), GET
+// /v1/ledger/proof and /v1/ledger/root (result-ledger audits, with
+// -ledger), GET /healthz (liveness), GET /readyz (readiness: drain
+// state, queue depth, and — on coordinators — live-worker availability),
+// GET /metrics, and /debug/pprof; coordinators additionally serve POST
+// /v1/cluster/join and GET /v1/cluster/status. SIGINT/SIGTERM drain
+// gracefully: in-flight sweeps finish (up to -drain-timeout), open SSE
+// streams follow their in-flight sweep to completion, new work is
+// refused with 503 + Retry-After.
+//
+// Ledger mode: `-ledger path` appends every computed result (options
+// hash, engine version, canonical result SHA) to a Merkle-batched
+// append-only JSONL file and stamps the ledger sequence + tree head into
+// served results; blitzctl -verify audits any served result against
+// GET /v1/ledger/proof.
 //
 // Cluster mode: `-coordinator` makes this daemon split every /v1/sweep
 // across its workers as /v1/shard dispatches and merge the rows
@@ -58,6 +68,7 @@ import (
 
 	"blitzcoin"
 	"blitzcoin/internal/cluster"
+	"blitzcoin/internal/ledger"
 	"blitzcoin/internal/server"
 	"blitzcoin/internal/sweep"
 )
@@ -70,6 +81,8 @@ func main() {
 	cacheMB := flag.Int("cache-mb", 64, "result-cache size bound in MiB (<0 disables)")
 	addrFile := flag.String("addrfile", "", "write the bound address to this file (for scripts)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight sweeps")
+	ledgerPath := flag.String("ledger", "", "append-only results-ledger file (empty disables the ledger)")
+	ledgerBatch := flag.Int("ledger-batch", 0, "appends per Merkle seal (0 = default 8)")
 
 	coordinator := flag.Bool("coordinator", false, "serve sweeps by sharding them across cluster workers")
 	clusterWorkers := flag.String("cluster-workers", "", "comma-separated static worker base URLs (coordinator mode)")
@@ -101,6 +114,21 @@ func main() {
 		CacheEntries: *cacheEntries,
 		CacheBytes:   int64(*cacheMB) << 20,
 		Logger:       log,
+	}
+	if *ledgerPath != "" {
+		led, err := ledger.Open(*ledgerPath, *ledgerBatch)
+		if err != nil {
+			log.Error("ledger", "path", *ledgerPath, "error", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := led.Close(); err != nil {
+				log.Warn("ledger close", "error", err)
+			}
+		}()
+		cfg.Ledger = led
+		size, root := led.Root()
+		log.Info("ledger open", "path", *ledgerPath, "entries", size, "root", root)
 	}
 	var coord *cluster.Coordinator
 	if *coordinator {
@@ -201,6 +229,10 @@ func main() {
 	log.Info("draining", "timeout", *drainTimeout)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
+	// Flip the drain flag before http.Server.Shutdown: Shutdown blocks on
+	// open connections, and SSE streams only end once they observe the
+	// drain (they follow any still-in-flight sweep to completion first).
+	srv.BeginDrain()
 	// Stop accepting and let in-flight HTTP exchanges finish, then drain
 	// the computation pool (detached leaders may outlive their clients).
 	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

@@ -32,6 +32,7 @@ import (
 
 	"blitzcoin"
 	"blitzcoin/internal/server"
+	"blitzcoin/internal/trace"
 )
 
 // Config configures a Coordinator.
@@ -45,6 +46,11 @@ type Config struct {
 	// Client performs every worker HTTP call. Default: a fresh
 	// http.Client (per-call timeouts come from contexts).
 	Client *http.Client
+	// Bus receives the coordinator-side live events of every distributed
+	// sweep: the sweep lifecycle plus shard dispatch/completion, keyed by
+	// the request's canonical hash — the bridge that lets a coordinator's
+	// /v1/stream follow a cluster sweep. Default: trace.Default().
+	Bus *trace.Bus
 }
 
 // latencyWindow bounds the ring of recent completed-shard latencies the
@@ -59,6 +65,7 @@ type Coordinator struct {
 	log      *slog.Logger
 	client   *http.Client
 	registry *registry
+	bus      *trace.Bus
 
 	dispatched   atomic.Uint64
 	retried      atomic.Uint64
@@ -96,11 +103,15 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.Client == nil {
 		cfg.Client = &http.Client{}
 	}
+	if cfg.Bus == nil {
+		cfg.Bus = trace.Default()
+	}
 	c := &Coordinator{
 		opts:     opts,
 		log:      cfg.Logger,
 		client:   cfg.Client,
 		registry: newRegistry(opts.Workers),
+		bus:      cfg.Bus,
 		stop:     make(chan struct{}),
 	}
 	c.done.Add(1)
@@ -290,15 +301,25 @@ func (c *Coordinator) Run(ctx context.Context, req blitzcoin.Request) (*blitzcoi
 	if err != nil {
 		return nil, err
 	}
-	shards, err := newSched(ctx, c, norm, hash, c.plan(units)).run()
+	// The coordinator owns the sweep's lifecycle events; workers publish
+	// only trial progress on their own buses. Shard dispatch/completion
+	// events flow from the scheduler through the same stream.
+	st := trace.NewStream(c.bus, hash)
+	st.SweepStart(units)
+	sched := newSched(ctx, c, norm, hash, c.plan(units))
+	sched.st = st
+	shards, err := sched.run()
 	if err != nil {
+		st.SweepFailed()
 		return nil, err
 	}
 	res, err := blitzcoin.MergeShards(norm, shards)
 	if err != nil {
+		st.SweepFailed()
 		return nil, err
 	}
 	c.merged.Add(1)
+	st.SweepDone(units)
 	return res, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"blitzcoin"
+	"blitzcoin/internal/trace"
 )
 
 // schedTick bounds how long the dispatch loop sleeps between scans when
@@ -59,6 +60,9 @@ type sched struct {
 	cancel context.CancelFunc
 	norm   blitzcoin.Request
 	hash   string
+	// st publishes shard dispatch/completion events on the coordinator's
+	// bus (zero value inert). Set by Coordinator.Run after newSched.
+	st trace.Stream
 
 	mu        sync.Mutex
 	states    []*shardState
@@ -286,6 +290,7 @@ func (s *sched) launchLocked(st *shardState, url string, speculative bool) {
 	}
 	s.c.dispatched.Add(1)
 	s.c.runningShards.Add(1)
+	s.st.ShardDispatch(st.sr.lo, st.sr.hi, url)
 	if speculative {
 		st.speculated = true
 		s.c.speculated.Add(1)
@@ -324,6 +329,7 @@ func (s *sched) complete(st *shardState, id int, url string, shard *blitzcoin.Sh
 		s.remaining--
 		s.latencies = append(s.latencies, elapsed.Seconds())
 		s.c.recordShardLatency(elapsed.Seconds())
+		s.st.ShardDone(st.sr.lo, st.sr.hi, url, elapsed.Seconds(), true)
 		if st.speculated {
 			if speculative {
 				s.c.specWins.Add(1)

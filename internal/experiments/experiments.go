@@ -13,6 +13,7 @@ import (
 	"blitzcoin/internal/rng"
 	"blitzcoin/internal/stats"
 	"blitzcoin/internal/sweep"
+	"blitzcoin/internal/trace"
 )
 
 // ConvergenceRow is one point of a convergence-scaling experiment
@@ -60,11 +61,18 @@ func runConvergence(ctx context.Context, label string, d, trials int, seed uint6
 		converged       bool
 		cycles, packets float64
 	}
+	st := trace.FromContext(ctx)
 	results := sweep.Map(ctx, trials, 0, func(t int) trialResult {
+		st.TrialStart(t, trials)
 		src := rng.New(seed + uint64(t)*7919)
 		e := coin.NewEmulator(cfg, src)
 		e.Init(initFn(src, cfg.Mesh.N()))
 		res := e.Run()
+		micros := res.ConvergenceMicros()
+		st.TrialDone(t, trials, res.Converged, micros)
+		if res.Converged {
+			st.Convergence(t, micros)
+		}
 		return trialResult{
 			startErr:  res.StartErr,
 			converged: res.Converged,
@@ -270,10 +278,17 @@ func Fig07Assemble(points []Fig07Point, trials int, worstErrs []float64) []Fig07
 // converges to the 1-coin quantization limit.
 func Fig07(ctx context.Context, ns []int, trials int, seed uint64) []Fig07Row {
 	points := Fig07Points(ns)
-	worstErrs := make([]float64, 0, len(points)*trials)
-	for _, p := range points {
+	st := trace.FromContext(ctx)
+	total := len(points) * trials
+	worstErrs := make([]float64, 0, total)
+	for pi, p := range points {
+		base := pi * trials
 		worstErrs = append(worstErrs, sweep.Map(ctx, trials, 0, func(t int) float64 {
-			return Fig07Trial(p, t, seed)
+			st.TrialStart(base+t, total)
+			w := Fig07Trial(p, t, seed)
+			st.TrialDone(base+t, total, true, 0)
+			st.Point("worst_tile_err", uint64(base+t), w)
+			return w
 		})...)
 	}
 	return Fig07Assemble(points, trials, worstErrs)

@@ -1,0 +1,185 @@
+package ledger
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestProofRoundTrip: every proof generated for every leaf of trees of
+// size 1..33 verifies against the root — the property check behind the
+// path-generation/verification pair.
+func TestProofRoundTrip(t *testing.T) {
+	l, err := Open("", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 1; n <= 33; n++ {
+		key := fmt.Sprintf("hash-%04d", n)
+		seq, root, err := l.Append(key, "6", fmt.Sprintf("sha-%04d", n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(n) {
+			t.Fatalf("append %d: seq %d", n, seq)
+		}
+		if root == "" {
+			t.Fatalf("append %d: empty root", n)
+		}
+		// Every entry so far must still prove against the new head.
+		for m := 1; m <= n; m++ {
+			p, err := l.Proof(fmt.Sprintf("hash-%04d", m), "6")
+			if err != nil {
+				t.Fatalf("proof %d/%d: %v", m, n, err)
+			}
+			if err := p.Verify(); err != nil {
+				t.Fatalf("verify %d of %d: %v", m, n, err)
+			}
+			if p.Root != root {
+				t.Fatalf("proof %d/%d: root %s, head %s", m, n, p.Root, root)
+			}
+		}
+	}
+}
+
+// TestProofTamperDetection: altering any field of a valid proof breaks
+// verification.
+func TestProofTamperDetection(t *testing.T) {
+	l, _ := Open("", 0)
+	for i := 1; i <= 10; i++ {
+		if _, _, err := l.Append(fmt.Sprintf("h%d", i), "6", fmt.Sprintf("s%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := l.Proof("h4", "6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatalf("genuine proof rejected: %v", err)
+	}
+
+	mutations := map[string]func(Proof) Proof{
+		"result sha": func(p Proof) Proof { p.ResultSHA = "forged"; return p },
+		"key":        func(p Proof) Proof { p.Key = "other"; return p },
+		"engine":     func(p Proof) Proof { p.Engine = "5"; return p },
+		"seq":        func(p Proof) Proof { p.Seq = 5; return p },
+		"tree size":  func(p Proof) Proof { p.TreeSize = 4; return p },
+		"root":       func(p Proof) Proof { p.Root = strings.Repeat("ab", 32); return p },
+		"path":       func(p Proof) Proof { p.Path = p.Path[:len(p.Path)-1]; return p },
+	}
+	for name, mut := range mutations {
+		if err := mut(p).Verify(); err == nil {
+			t.Errorf("tampered %s verified", name)
+		}
+	}
+}
+
+// TestLedgerReopenReplays: entries and seals survive a close/reopen, and
+// proofs keep verifying.
+func TestLedgerReopenReplays(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	l, err := Open(path, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 7; i++ {
+		if _, _, err := l.Append(fmt.Sprintf("h%d", i), "6", fmt.Sprintf("s%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, rootBefore := l.Root()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(path, 3)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if n := l2.Size(); n != 7 {
+		t.Fatalf("reopened size %d", n)
+	}
+	if _, root := l2.Root(); root != rootBefore {
+		t.Fatalf("root drifted across reopen: %s vs %s", root, rootBefore)
+	}
+	p, err := l2.Proof("h2", "6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatalf("reopened proof: %v", err)
+	}
+}
+
+// TestLedgerFileTamperDetected: editing a sealed entry in place makes the
+// next Open fail seal verification.
+func TestLedgerFileTamperDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	l, err := Open(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		if _, _, err := l.Append(fmt.Sprintf("h%d", i), "6", fmt.Sprintf("s%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(raw), `"result_sha":"s2"`, `"result_sha":"sX"`, 1)
+	if tampered == string(raw) {
+		t.Fatal("test did not find the entry to tamper")
+	}
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, 2); err == nil || !strings.Contains(err.Error(), "tampered") {
+		t.Fatalf("tampered ledger opened: err=%v", err)
+	}
+}
+
+// TestAppendDeduplicatesIdenticalResult: re-appending the same
+// (key, engine, sha) returns the original sequence without growing the
+// tree; a different sha for the same key appends a new entry that
+// supersedes the old one for proofs.
+func TestAppendDeduplicatesIdenticalResult(t *testing.T) {
+	l, _ := Open("", 0)
+	seq1, _, err := l.Append("h", "6", "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq2, _, err := l.Append("h", "6", "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq1 != seq2 || l.Size() != 1 {
+		t.Fatalf("duplicate append: seqs %d/%d, size %d", seq1, seq2, l.Size())
+	}
+	seq3, _, err := l.Append("h", "6", "different")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq3 != 2 || l.Size() != 2 {
+		t.Fatalf("superseding append: seq %d, size %d", seq3, l.Size())
+	}
+	p, err := l.Proof("h", "6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seq != seq3 || p.ResultSHA != "different" {
+		t.Fatalf("proof serves stale entry: %+v", p)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

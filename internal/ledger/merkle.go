@@ -1,0 +1,113 @@
+// Package ledger is an append-only, Merkle-batched results ledger: every
+// completed sweep appends one entry keyed by (options hash, engine
+// version) with the SHA-256 of its canonical result JSON, and any entry's
+// membership can later be proven with an RFC 6962-style inclusion proof —
+// so a cached or cluster-merged result can be audited back to the engine
+// run that produced it without trusting the serving daemon.
+package ledger
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// hashSize is sha256.Size, named for the wire checks.
+const hashSize = sha256.Size
+
+// Domain-separation prefixes (RFC 6962): leaves and interior nodes hash
+// differently, so a leaf can never be confused for a subtree root.
+const (
+	leafPrefix = 0x00
+	nodePrefix = 0x01
+)
+
+// leafHash hashes one entry's canonical encoding as a tree leaf.
+func leafHash(data []byte) [hashSize]byte {
+	h := sha256.New()
+	h.Write([]byte{leafPrefix})
+	h.Write(data)
+	var out [hashSize]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// nodeHash hashes two child roots into their parent.
+func nodeHash(l, r [hashSize]byte) [hashSize]byte {
+	h := sha256.New()
+	h.Write([]byte{nodePrefix})
+	h.Write(l[:])
+	h.Write(r[:])
+	var out [hashSize]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// splitPoint returns the largest power of two strictly less than n
+// (n >= 2) — the left-subtree size of RFC 6962's Merkle tree head.
+func splitPoint(n int) int {
+	k := 1
+	for k*2 < n {
+		k *= 2
+	}
+	return k
+}
+
+// merkleRoot computes the tree head over leaf hashes (MTH). The caller
+// guarantees len(leaves) >= 1.
+func merkleRoot(leaves [][hashSize]byte) [hashSize]byte {
+	if len(leaves) == 1 {
+		return leaves[0]
+	}
+	k := splitPoint(len(leaves))
+	return nodeHash(merkleRoot(leaves[:k]), merkleRoot(leaves[k:]))
+}
+
+// inclusionPath returns the audit path for leaf m (0-based) in the tree
+// over leaves — the sibling hashes bottom-up that VerifyInclusion folds
+// back into the root.
+func inclusionPath(leaves [][hashSize]byte, m int) [][hashSize]byte {
+	if len(leaves) <= 1 {
+		return nil
+	}
+	k := splitPoint(len(leaves))
+	if m < k {
+		return append(inclusionPath(leaves[:k], m), merkleRoot(leaves[k:]))
+	}
+	return append(inclusionPath(leaves[k:], m-k), merkleRoot(leaves[:k]))
+}
+
+// VerifyInclusion checks an RFC 6962 inclusion proof: that leaf sits at
+// index in a tree of size whose head is root. It is self-contained so
+// clients (blitzctl -verify) can run it without the ledger file.
+func VerifyInclusion(leaf [hashSize]byte, index, size uint64, path [][hashSize]byte, root [hashSize]byte) error {
+	if index >= size {
+		return fmt.Errorf("ledger: leaf index %d outside tree of size %d", index, size)
+	}
+	fn, sn := index, size-1
+	r := leaf
+	for _, p := range path {
+		if sn == 0 {
+			return fmt.Errorf("ledger: proof longer than the tree is deep")
+		}
+		if fn%2 == 1 || fn == sn {
+			r = nodeHash(p, r)
+			for fn%2 == 0 && fn != 0 {
+				fn >>= 1
+				sn >>= 1
+			}
+		} else {
+			r = nodeHash(r, p)
+		}
+		fn >>= 1
+		sn >>= 1
+	}
+	if sn != 0 {
+		return fmt.Errorf("ledger: proof shorter than the tree is deep")
+	}
+	if r != root {
+		return fmt.Errorf("ledger: proof folds to root %s, want %s",
+			hex.EncodeToString(r[:]), hex.EncodeToString(root[:]))
+	}
+	return nil
+}

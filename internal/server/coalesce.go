@@ -82,6 +82,24 @@ func (g *flightGroup) abandon(f *flight) {
 	}
 }
 
+// active reports whether any flight is computing for the canonical hash:
+// the sweep flight keyed by the hash itself, or any shard flight keyed by
+// the hash extended with a trial range. The SSE drain path uses it to
+// decide whether a subscriber still has a completion to wait for.
+func (g *flightGroup) active(hash string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.m[hash]; ok {
+		return true
+	}
+	for k := range g.m {
+		if len(k) > len(hash) && k[:len(hash)] == hash && k[len(hash)] == ':' {
+			return true
+		}
+	}
+	return false
+}
+
 // complete publishes the leader's outcome and retires the flight: later
 // requests for the key start fresh (and will hit the cache instead).
 func (g *flightGroup) complete(key string, f *flight, b []byte, err error) {

@@ -5,6 +5,9 @@ import (
 	"io"
 	"sort"
 	"sync"
+
+	"blitzcoin/internal/ledger"
+	"blitzcoin/internal/trace"
 )
 
 // durationBuckets are the upper bounds (seconds) of the per-endpoint
@@ -50,6 +53,12 @@ type metrics struct {
 	coalesced uint64
 	sweepRows uint64
 	inflight  int64
+	// streamEvents/streamDropped count SSE events forwarded to and dropped
+	// behind /v1/stream subscribers; ledgerAppends times ledger appends
+	// (canonical SHA + Merkle re-root + fsync'd seal).
+	streamEvents  uint64
+	streamDropped uint64
+	ledgerAppends histogram
 }
 
 func newMetrics() *metrics {
@@ -95,6 +104,24 @@ func (m *metrics) addSweepRows(n int) {
 	m.mu.Unlock()
 }
 
+func (m *metrics) addStreamEvents(n uint64) {
+	m.mu.Lock()
+	m.streamEvents += n
+	m.mu.Unlock()
+}
+
+func (m *metrics) addStreamDropped(n uint64) {
+	m.mu.Lock()
+	m.streamDropped += n
+	m.mu.Unlock()
+}
+
+func (m *metrics) observeLedgerAppend(seconds float64) {
+	m.mu.Lock()
+	m.ledgerAppends.observe(seconds)
+	m.mu.Unlock()
+}
+
 func (m *metrics) enter() {
 	m.mu.Lock()
 	m.inflight++
@@ -114,8 +141,9 @@ func (m *metrics) inflightNow() int64 {
 }
 
 // write renders the catalog in Prometheus text exposition format, in a
-// deterministic order.
-func (m *metrics) write(w io.Writer, c *cache, p *pool) {
+// deterministic order. bus and led are sampled at scrape time; led may be
+// nil (no ledger configured — its gauges read zero).
+func (m *metrics) write(w io.Writer, c *cache, p *pool, bus *trace.Bus, led *ledger.Ledger) {
 	m.mu.Lock()
 	type labeled struct {
 		kind, status string
@@ -129,6 +157,8 @@ func (m *metrics) write(w io.Writer, c *cache, p *pool) {
 	}
 	sum, count := m.reqSecondsSum, m.reqSecondsCount
 	coalesced, sweepRows, inflight := m.coalesced, m.sweepRows, m.inflight
+	streamEvents, streamDropped := m.streamEvents, m.streamDropped
+	ledgerAppends := m.ledgerAppends
 	endpoints := make([]string, 0, len(m.durations))
 	for ep := range m.durations {
 		endpoints = append(endpoints, ep)
@@ -200,4 +230,34 @@ func (m *metrics) write(w io.Writer, c *cache, p *pool) {
 	fmt.Fprintln(w, "# HELP blitzd_workers_busy Worker slots currently computing.")
 	fmt.Fprintln(w, "# TYPE blitzd_workers_busy gauge")
 	fmt.Fprintf(w, "blitzd_workers_busy %d\n", p.busy.Load())
+	fmt.Fprintln(w, "# HELP blitzd_stream_subscribers Open /v1/stream subscriptions.")
+	fmt.Fprintln(w, "# TYPE blitzd_stream_subscribers gauge")
+	subs := 0
+	if bus != nil {
+		subs = bus.Subscribers()
+	}
+	fmt.Fprintf(w, "blitzd_stream_subscribers %d\n", subs)
+	fmt.Fprintln(w, "# HELP blitzd_stream_events_total Events forwarded to stream subscribers.")
+	fmt.Fprintln(w, "# TYPE blitzd_stream_events_total counter")
+	fmt.Fprintf(w, "blitzd_stream_events_total %d\n", streamEvents)
+	fmt.Fprintln(w, "# HELP blitzd_stream_dropped_total Events dropped behind slow stream subscribers.")
+	fmt.Fprintln(w, "# TYPE blitzd_stream_dropped_total counter")
+	fmt.Fprintf(w, "blitzd_stream_dropped_total %d\n", streamDropped)
+	fmt.Fprintln(w, "# HELP blitzd_ledger_entries Results recorded in the ledger.")
+	fmt.Fprintln(w, "# TYPE blitzd_ledger_entries gauge")
+	var entriesNow uint64
+	if led != nil {
+		entriesNow = led.Size()
+	}
+	fmt.Fprintf(w, "blitzd_ledger_entries %d\n", entriesNow)
+	fmt.Fprintln(w, "# HELP blitzd_ledger_append_seconds Ledger append latency (hash, re-root, seal).")
+	fmt.Fprintln(w, "# TYPE blitzd_ledger_append_seconds histogram")
+	var cumLedger uint64
+	for i, ub := range durationBuckets {
+		cumLedger += ledgerAppends.counts[i]
+		fmt.Fprintf(w, "blitzd_ledger_append_seconds_bucket{le=%q} %d\n", fmt.Sprintf("%g", ub), cumLedger)
+	}
+	fmt.Fprintf(w, "blitzd_ledger_append_seconds_bucket{le=\"+Inf\"} %d\n", ledgerAppends.count)
+	fmt.Fprintf(w, "blitzd_ledger_append_seconds_sum %g\n", ledgerAppends.sum)
+	fmt.Fprintf(w, "blitzd_ledger_append_seconds_count %d\n", ledgerAppends.count)
 }

@@ -9,10 +9,13 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"blitzcoin"
+	"blitzcoin/internal/ledger"
+	"blitzcoin/internal/trace"
 )
 
 // RunFunc computes a validated request; it is blitzcoin.Execute in
@@ -81,6 +84,18 @@ type Config struct {
 	// (/v1/cluster/join, /v1/cluster/status) and folds the cluster metric
 	// section into /metrics.
 	Cluster ClusterBackend
+	// Bus is the trace bus GET /v1/stream subscribes to. Default: the
+	// process-wide trace.Default() bus, which Execute publishes to.
+	Bus *trace.Bus
+	// Ledger, when non-nil, records every computed result (by options hash,
+	// engine version, and canonical result SHA) and mounts the
+	// /v1/ledger/proof and /v1/ledger/root endpoints. Nil disables both:
+	// results are served unstamped and the endpoints 404.
+	Ledger *ledger.Ledger
+	// StreamBuffer is the per-subscriber event-ring capacity of /v1/stream;
+	// a subscriber that falls further behind loses its oldest events.
+	// Default 256.
+	StreamBuffer int
 }
 
 // Server is the blitzd request engine: coalescing, caching, bounded
@@ -94,6 +109,10 @@ type Server struct {
 	pool    *pool
 	metrics *metrics
 	cluster ClusterBackend
+	bus     *trace.Bus
+	ledger  *ledger.Ledger
+
+	streamBuf int
 
 	// baseCtx outlives any single request: computations run under it so
 	// a disconnecting client cannot cancel work other clients (or the
@@ -101,6 +120,10 @@ type Server struct {
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	draining   atomic.Bool
+	// drainCh closes when the drain begins; open SSE streams use it to
+	// decide between finishing their in-flight sweep and ending early.
+	drainCh   chan struct{}
+	drainOnce sync.Once
 }
 
 // Response is the envelope of POST /v1/sweep. Result carries the marshaled
@@ -140,6 +163,12 @@ func New(cfg Config) *Server {
 	if cfg.Run == nil {
 		cfg.Run = blitzcoin.Execute
 	}
+	if cfg.Bus == nil {
+		cfg.Bus = trace.Default()
+	}
+	if cfg.StreamBuffer == 0 {
+		cfg.StreamBuffer = 256
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
 		log:        cfg.Logger,
@@ -149,8 +178,12 @@ func New(cfg Config) *Server {
 		pool:       newPool(cfg.Workers),
 		metrics:    newMetrics(),
 		cluster:    cfg.Cluster,
+		bus:        cfg.Bus,
+		ledger:     cfg.Ledger,
+		streamBuf:  cfg.StreamBuffer,
 		baseCtx:    ctx,
 		baseCancel: cancel,
+		drainCh:    make(chan struct{}),
 	}
 }
 
@@ -168,6 +201,9 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 //	POST /v1/sweep          — execute or serve a blitzcoin.Request
 //	POST /v1/shard          — execute one trial-range shard of a request
 //	GET  /v1/figures        — list the figure registry
+//	GET  /v1/stream         — follow a sweep's live events over SSE (?hash=...)
+//	GET  /v1/ledger/proof   — inclusion proof for a ledgered result (?hash=...)
+//	GET  /v1/ledger/root    — current ledger size and tree head
 //	POST /v1/cluster/join   — worker self-registration (coordinator mode)
 //	GET  /v1/cluster/status — worker table (coordinator mode)
 //	GET  /healthz           — liveness (process up, engine version)
@@ -179,6 +215,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/sweep", s.instrument("sweep", s.handleSweep))
 	mux.HandleFunc("/v1/shard", s.instrument("shard", s.handleShard))
 	mux.HandleFunc("/v1/figures", s.instrument("figures", s.handleFigures))
+	mux.HandleFunc("/v1/stream", s.instrument("stream", s.handleStream))
+	mux.HandleFunc("/v1/ledger/proof", s.instrument("ledger-proof", s.handleLedgerProof))
+	mux.HandleFunc("/v1/ledger/root", s.instrument("ledger-root", s.handleLedgerRoot))
 	if s.cluster != nil {
 		mux.HandleFunc("/v1/cluster/join", s.instrument("cluster-join", s.cluster.HandleJoin))
 		mux.HandleFunc("/v1/cluster/status", s.instrument("cluster-status", s.cluster.HandleStatus))
@@ -189,7 +228,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/readyz", s.instrument("readyz", s.handleReady))
 	mux.HandleFunc("/metrics", s.instrument("metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		s.metrics.write(w, s.cache, s.pool)
+		s.metrics.write(w, s.cache, s.pool, s.bus, s.ledger)
 		if s.cluster != nil {
 			s.cluster.WriteMetrics(w)
 		}
@@ -232,11 +271,22 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, body)
 }
 
+// BeginDrain flips the server into draining mode without waiting: new
+// sweeps and new stream subscriptions are refused with 503, and open SSE
+// streams are told to finish their in-flight sweep and end. blitzd calls
+// it before http.Server.Shutdown — Shutdown blocks on open connections,
+// and an SSE stream that never learned about the drain would hold one
+// open for its client's lifetime.
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
+	s.drainOnce.Do(func() { close(s.drainCh) })
+}
+
 // Shutdown drains the server: new sweeps are refused with 503, in-flight
 // computations get until ctx ends to finish, then the base context is
 // cancelled so stragglers stop dispatching trials.
 func (s *Server) Shutdown(ctx context.Context) error {
-	s.draining.Store(true)
+	s.BeginDrain()
 	err := s.pool.drain(ctx)
 	s.baseCancel()
 	return err
@@ -475,7 +525,8 @@ func (s *Server) respondShard(w http.ResponseWriter, r *http.Request, start time
 }
 
 // compute runs one validated request on the bounded pool and caches its
-// marshaled result.
+// marshaled result, appending it to the ledger (and stamping the ledger
+// provenance into the cached bytes) when one is configured.
 func (s *Server) compute(hash string, norm blitzcoin.Request) ([]byte, error) {
 	if err := s.pool.acquire(s.baseCtx); err != nil {
 		return nil, err
@@ -489,9 +540,44 @@ func (s *Server) compute(hash string, norm blitzcoin.Request) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("encoding result: %w", err)
 	}
+	b = s.stampLedger(hash, b)
 	s.metrics.addSweepRows(resultRows(res))
 	s.cache.put(hash, string(norm.Kind), b)
 	return b, nil
+}
+
+// stampLedger appends the result to the ledger and returns the bytes with
+// ledger provenance (sequence + tree head) stamped into the meta. The SHA
+// appended is CanonicalResultSHA of the bytes — the same function a
+// verifying client applies to the stamped response, so both sides hash
+// the same canonical form. Ledger failures never fail the sweep: the
+// result is served unstamped and the error logged.
+func (s *Server) stampLedger(hash string, b []byte) []byte {
+	if s.ledger == nil {
+		return b
+	}
+	start := time.Now()
+	sha, err := blitzcoin.CanonicalResultSHA(b)
+	if err != nil {
+		s.log.Warn("ledger skip", "hash", short(hash), "error", err)
+		return b
+	}
+	seq, root, err := s.ledger.Append(hash, blitzcoin.EngineVersion, sha)
+	if err != nil {
+		s.log.Warn("ledger append failed", "hash", short(hash), "error", err)
+		return b
+	}
+	var res blitzcoin.Result
+	if err := json.Unmarshal(b, &res); err != nil {
+		return b
+	}
+	res.SetLedgerProvenance(seq, root)
+	stamped, err := json.Marshal(&res)
+	if err != nil {
+		return b
+	}
+	s.metrics.observeLedgerAppend(time.Since(start).Seconds())
+	return stamped
 }
 
 // resultRows counts the rows/lines a computation produced, for the

@@ -17,6 +17,7 @@ import (
 	"blitzcoin/internal/mesh"
 	"blitzcoin/internal/power"
 	"blitzcoin/internal/sim"
+	"blitzcoin/internal/trace"
 )
 
 // TileKind classifies a tile in the grid (the four ESP tile types of
@@ -146,6 +147,12 @@ type Config struct {
 	// budget is re-enforced by the audit; the centralized baselines have no
 	// recovery machinery and degrade as their protocols allow.
 	Faults *fault.Config
+
+	// Stream, when active, mirrors the runner's power-trace recordings
+	// onto a trace bus as live series points. The zero Stream is inert and
+	// costs one nil check per Record — the run itself is unaffected either
+	// way.
+	Stream trace.Stream
 }
 
 // Validate checks structural consistency.

@@ -107,6 +107,7 @@ func New(cfg Config) *Runner {
 		tiles:   make([]*accelTile, cfg.Mesh.N()),
 		byAccel: make(map[string][]int),
 	}
+	r.rec.Attach(cfg.Stream)
 	r.opSettle = k.RegisterOp(func(tile int32, x uint64) { r.settleDone(int(tile), int(x)) })
 	r.opComplete = k.RegisterOp(func(tile int32, x uint64) { r.completionDue(int(tile), int(x)) })
 	if cfg.Faults != nil && cfg.Faults.Enabled() {

@@ -1,0 +1,21 @@
+package trace
+
+import "io"
+
+// Pre-bus entry points, kept as thin aliases over the Bus/Subscription
+// surface so existing callers keep compiling and emitting byte-identical
+// output.
+
+// WriteCSV emits "cycle,<series...>" rows at every change point, matching
+// the artifact's exported-waveform format.
+//
+// Deprecated: replay Events through a CSVExporter (or subscribe one to a
+// Bus) instead. This alias does exactly that and produces the same bytes
+// it always has.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	e := NewCSVExporter()
+	for _, ev := range r.Events() {
+		e.Consume(ev)
+	}
+	return e.WriteCSV(w)
+}

@@ -1,15 +1,14 @@
 // Package trace records time series from the SoC simulations — per-tile
-// power, tile frequencies, coin counts, activity — and exports them as CSV,
-// mirroring the post-processing flow of the paper's artifact (Xcelium
-// waveforms exported to CSV and plotted, e.g. Fig. 16, 19, 20).
+// power, tile frequencies, coin counts, activity — and publishes them as
+// typed events on a subscribable Bus. A CSVExporter subscriber renders the
+// paper artifact's exported-waveform CSV (Xcelium waveforms exported to
+// CSV and plotted, e.g. Fig. 16, 19, 20); the blitzd daemon streams the
+// same events live over SSE.
 package trace
 
 import (
-	"encoding/csv"
 	"fmt"
-	"io"
 	"sort"
-	"strconv"
 )
 
 // Point is one observation of one signal.
@@ -23,6 +22,10 @@ type Point struct {
 type Series struct {
 	Name   string
 	Points []Point
+
+	// stream, when active, mirrors every recorded point onto the bus as a
+	// live series-point event.
+	stream Stream
 }
 
 // Record appends an observation. Out-of-order appends panic — recorders are
@@ -35,9 +38,11 @@ func (s *Series) Record(cycle uint64, v float64) {
 	// Collapse same-cycle updates to the final value at that cycle.
 	if n := len(s.Points); n > 0 && s.Points[n-1].Cycle == cycle {
 		s.Points[n-1].Value = v
+		s.stream.Point(s.Name, cycle, v)
 		return
 	}
 	s.Points = append(s.Points, Point{Cycle: cycle, Value: v})
+	s.stream.Point(s.Name, cycle, v)
 }
 
 // At returns the signal value at the given cycle (step-hold semantics);
@@ -105,6 +110,7 @@ func (s *Series) Max(a, b uint64) float64 {
 type Recorder struct {
 	byName map[string]*Series
 	order  []string
+	stream Stream
 }
 
 // NewRecorder returns an empty Recorder.
@@ -112,12 +118,23 @@ func NewRecorder() *Recorder {
 	return &Recorder{byName: make(map[string]*Series)}
 }
 
+// Attach mirrors every point recorded from now on — in existing and
+// future series — onto the stream as live series-point events. An inert
+// (zero) stream detaches. Recording stays allocation-free either way:
+// with no bus subscribers a mirrored publish is one atomic load.
+func (r *Recorder) Attach(s Stream) {
+	r.stream = s
+	for _, name := range r.order {
+		r.byName[name].stream = s
+	}
+}
+
 // Series returns the series with the given name, creating it on first use.
 func (r *Recorder) Series(name string) *Series {
 	if s, ok := r.byName[name]; ok {
 		return s
 	}
-	s := &Series{Name: name}
+	s := &Series{Name: name, stream: r.stream}
 	r.byName[name] = s
 	r.order = append(r.order, name)
 	return s
@@ -154,28 +171,6 @@ func (r *Recorder) changeCycles() []uint64 {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
-}
-
-// WriteCSV emits "cycle,<series...>" rows at every change point, matching
-// the artifact's exported-waveform format.
-func (r *Recorder) WriteCSV(w io.Writer) error {
-	cw := csv.NewWriter(w)
-	header := append([]string{"cycle"}, r.Names()...)
-	if err := cw.Write(header); err != nil {
-		return err
-	}
-	for _, c := range r.changeCycles() {
-		row := make([]string, 0, len(header))
-		row = append(row, strconv.FormatUint(c, 10))
-		for _, name := range r.order {
-			row = append(row, strconv.FormatFloat(r.byName[name].At(c), 'g', -1, 64))
-		}
-		if err := cw.Write(row); err != nil {
-			return err
-		}
-	}
-	cw.Flush()
-	return cw.Error()
 }
 
 // TotalSeries returns a synthetic series that is the sum of all recorded

@@ -21,8 +21,11 @@ const (
 	// coordinators refuse workers whose engine disagrees, so mixed-version
 	// clusters cannot merge rows from different semantics. 5 marks the
 	// elastic work-stealing cluster: duplicate-tolerant MergeShards and
-	// the speculation/steal knobs on ClusterOptions.)
-	EngineVersion = "5"
+	// the speculation/steal knobs on ClusterOptions. 6 marks the live
+	// telemetry surface: ResultMeta gained the LedgerSeq/LedgerRoot
+	// provenance fields, so serialized results — and the canonical result
+	// SHA the ledger records — differ from engine 5's.)
+	EngineVersion = "6"
 )
 
 // RequestKind discriminates the payload of a Request.

@@ -1,6 +1,9 @@
 package blitzcoin
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"io"
 
@@ -26,6 +29,14 @@ type ResultMeta struct {
 	// never change result rows — MergeShards reduces in index order with
 	// index-derived seeds — so this is a serving annotation, not an input.
 	Shards int `json:"shards,omitempty"`
+	// LedgerSeq and LedgerRoot record ledger provenance: the 1-based
+	// sequence the result was appended at and the tree head after the
+	// append. Stamped by blitzd when it runs with a ledger; zero/empty
+	// otherwise. Like Shards, they annotate serving, never simulation —
+	// CanonicalResultSHA clears them before hashing, so the ledgered SHA is
+	// independent of where in the ledger the result landed.
+	LedgerSeq  uint64 `json:"ledger_seq,omitempty"`
+	LedgerRoot string `json:"ledger_root,omitempty"`
 }
 
 // meta stamps a result's provenance.
@@ -173,4 +184,51 @@ type Result struct {
 	Exchange *ExchangeSweepResult `json:"exchange,omitempty"`
 	SoC      *SoCResult           `json:"soc,omitempty"`
 	Figure   *FigureResult        `json:"figure,omitempty"`
+}
+
+// Meta returns the active payload's metadata, or nil for an empty Result.
+func (r *Result) Meta() *ResultMeta {
+	switch {
+	case r == nil:
+		return nil
+	case r.Exchange != nil:
+		return &r.Exchange.Meta
+	case r.SoC != nil:
+		return &r.SoC.Meta
+	case r.Figure != nil:
+		return &r.Figure.Meta
+	}
+	return nil
+}
+
+// SetLedgerProvenance stamps the result with the ledger position it was
+// appended at. blitzd calls it after ledger.Append, before serving.
+func (r *Result) SetLedgerProvenance(seq uint64, root string) {
+	if m := r.Meta(); m != nil {
+		m.LedgerSeq = seq
+		m.LedgerRoot = root
+	}
+}
+
+// CanonicalResultSHA hashes a result's serialized JSON for the ledger:
+// the ledger provenance fields are cleared first (they describe where the
+// result landed in the ledger, which cannot feed back into the hash the
+// ledger records), then the result is re-marshaled and SHA-256'd. Server
+// and verifying client both call this, so a stamped response hashes to
+// the same digest the daemon appended.
+func CanonicalResultSHA(resultJSON []byte) (string, error) {
+	var r Result
+	if err := json.Unmarshal(resultJSON, &r); err != nil {
+		return "", fmt.Errorf("blitzcoin: canonical result sha: %w", err)
+	}
+	if m := r.Meta(); m != nil {
+		m.LedgerSeq = 0
+		m.LedgerRoot = ""
+	}
+	canon, err := json.Marshal(&r)
+	if err != nil {
+		return "", fmt.Errorf("blitzcoin: canonical result sha: %w", err)
+	}
+	sum := sha256.Sum256(canon)
+	return hex.EncodeToString(sum[:]), nil
 }

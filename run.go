@@ -11,6 +11,7 @@ import (
 	"blitzcoin/internal/sim"
 	"blitzcoin/internal/soc"
 	"blitzcoin/internal/sweep"
+	"blitzcoin/internal/trace"
 	"blitzcoin/internal/workload"
 )
 
@@ -22,6 +23,12 @@ import (
 // crash a server. The context cancels exchange sweeps between trials and
 // figure sweeps between runs; a cancelled Execute returns ctx.Err()
 // rather than a partial result.
+//
+// Execute also publishes live progress: if the context carries no
+// trace.Stream it opens one on the default bus keyed by the request's
+// canonical hash and emits the sweep lifecycle (sweep-start, per-trial
+// progress, sweep-done/sweep-failed). With no subscribers the publishes
+// are single atomic loads — results are byte-identical either way.
 func Execute(ctx context.Context, req Request) (res *Result, err error) {
 	n := req.Normalized()
 	if err := n.Validate(); err != nil {
@@ -31,14 +38,29 @@ func Execute(ctx context.Context, req Request) (res *Result, err error) {
 	if err != nil {
 		return nil, err
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if st := trace.FromContext(ctx); !st.Active() {
+		st = trace.NewStream(trace.Default(), hash)
+		ctx = trace.NewContext(ctx, st)
+		units := executeUnits(n)
+		// Registered before the recover defer (LIFO), so it observes the
+		// panic-converted err and reports sweep-failed for it.
+		defer func() {
+			if err != nil {
+				st.SweepFailed()
+			} else {
+				st.SweepDone(units)
+			}
+		}()
+		st.SweepStart(units)
+	}
 	defer func() {
 		if p := recover(); p != nil {
 			res, err = nil, fmt.Errorf("blitzcoin: %v", p)
 		}
 	}()
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -51,11 +73,11 @@ func Execute(ctx context.Context, req Request) (res *Result, err error) {
 		}
 		return &Result{Kind: KindExchange, Exchange: sweepRes}, nil
 	case KindSoC:
-		r := RunSoC(*n.SoC)
+		r := runSoC(*n.SoC, trace.FromContext(ctx))
 		r.Meta.OptionsHash = hash
 		return &Result{Kind: KindSoC, SoC: &r}, nil
 	case KindCustomSoC:
-		r, err := RunCustomSoC(*n.CustomSoC)
+		r, err := runCustomSoC(*n.CustomSoC, trace.FromContext(ctx))
 		if err != nil {
 			return nil, err
 		}
@@ -75,6 +97,15 @@ func Execute(ctx context.Context, req Request) (res *Result, err error) {
 	return nil, fmt.Errorf("blitzcoin: unknown request kind %q", n.Kind)
 }
 
+// executeUnits sizes a request for the sweep-start event: trial count for
+// exchange sweeps, one unit for single-run kinds.
+func executeUnits(n Request) int {
+	if n.Kind == KindExchange && n.Trials > 0 {
+		return n.Trials
+	}
+	return 1
+}
+
 // runExchangeSweep fans a normalized exchange request out over its trials
 // on the shared worker pool and folds the rows in trial order, so the
 // aggregate is byte-identical at any parallelism.
@@ -89,10 +120,19 @@ func runExchangeSweep(ctx context.Context, n Request, hash string) *ExchangeSwee
 // sub-range is the shard a cluster worker serves.
 func exchangeShardRows(ctx context.Context, n Request, lo, hi int) []ExchangeResult {
 	base := *n.Exchange
+	st := trace.FromContext(ctx)
+	total := n.Trials
 	return sweep.MapRange(ctx, lo, hi, 0, func(t int) ExchangeResult {
+		st.TrialStart(t, total)
 		o := base
 		o.Seed = base.Seed + uint64(t)*7919
-		return SimulateExchange(o)
+		r := SimulateExchange(o)
+		st.TrialDone(t, total, r.Converged, r.ConvergenceMicros)
+		if r.Converged {
+			st.Convergence(t, r.ConvergenceMicros)
+			st.Point("convergence_micros", uint64(t), r.ConvergenceMicros)
+		}
+		return r
 	})
 }
 
@@ -250,6 +290,12 @@ func lookupScheme(s Scheme) soc.Scheme {
 // that need accelerators the platform lacks; Validate reports the name
 // errors as an error.
 func RunSoC(o SoCOptions) SoCResult {
+	return runSoC(o, trace.Stream{})
+}
+
+// runSoC is RunSoC with a live stream: the runner's power recorder mirrors
+// every series point onto the stream's bus. A zero stream is inert.
+func runSoC(o SoCOptions, st trace.Stream) SoCResult {
 	o = o.Normalized()
 	if err := o.Validate(); err != nil {
 		panic(err.Error())
@@ -269,6 +315,7 @@ func RunSoC(o SoCOptions) SoCResult {
 		cfg.Strategy = soc.AbsoluteProportional
 	}
 	cfg.Faults = o.Faults.toInternal()
+	cfg.Stream = st
 
 	g := lookupWorkload(o.Workload)
 	if o.Repeat > 1 {
@@ -395,11 +442,17 @@ func (o CustomSoCOptions) build() (soc.Config, *workload.Graph, error) {
 // invalid layouts or workloads; simulation itself is deterministic for the
 // given seed.
 func RunCustomSoC(o CustomSoCOptions) (SoCResult, error) {
+	return runCustomSoC(o, trace.Stream{})
+}
+
+// runCustomSoC is RunCustomSoC with a live stream (see runSoC).
+func runCustomSoC(o CustomSoCOptions, st trace.Stream) (SoCResult, error) {
 	o = o.Normalized()
 	cfg, g, err := o.build()
 	if err != nil {
 		return SoCResult{}, err
 	}
+	cfg.Stream = st
 	res := soc.New(cfg).Run(g)
 	out := newSoCResult(res)
 	out.Meta = newMeta(o.Seed, canonicalHash(string(KindCustomSoC), o))

@@ -1,0 +1,125 @@
+#!/bin/sh
+# stream_smoke.sh — end-to-end smoke test of the live-telemetry surface:
+# build blitzd + blitzctl, start the daemon with a results ledger, follow
+# a figure sweep live over SSE (-stream) and audit the served result
+# against the ledger's Merkle proof (-verify), hard-kill a subscriber
+# mid-stream and assert the daemon shrugs it off, and check a follower
+# of a cached hash gets the synthetic sweep-done. Exits non-zero on any
+# failure. No curl dependency; blitzctl is the SSE client.
+set -eu
+
+workdir=$(mktemp -d)
+trap 'status=$?; [ -n "${daemon_pid:-}" ] && kill "$daemon_pid" 2>/dev/null; [ -n "${victim_pid:-}" ] && kill "$victim_pid" 2>/dev/null; wait 2>/dev/null || true; rm -rf "$workdir"; exit $status' EXIT INT TERM
+
+echo "stream-smoke: building blitzd and blitzctl"
+go build -o "$workdir/blitzd" ./cmd/blitzd
+go build -o "$workdir/blitzctl" ./cmd/blitzctl
+
+"$workdir/blitzd" -addr 127.0.0.1:0 -addrfile "$workdir/addr" \
+    -ledger "$workdir/ledger.jsonl" \
+    >"$workdir/blitzd.out" 2>"$workdir/blitzd.log" &
+daemon_pid=$!
+
+i=0
+while [ ! -s "$workdir/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "stream-smoke: daemon never came up" >&2
+        cat "$workdir/blitzd.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+addr=$(cat "$workdir/addr")
+echo "stream-smoke: blitzd on $addr (ledger at $workdir/ledger.jsonl)"
+
+echo "stream-smoke: streaming a Fig. 7 sweep and verifying it against the ledger"
+"$workdir/blitzctl" -addr "$addr" -figure 7 -trials 20 -seed 1 -stream -verify \
+    >"$workdir/env1.json" 2>"$workdir/stream1.log"
+
+for ev in sweep-start trial-start series-point trial-done sweep-done; do
+    grep -q "stream $ev" "$workdir/stream1.log" || {
+        echo "stream-smoke: no $ev event in the stream:" >&2
+        cat "$workdir/stream1.log" >&2
+        exit 1
+    }
+done
+grep -q 'ledger verification OK' "$workdir/stream1.log" || {
+    echo "stream-smoke: ledger verification did not pass:" >&2
+    cat "$workdir/stream1.log" >&2
+    exit 1
+}
+
+echo "stream-smoke: killing a subscriber mid-stream"
+"$workdir/blitzctl" -addr "$addr" -figure 7 -trials 20 -seed 2 -stream \
+    >"$workdir/env2.json" 2>"$workdir/stream2.log" &
+victim_pid=$!
+i=0
+while ! grep -q 'stream trial-' "$workdir/stream2.log" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "stream-smoke: victim stream never saw a trial event" >&2
+        cat "$workdir/stream2.log" >&2
+        exit 1
+    fi
+    sleep 0.05
+done
+kill -9 "$victim_pid" 2>/dev/null || true
+wait "$victim_pid" 2>/dev/null || true
+victim_pid=""
+
+# The daemon must survive the abrupt disconnect and finish the sweep:
+# re-requesting with -verify serves (cached or coalesced) and audits.
+kill -0 "$daemon_pid" || {
+    echo "stream-smoke: daemon died after subscriber kill" >&2
+    cat "$workdir/blitzd.log" >&2
+    exit 1
+}
+"$workdir/blitzctl" -addr "$addr" -figure 7 -trials 20 -seed 2 -verify \
+    >"$workdir/env3.json" 2>"$workdir/verify3.log"
+grep -q 'ledger verification OK' "$workdir/verify3.log" || {
+    echo "stream-smoke: post-kill verification failed:" >&2
+    cat "$workdir/verify3.log" >&2
+    exit 1
+}
+
+echo "stream-smoke: following a cached hash yields the synthetic sweep-done"
+hash=$(sed -n 's/.*"request_hash": "\([0-9a-f]*\)".*/\1/p' "$workdir/env1.json" | head -1)
+[ -n "$hash" ] || { echo "stream-smoke: no request_hash in envelope" >&2; exit 1; }
+"$workdir/blitzctl" -addr "$addr" -stream -hash "$hash" 2>"$workdir/stream4.log"
+grep -q 'stream sweep-done.*"cached":true' "$workdir/stream4.log" || {
+    echo "stream-smoke: cached follow did not get the synthetic done:" >&2
+    cat "$workdir/stream4.log" >&2
+    exit 1
+}
+
+metrics=$("$workdir/blitzctl" -addr "$addr" -metrics)
+echo "$metrics" | grep -q '^blitzd_ledger_entries 2$' || {
+    echo "stream-smoke: ledger entries metric not 2:" >&2
+    echo "$metrics" | grep blitzd_ledger >&2
+    exit 1
+}
+events=$(echo "$metrics" | sed -n 's/^blitzd_stream_events_total \([0-9]*\)$/\1/p')
+[ -n "$events" ] && [ "$events" -gt 0 ] || {
+    echo "stream-smoke: no streamed events counted (got '$events')" >&2
+    exit 1
+}
+[ -s "$workdir/ledger.jsonl" ] || {
+    echo "stream-smoke: ledger file empty" >&2
+    exit 1
+}
+
+echo "stream-smoke: graceful shutdown"
+kill -INT "$daemon_pid"
+i=0
+while kill -0 "$daemon_pid" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "stream-smoke: daemon ignored SIGINT" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+daemon_pid=""
+
+echo "stream-smoke: OK"

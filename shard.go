@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"blitzcoin/internal/sweep"
+	"blitzcoin/internal/trace"
 )
 
 // This file is the sharding surface of the v1 API: how a Request's
@@ -105,6 +106,14 @@ func ExecuteShard(ctx context.Context, req Request, lo, hi int) (res *ShardResul
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// Publish worker-side trial progress keyed by the request hash, but no
+	// sweep lifecycle — the coordinator that planned the shards owns those
+	// events. An inherited stream (in-process merges) is reused as is.
+	st := trace.FromContext(ctx)
+	if !st.Active() {
+		st = trace.NewStream(trace.Default(), hash)
+		ctx = trace.NewContext(ctx, st)
+	}
 
 	out := &ShardResult{Meta: newMeta(n.seed(), hash), Lo: lo, Hi: hi}
 	switch {
@@ -114,7 +123,10 @@ func ExecuteShard(ctx context.Context, req Request, lo, hi int) (res *ShardResul
 		s := figureRegistry[n.Figure.Name].shard
 		o := *n.Figure
 		out.FigureTrials = sweep.MapRange(ctx, lo, hi, 0, func(g int) json.RawMessage {
-			return s.trial(o, g)
+			st.TrialStart(g, units)
+			raw := s.trial(o, g)
+			st.TrialDone(g, units, true, 0)
+			return raw
 		})
 	default:
 		// One indivisible unit: the shard is the whole computation.

@@ -1,0 +1,84 @@
+package blitzcoin
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"blitzcoin/internal/trace"
+)
+
+// TestExecuteDeterministicUnderSubscribers is the determinism gate for
+// the event bus: simulation results must be byte-identical whether zero
+// subscribers or many (including a starved one that forces drops) are
+// attached to the default bus. Events are observation, never feedback.
+func TestExecuteDeterministicUnderSubscribers(t *testing.T) {
+	req := Request{
+		Trials: 4,
+		Exchange: &ExchangeOptions{
+			Dim: 4, Torus: true, RandomPairing: true, Seed: 7,
+		},
+	}
+	hash, err := req.Normalized().CanonicalHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func() []byte {
+		res, err := Execute(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	// Baseline: no subscribers (the allocation-free fast path).
+	baseline := run()
+
+	// Attach a healthy subscriber, a key-filtered one, and a deliberately
+	// starved one (buffer 1, never read until the end) so the drop-oldest
+	// policy engages.
+	healthy := trace.Default().Subscribe(hash, 1024)
+	defer healthy.Close()
+	all := trace.Default().Subscribe("", 1024)
+	defer all.Close()
+	starved := trace.Default().Subscribe(hash, 1)
+	defer starved.Close()
+
+	subscribed := run()
+
+	if !bytes.Equal(baseline, subscribed) {
+		t.Fatalf("subscribers changed the result:\n  0 subs: %s\n  3 subs: %s", baseline, subscribed)
+	}
+
+	// The healthy subscriber really observed the sweep.
+	var sawStart, sawDone bool
+	var n int
+drain:
+	for {
+		select {
+		case ev := <-healthy.Events():
+			n++
+			switch ev.Type {
+			case trace.EventSweepStart:
+				sawStart = true
+			case trace.EventSweepDone:
+				sawDone = true
+			}
+		default:
+			break drain
+		}
+	}
+	if !sawStart || !sawDone || n < 2+2*4 {
+		t.Fatalf("healthy subscriber saw %d events (start=%v done=%v); want full sweep", n, sawStart, sawDone)
+	}
+	// The starved subscriber dropped events without affecting anything.
+	if starved.Dropped() == 0 {
+		t.Fatal("starved subscriber dropped nothing; drop-oldest path untested")
+	}
+}
