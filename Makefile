@@ -9,7 +9,7 @@ BENCH_BASELINE ?= BENCH_f33851c.json
 
 .PHONY: build test vet race verify bench benchcheck bench-report figures \
 	server-smoke cluster-smoke chaos-smoke stream-smoke lint fmtcheck \
-	blitzlint lint-update
+	blitzlint lint-update lint-smoke
 
 build:
 	$(GO) build ./...
@@ -26,18 +26,26 @@ fmtcheck:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt: files need formatting:"; echo "$$out"; exit 1; fi
 
-# blitzlint runs the five domain analyzers: determinism, seedflow,
-# hotpathalloc, encapsulation, apilock (see DESIGN.md "Static analysis &
-# invariants").
+# blitzlint runs the nine domain analyzers: determinism, seedflow,
+# hotpathalloc, encapsulation, apilock, goroleak, ctxflow, lockorder,
+# errdrop (see DESIGN.md "Static analysis & invariants").
 blitzlint:
 	$(GO) run ./cmd/blitzlint ./...
 
 # lint is the full static gate: gofmt + vet fast pre-gates, then blitzlint.
 lint: fmtcheck vet blitzlint
 
+# lint-smoke drives the real blitzlint binary against the deliberately
+# broken module in scripts/lintsmoke and asserts each wave-2 code
+# (G/C/L/R) fires exactly once — a silently-disabled analyzer fails here
+# even though the clean tree lints green.
+lint-smoke:
+	sh scripts/lint_smoke.sh
+
 # lint-update regenerates the blitzlint goldens (lint/api_v1.txt,
-# lint/escape_allow.txt) after a deliberate API or hot-path change; commit
-# the refreshed files with the change that motivated them.
+# lint/escape_allow.txt, lint/lockorder.txt) after a deliberate API,
+# hot-path, or lock-nesting change; commit the refreshed files with the
+# change that motivated them.
 lint-update:
 	$(GO) run ./cmd/blitzlint -update
 
@@ -45,10 +53,10 @@ race:
 	$(GO) test -race ./...
 
 # The gate every change must pass: static checks (formatting, vet, the
-# blitzlint domain analyzers), the full test suite under the race detector,
-# the hot-path perf gate, and the daemon + cluster + chaos + streaming
-# smoke tests.
-verify: lint race benchcheck server-smoke cluster-smoke chaos-smoke stream-smoke
+# blitzlint domain analyzers plus the broken-fixture lint smoke), the full
+# test suite under the race detector, the hot-path perf gate, and the
+# daemon + cluster + chaos + streaming smoke tests.
+verify: lint lint-smoke race benchcheck server-smoke cluster-smoke chaos-smoke stream-smoke
 
 # server-smoke boots a real blitzd on an ephemeral port, runs one exchange
 # request twice through blitzctl, and asserts the repeat is a cache hit.

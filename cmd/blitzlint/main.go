@@ -1,15 +1,20 @@
 // Command blitzlint runs the BlitzCoin domain analyzers over the module:
 // determinism (D001-D003), seedflow (S001-S002), hotpathalloc (H001-H002),
-// encapsulation (E001), and apilock (A001-A002), plus directive hygiene
-// (X001-X002). See DESIGN.md "Static analysis & invariants" for the catalog.
+// encapsulation (E001), apilock (A001-A002), goroleak (G001-G002), ctxflow
+// (C001-C002), lockorder (L001-L003), and errdrop (R001), plus directive
+// hygiene (X001-X002). See DESIGN.md "Static analysis & invariants" for the
+// catalog.
 //
 // Usage:
 //
-//	blitzlint [-update] [-root dir] [packages...]
+//	blitzlint [-update] [-root dir] [-analyzers a,b] [-sarif file] [packages...]
 //
-// With no packages, ./... is linted. -update regenerates the two goldens
-// (lint/api_v1.txt, lint/escape_allow.txt) instead of checking them. Exit
-// status: 0 clean, 1 diagnostics reported, 2 operational failure.
+// With no packages, ./... is linted. -update regenerates the goldens
+// (lint/api_v1.txt, lint/escape_allow.txt, lint/lockorder.txt) instead of
+// checking them. -analyzers restricts the run to a comma-separated subset.
+// -sarif additionally writes the findings as a SARIF 2.1.0 log ("-" for
+// stdout) for CI code scanning. Exit status: 0 clean, 1 diagnostics
+// reported, 2 operational failure.
 package main
 
 import (
@@ -17,14 +22,17 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"blitzcoin/internal/lint"
 )
 
 func main() {
-	update := flag.Bool("update", false, "regenerate lint/api_v1.txt and lint/escape_allow.txt, then exit")
+	update := flag.Bool("update", false, "regenerate the committed goldens (api_v1, escape_allow, lockorder), then exit")
 	root := flag.String("root", "", "module root directory (default: walk up from cwd to go.mod)")
+	names := flag.String("analyzers", "", "comma-separated analyzer names to run (default: all)")
+	sarifOut := flag.String("sarif", "", `write findings as SARIF 2.1.0 to this file ("-" for stdout)`)
 	flag.Parse()
 
 	moduleDir, err := moduleRoot(*root)
@@ -50,6 +58,8 @@ func main() {
 				err = a.WriteGolden(pkgs)
 			case *lint.HotPathAlloc:
 				err = a.WriteGolden()
+			case *lint.LockOrder:
+				err = a.WriteGolden(pkgs)
 			default:
 				continue
 			}
@@ -61,17 +71,77 @@ func main() {
 		return
 	}
 
+	if *names != "" {
+		if analyzers, err = filterAnalyzers(analyzers, *names); err != nil {
+			fatal(err)
+		}
+	}
+
 	res, err := lint.Run(analyzers, pkgs)
 	if err != nil {
 		fatal(err)
 	}
-	for _, d := range res.Active {
-		fmt.Println(relativize(moduleDir, d))
+	// With -sarif - the JSON log owns stdout; the human-readable report
+	// moves to stderr so consumers get a parseable stream.
+	report := os.Stdout
+	if *sarifOut != "" {
+		if err := writeSARIF(*sarifOut, moduleDir, res); err != nil {
+			fatal(err)
+		}
+		if *sarifOut == "-" {
+			report = os.Stderr
+		}
 	}
-	fmt.Println(summaryLine(moduleDir, res))
+	for _, d := range res.Active {
+		fmt.Fprintln(report, relativize(moduleDir, d))
+	}
+	fmt.Fprintln(report, summaryLine(moduleDir, res))
 	if res.Failed() {
 		os.Exit(1)
 	}
+}
+
+// filterAnalyzers keeps only the named analyzers, failing on unknown names
+// so a typo cannot silently lint nothing.
+func filterAnalyzers(all []lint.Analyzer, names string) ([]lint.Analyzer, error) {
+	byName := map[string]lint.Analyzer{}
+	for _, a := range all {
+		byName[a.Name()] = a
+	}
+	var out []lint.Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		a, ok := byName[n]
+		if !ok {
+			known := make([]string, 0, len(byName))
+			for k := range byName {
+				known = append(known, k)
+			}
+			sort.Strings(known)
+			return nil, fmt.Errorf("unknown analyzer %q (known: %s)", n, strings.Join(known, ", "))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// writeSARIF writes the SARIF log to path ("-" for stdout).
+func writeSARIF(path, moduleDir string, res *lint.Result) error {
+	if path == "-" {
+		return lint.WriteSARIF(os.Stdout, moduleDir, res)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := lint.WriteSARIF(f, moduleDir, res); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // summaryLine renders the run summary plus one line per suppressed

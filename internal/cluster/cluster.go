@@ -86,6 +86,12 @@ type Coordinator struct {
 	latencies []float64
 	latNext   int
 
+	// baseCtx is the coordinator's lifetime: health probes derive their
+	// per-round timeouts from it, so Close interrupts an in-flight probe
+	// fan-out instead of waiting out its timeout.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
 	stop     chan struct{}
 	stopOnce sync.Once
 	done     sync.WaitGroup
@@ -106,22 +112,32 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.Bus == nil {
 		cfg.Bus = trace.Default()
 	}
+	// The coordinator's lifecycle root: New has no caller context (the
+	// coordinator is constructed once at process startup and owns its own
+	// background loops), so this is the one place the package mints one.
+	ctx, cancel := context.WithCancel(context.Background()) //blitzlint:allow C002 coordinator lifetime root: constructed at process startup, cancelled by Close
 	c := &Coordinator{
-		opts:     opts,
-		log:      cfg.Logger,
-		client:   cfg.Client,
-		registry: newRegistry(opts.Workers),
-		bus:      cfg.Bus,
-		stop:     make(chan struct{}),
+		opts:       opts,
+		log:        cfg.Logger,
+		client:     cfg.Client,
+		registry:   newRegistry(opts.Workers),
+		bus:        cfg.Bus,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		stop:       make(chan struct{}),
 	}
 	c.done.Add(1)
 	go c.heartbeatLoop()
 	return c, nil
 }
 
-// Close stops the heartbeat loop. In-flight Runs are unaffected.
+// Close stops the heartbeat loop and cancels any in-flight health probes.
+// In-flight Runs are unaffected.
 func (c *Coordinator) Close() {
-	c.stopOnce.Do(func() { close(c.stop) })
+	c.stopOnce.Do(func() {
+		close(c.stop)
+		c.baseCancel()
+	})
 	c.done.Wait()
 }
 
@@ -196,7 +212,7 @@ func (c *Coordinator) heartbeatLoop() {
 // probeAll probes every worker's /healthz concurrently, bounded by the
 // heartbeat interval.
 func (c *Coordinator) probeAll(timeout time.Duration) {
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	ctx, cancel := context.WithTimeout(c.baseCtx, timeout)
 	defer cancel()
 	var wg sync.WaitGroup
 	for _, url := range c.registry.urls() {
@@ -412,8 +428,12 @@ func JoinLoop(ctx context.Context, client *http.Client, coordinatorURL, selfURL 
 			log.Warn("cluster join failed", "coordinator", coordinatorURL, "error", err)
 			return
 		}
-		io.Copy(io.Discard, resp.Body) //nolint:errcheck // keepalive best effort
-		resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			log.Warn("cluster join response drain failed", "coordinator", coordinatorURL, "error", err)
+		}
+		if err := resp.Body.Close(); err != nil {
+			log.Warn("cluster join response close failed", "coordinator", coordinatorURL, "error", err)
+		}
 		if resp.StatusCode != http.StatusOK {
 			log.Warn("cluster join rejected", "coordinator", coordinatorURL, "status", resp.StatusCode)
 		}

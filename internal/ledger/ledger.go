@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"sync"
@@ -77,7 +78,9 @@ func Open(path string, batch int) (*Ledger, error) {
 		return nil, err
 	}
 	if err := l.replay(f); err != nil {
-		f.Close()
+		if cerr := f.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
 		return nil, err
 	}
 	l.f = f

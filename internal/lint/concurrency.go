@@ -1,0 +1,137 @@
+package lint
+
+// Shared type predicates for the wave-2 concurrency analyzers (goroleak,
+// ctxflow, lockorder, errdrop). Everything resolves through go/types so
+// renamed imports, embedded receivers, and method values are all seen for
+// what they are.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// exprType resolves the static type of e, falling back to the identifier
+// use/def maps for bare names.
+func exprType(pkg *Package, e ast.Expr) types.Type {
+	if tv, ok := pkg.Info.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := pkg.Info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := pkg.Info.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// isNamedType reports whether t is the named type pkgPath.name.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	return t != nil && isNamedType(t, "context", "Context")
+}
+
+// isCancellationType reports whether a value of type t gives a goroutine a
+// way to learn it should stop: a context, a channel of any direction, or a
+// WaitGroup tying it to a collector.
+func isCancellationType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	t = deref(t)
+	if isNamedType(t, "context", "Context") || isNamedType(t, "sync", "WaitGroup") {
+		return true
+	}
+	_, isChan := t.Underlying().(*types.Chan)
+	return isChan
+}
+
+// calleeFunc resolves the function or method a call expression invokes,
+// unwrapping parentheses and generic instantiations. Returns nil for
+// builtins, conversions, and calls through function-typed values.
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	if ix, ok := fun.(*ast.IndexExpr); ok {
+		fun = ast.Unparen(ix.X)
+	}
+	var obj types.Object
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		obj = pkg.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pkg.Info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// funcIs reports whether fn is the package-level function pkgPath.name.
+func funcIs(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// recvIs reports whether fn is a method whose receiver (after deref) is the
+// named type pkgPath.name.
+func recvIs(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isNamedType(deref(sig.Recv().Type()), pkgPath, name)
+}
+
+// isHTTPDo reports whether fn is (*net/http.Client).Do.
+func isHTTPDo(fn *types.Func) bool {
+	return fn != nil && fn.Name() == "Do" && recvIs(fn, "net/http", "Client")
+}
+
+// isWaitGroupWait reports whether fn is (*sync.WaitGroup).Wait.
+func isWaitGroupWait(fn *types.Func) bool {
+	return fn != nil && fn.Name() == "Wait" && recvIs(fn, "sync", "WaitGroup")
+}
+
+// declIndex maps each declared function/method in the loaded packages to
+// its syntax, so analyzers can judge a named callee by its body. Keys are
+// types.Func.FullName() strings, not object pointers: every package is
+// type-checked separately, so the object a call site resolves to (loaded
+// from export data) is distinct from the object the callee's own package
+// defines — only the full name is stable across the two.
+type declBody struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+}
+
+func indexFuncDecls(pkgs []*Package, scope func(string) bool) map[string]declBody {
+	idx := map[string]declBody{}
+	for _, pkg := range pkgs {
+		if scope != nil && !scope(pkg.Path) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					idx[fn.FullName()] = declBody{pkg: pkg, decl: fd}
+				}
+			}
+		}
+	}
+	return idx
+}

@@ -54,6 +54,62 @@ var coinBudgetFields = []string{
 	"CoinsStart", "CoinsEnd", "PoolViolation", "CoinsMinted", "CoinsBurned",
 }
 
+// concurrencyPackages are the goroutine- and lock-heavy serving-layer
+// packages the wave-2 analyzers (goroleak G00x, ctxflow C001, errdrop via
+// errDropPackages) patrol: the work-stealing cluster, the daemon, the trace
+// bus, the results ledger, and the parallel sweep driver. cmd/ stays out —
+// entry points legitimately own detached lifetimes.
+var concurrencyPackages = []string{
+	"blitzcoin/internal/cluster",
+	"blitzcoin/internal/server",
+	"blitzcoin/internal/trace",
+	"blitzcoin/internal/ledger",
+	"blitzcoin/internal/sweep",
+}
+
+// ctxMintPackages are the packages where minting a fresh root context
+// (C002) is forbidden: everything here is reached from an entry point that
+// already owns a context, so a Background() below it detaches work from
+// shutdown.
+var ctxMintPackages = []string{
+	"blitzcoin/internal/cluster",
+	"blitzcoin/internal/server",
+	"blitzcoin/internal/trace",
+}
+
+// lockOrderPackages are the packages whose named mutexes participate in the
+// committed global acquisition order (lint/lockorder.txt): the scheduler/
+// coordinator/registry locks and the trace bus they publish into.
+var lockOrderPackages = []string{
+	"blitzcoin/internal/cluster",
+	"blitzcoin/internal/trace",
+}
+
+// errDropPackages are the packages where a silently dropped Close/Flush/
+// Encode/Append error loses data a client already believes durable.
+var errDropPackages = []string{
+	"blitzcoin/internal/cluster",
+	"blitzcoin/internal/server",
+	"blitzcoin/internal/ledger",
+	"blitzcoin/internal/trace",
+}
+
+// inList returns a scope predicate matching exactly the listed paths.
+func inList(paths []string) func(string) bool {
+	return func(p string) bool {
+		for _, q := range paths {
+			if p == q {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// ConcurrencyScope reports whether path is patrolled by the goroleak and
+// ctxflow analyzers under the production configuration.
+func ConcurrencyScope(path string) bool { return inList(concurrencyPackages)(path) }
+
 // SimScope reports whether path is a simulation package subject to the
 // determinism analyzer under the production configuration.
 func SimScope(path string) bool {
@@ -80,5 +136,9 @@ func DefaultAnalyzers(moduleDir, goldenDir string) []Analyzer {
 		NewHotPathAlloc(moduleDir, goldenDir, hotPathPackages),
 		NewEncapsulation("blitzcoin/internal/coin", "Result", coinBudgetFields),
 		NewAPILock("blitzcoin", goldenDir),
+		NewGoroleak(ConcurrencyScope),
+		NewCtxflow(ConcurrencyScope, inList(ctxMintPackages)),
+		NewLockOrder(goldenDir, inList(lockOrderPackages)),
+		NewErrDrop(inList(errDropPackages)),
 	}
 }

@@ -1,0 +1,183 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Ctxflow enforces context discipline in the serving layer: a function that
+// accepts a context must let that context interrupt its blocking work, and
+// nothing below the process entry points may mint a fresh root context —
+// that is how a worker keeps probing a coordinator that already shut down.
+//
+//	C001  blocking call — time.Sleep, a select-less channel send/receive/
+//	      range, or (*http.Client).Do — inside a function that receives a
+//	      context.Context but never consults it (time.Sleep is flagged even
+//	      when the context is consulted elsewhere: it cannot be interrupted)
+//	C002  context.Background()/context.TODO() minted inside a package below
+//	      the entry points instead of propagating the caller's ctx
+//
+// Closure and `go` bodies are separate execution contexts and are skipped
+// by the C001 scan; goroleak owns goroutine lifetimes.
+type Ctxflow struct {
+	blockScope func(string) bool // packages subject to C001
+	mintScope  func(string) bool // packages where C002 forbids fresh roots
+}
+
+// NewCtxflow returns the analyzer with independent scopes for the blocking
+// check (C001) and the background-mint check (C002).
+func NewCtxflow(blockScope, mintScope func(string) bool) *Ctxflow {
+	return &Ctxflow{blockScope: blockScope, mintScope: mintScope}
+}
+
+func (*Ctxflow) Name() string { return "ctxflow" }
+
+func (c *Ctxflow) Run(pkgs []*Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		if c.mintScope(pkg.Path) {
+			diags = append(diags, c.checkMints(pkg)...)
+		}
+		if c.blockScope(pkg.Path) {
+			for _, f := range pkg.Files {
+				for _, d := range f.Decls {
+					if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+						diags = append(diags, c.checkCtxFunc(pkg, fd)...)
+					}
+				}
+			}
+		}
+	}
+	return diags, nil
+}
+
+// checkMints reports every context.Background()/context.TODO() call (C002).
+func (c *Ctxflow) checkMints(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pkg, call)
+			if funcIs(fn, "context", "Background") || funcIs(fn, "context", "TODO") {
+				diags = append(diags, Diagnostic{
+					Analyzer: c.Name(), Code: "C002", Pos: pkg.Fset.Position(call.Pos()),
+					Message: fmt.Sprintf("context.%s() minted below the entry points; propagate the caller's ctx", fn.Name()),
+				})
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// checkCtxFunc applies C001 to one declared function: if it receives a
+// context, its blocking calls must be interruptible by that context.
+func (c *Ctxflow) checkCtxFunc(pkg *Package, fd *ast.FuncDecl) []Diagnostic {
+	ctxParams, hasCtx := contextParams(pkg, fd)
+	if !hasCtx {
+		return nil
+	}
+	consulted := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && ctxParams[pkg.Info.Uses[id]] {
+			consulted = true
+		}
+		return !consulted
+	})
+	var diags []Diagnostic
+	for _, op := range collectBlocking(pkg, fd.Body) {
+		if op.sleep {
+			diags = append(diags, Diagnostic{
+				Analyzer: c.Name(), Code: "C001", Pos: pkg.Fset.Position(op.pos),
+				Message: "time.Sleep in a context-aware function cannot be interrupted; select on a timer and ctx.Done() instead",
+			})
+			continue
+		}
+		if consulted {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Analyzer: c.Name(), Code: "C001", Pos: pkg.Fset.Position(op.pos),
+			Message: fmt.Sprintf("%s in a function that receives a context it never consults", op.what),
+		})
+	}
+	return diags
+}
+
+// contextParams returns the set of context-typed parameter objects of fd,
+// and whether fd has any context parameter at all (named or not — an
+// unnamed context can never be consulted).
+func contextParams(pkg *Package, fd *ast.FuncDecl) (map[types.Object]bool, bool) {
+	params := map[types.Object]bool{}
+	hasCtx := false
+	for _, field := range fd.Type.Params.List {
+		if !isContextType(exprType(pkg, field.Type)) {
+			continue
+		}
+		hasCtx = true
+		for _, name := range field.Names {
+			if obj := pkg.Info.Defs[name]; obj != nil {
+				params[obj] = true
+			}
+		}
+	}
+	return params, hasCtx
+}
+
+// blockingOp is one potentially-blocking operation found in a function
+// body.
+type blockingOp struct {
+	pos   token.Pos
+	what  string
+	sleep bool
+}
+
+// collectBlocking walks body for blocking operations, skipping closure and
+// `go` bodies (separate execution contexts) and the comm clauses of select
+// statements (a select is how channel ops become interruptible; its case
+// bodies are still scanned).
+func collectBlocking(pkg *Package, body *ast.BlockStmt) []blockingOp {
+	var ops []blockingOp
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.SelectStmt:
+			for _, cl := range n.Body.List {
+				for _, s := range cl.(*ast.CommClause).Body {
+					ast.Inspect(s, visit)
+				}
+			}
+			return false
+		case *ast.SendStmt:
+			ops = append(ops, blockingOp{pos: n.Arrow, what: "blocking channel send"})
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				ops = append(ops, blockingOp{pos: n.OpPos, what: "blocking channel receive"})
+			}
+		case *ast.RangeStmt:
+			if t := exprType(pkg, n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					ops = append(ops, blockingOp{pos: n.For, what: "blocking range over channel"})
+				}
+			}
+		case *ast.CallExpr:
+			fn := calleeFunc(pkg, n)
+			switch {
+			case funcIs(fn, "time", "Sleep"):
+				ops = append(ops, blockingOp{pos: n.Pos(), what: "time.Sleep", sleep: true})
+			case isHTTPDo(fn):
+				ops = append(ops, blockingOp{pos: n.Pos(), what: "(*http.Client).Do"})
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, visit)
+	return ops
+}

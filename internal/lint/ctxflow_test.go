@@ -1,0 +1,39 @@
+package lint
+
+import "testing"
+
+// TestCtxflowFixture pins C001 (blocking work a received context cannot
+// interrupt) and C002 (root contexts minted in scope).
+func TestCtxflowFixture(t *testing.T) {
+	pkg := loadFixture(t, "ctxflow")
+	all := func(string) bool { return true }
+	res := runAnalyzer(t, NewCtxflow(all, all), pkg)
+	checkGolden(t, "ctxflow", formatDiags(res.Active))
+}
+
+// TestCtxflowMintScopeIndependent pins that C001 and C002 scopes gate
+// independently: with minting out of scope only the blocking findings
+// remain.
+func TestCtxflowMintScopeIndependent(t *testing.T) {
+	pkg := loadFixture(t, "ctxflow")
+	all := func(string) bool { return true }
+	none := func(string) bool { return false }
+	ds, err := NewCtxflow(all, none).Run([]*Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range ds {
+		if d.Code == "C002" {
+			t.Errorf("C002 reported with minting out of scope: %s", d)
+		}
+	}
+	ds, err = NewCtxflow(none, all).Run([]*Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range ds {
+		if d.Code == "C001" {
+			t.Errorf("C001 reported with blocking out of scope: %s", d)
+		}
+	}
+}

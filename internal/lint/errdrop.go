@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// ErrDrop flags silently discarded errors on the resource and write paths:
+// a dropped Close on the ledger file loses the fsync verdict, a dropped
+// Encode means a truncated HTTP response nobody noticed.
+//
+//	R001  call statement discarding an error result from a flush/close/
+//	      write-path function: either the callee's name is in the watched
+//	      set (Close, Flush, Sync, Encode, Append) or its only result is an
+//	      error (e.g. an SSE write helper)
+//
+// `_ = x.Close()` is the deliberate-discard escape hatch and is never
+// flagged; `defer rc.Close()` on an io.ReadCloser is idiomatic read-side
+// cleanup and is also exempt. Everything else wants handling, `_ =`, or a
+// //blitzlint:allow R001 with a reason.
+type ErrDrop struct {
+	scope func(string) bool
+	names map[string]bool
+}
+
+// errDropNames is the default watched-name set: close/flush/sync resource
+// releases plus the ledger and HTTP write paths.
+var errDropNames = []string{"Close", "Flush", "Sync", "Encode", "Append"}
+
+// NewErrDrop returns the analyzer limited to packages where scope returns
+// true, watching names (defaults to errDropNames when empty).
+func NewErrDrop(scope func(string) bool, names ...string) *ErrDrop {
+	if len(names) == 0 {
+		names = errDropNames
+	}
+	set := map[string]bool{}
+	for _, n := range names {
+		set[n] = true
+	}
+	return &ErrDrop{scope: scope, names: set}
+}
+
+func (*ErrDrop) Name() string { return "errdrop" }
+
+func (e *ErrDrop) Run(pkgs []*Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		if !e.scope(pkg.Path) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := n.X.(*ast.CallExpr); ok {
+						if d, ok := e.check(pkg, call, false); ok {
+							diags = append(diags, d)
+						}
+					}
+				case *ast.DeferStmt:
+					if d, ok := e.check(pkg, n.Call, true); ok {
+						diags = append(diags, d)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return diags, nil
+}
+
+// check judges one statement-position call whose results are all discarded.
+func (e *ErrDrop) check(pkg *Package, call *ast.CallExpr, deferred bool) (Diagnostic, bool) {
+	sig, ok := exprType(pkg, call.Fun).(*types.Signature)
+	if !ok {
+		return Diagnostic{}, false // builtin, conversion, or unresolved
+	}
+	res := sig.Results()
+	if res.Len() == 0 || !isErrorType(res.At(res.Len()-1).Type()) {
+		return Diagnostic{}, false
+	}
+	name := ""
+	if fn := calleeFunc(pkg, call); fn != nil {
+		name = fn.Name()
+	} else if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		name = id.Name
+	}
+	if !e.names[name] && res.Len() != 1 {
+		return Diagnostic{}, false
+	}
+	if deferred && name == "Close" && readSideClose(pkg, call) {
+		return Diagnostic{}, false
+	}
+	what := name
+	if what == "" {
+		what = "call"
+	}
+	return Diagnostic{
+		Analyzer: e.Name(), Code: "R001", Pos: pkg.Fset.Position(call.Pos()),
+		Message: fmt.Sprintf("%s error discarded; handle it, discard explicitly with `_ =`, or add an allow directive", what),
+	}, true
+}
+
+// readSideClose reports whether call is a Close on a value statically typed
+// io.ReadCloser — the `defer resp.Body.Close()` idiom, where the read path
+// already surfaced any transport error.
+func readSideClose(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return isNamedType(deref(exprType(pkg, sel.X)), "io", "ReadCloser")
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}

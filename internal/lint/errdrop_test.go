@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestErrDropFixture pins R001: discarded close/flush/write-path errors,
+// the `_ =` escape hatch, and the read-side defer-Close exemption.
+func TestErrDropFixture(t *testing.T) {
+	pkg := loadFixture(t, "errdrop")
+	res := runAnalyzer(t, NewErrDrop(func(string) bool { return true }), pkg)
+	checkGolden(t, "errdrop", formatDiags(res.Active))
+
+	if len(res.Suppressed) != 1 || res.Suppressed[0].Code != "R001" {
+		t.Errorf("suppressed = %v, want exactly one R001", formatDiags(res.Suppressed))
+	}
+}
+
+// TestErrDropCustomNames pins that the watched-name set is configurable
+// for multi-result calls: the default set leaves io.Writer.Write (two
+// results) alone, while watching "Write" flags it. Sole-error drops are
+// flagged under any name set.
+func TestErrDropCustomNames(t *testing.T) {
+	pkg := loadFixture(t, "errdrop")
+	ds, err := NewErrDrop(func(string) bool { return true }, "Write").Run([]*Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var write, soleError int
+	for _, d := range ds {
+		if strings.HasPrefix(d.Message, "Write") {
+			write++
+		}
+		if strings.HasPrefix(d.Message, "emit") {
+			soleError++
+		}
+	}
+	if write != 1 {
+		t.Errorf("Write drops flagged = %d, want 1 when Write is watched", write)
+	}
+	if soleError != 1 {
+		t.Errorf("sole-error drops flagged = %d, want 1 regardless of the name set", soleError)
+	}
+}

@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// Goroleak flags goroutines with no way to learn they should exit and
+// tickers/timers that can never be stopped. A work-stealing cluster that
+// "serves heavy traffic" leaks goroutines and OS timers exactly here: a
+// `go` statement whose closure loops forever, or a time.Ticker created on a
+// path that never reaches Stop.
+//
+//	G001  `go` statement whose function has no cancellation path: neither
+//	      the spawned body nor the call mentions a context, a channel, or a
+//	      WaitGroup
+//	G002  time.NewTicker/time.NewTimer result never stopped (no x.Stop()
+//	      reachable in the creating function and x does not escape via
+//	      return)
+//
+// The check is a heuristic over mentions, not a liveness proof: any
+// context/channel/WaitGroup reference counts as a cancellation path. That
+// deliberately errs toward silence — the goal is catching the goroutine
+// that references nothing cancellable at all.
+type Goroleak struct {
+	scope func(string) bool
+}
+
+// NewGoroleak returns the analyzer limited to packages where scope returns
+// true.
+func NewGoroleak(scope func(string) bool) *Goroleak {
+	return &Goroleak{scope: scope}
+}
+
+func (*Goroleak) Name() string { return "goroleak" }
+
+func (g *Goroleak) Run(pkgs []*Package) ([]Diagnostic, error) {
+	decls := indexFuncDecls(pkgs, g.scope)
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		if !g.scope(pkg.Path) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.GoStmt:
+					if d, ok := g.checkGo(pkg, decls, n); ok {
+						diags = append(diags, d)
+					}
+				case *ast.FuncDecl:
+					if n.Body != nil {
+						diags = append(diags, g.checkTimers(pkg, n.Body)...)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return diags, nil
+}
+
+// checkGo judges one `go` statement: the spawned function (closure body or
+// resolved named callee) or the call itself must mention a cancellation
+// path.
+func (g *Goroleak) checkGo(pkg *Package, decls map[string]declBody, gs *ast.GoStmt) (Diagnostic, bool) {
+	call := gs.Call
+	callMentions := func() bool {
+		for _, a := range call.Args {
+			if mentionsCancellation(pkg, a) {
+				return true
+			}
+		}
+		return mentionsCancellation(pkg, call.Fun)
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		if mentionsCancellation(pkg, lit.Body) || callMentions() {
+			return Diagnostic{}, false
+		}
+		return g.g001(pkg, gs, "closure"), true
+	}
+	if fn := calleeFunc(pkg, call); fn != nil {
+		if db, ok := decls[fn.FullName()]; ok {
+			if mentionsCancellation(db.pkg, db.decl.Body) || callMentions() {
+				return Diagnostic{}, false
+			}
+			return g.g001(pkg, gs, fn.Name()), true
+		}
+	}
+	// Callee body not in the load (stdlib, function value): judge the call.
+	if callMentions() {
+		return Diagnostic{}, false
+	}
+	return g.g001(pkg, gs, "callee"), true
+}
+
+func (g *Goroleak) g001(pkg *Package, gs *ast.GoStmt, what string) Diagnostic {
+	return Diagnostic{
+		Analyzer: g.Name(), Code: "G001", Pos: pkg.Fset.Position(gs.Pos()),
+		Message: fmt.Sprintf("goroutine has no cancellation path: %s mentions no context, channel, or WaitGroup", what),
+	}
+}
+
+// mentionsCancellation reports whether any expression under n has a
+// context, channel, or WaitGroup type.
+func mentionsCancellation(pkg *Package, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if e, ok := n.(ast.Expr); ok && isCancellationType(exprType(pkg, e)) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// checkTimers flags ticker/timer locals created in body that neither reach
+// a Stop call nor escape via return (G002).
+func (g *Goroleak) checkTimers(pkg *Package, body *ast.BlockStmt) []Diagnostic {
+	var diags []Diagnostic
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pkg, call)
+		var kind string
+		switch {
+		case funcIs(fn, "time", "NewTicker"):
+			kind = "time.Ticker"
+		case funcIs(fn, "time", "NewTimer"), funcIs(fn, "time", "AfterFunc"):
+			kind = "time.Timer"
+		default:
+			return true
+		}
+		obj := pkg.Info.Defs[id]
+		if obj == nil {
+			obj = pkg.Info.Uses[id]
+		}
+		if obj == nil || stopReachable(pkg, body, obj) {
+			return true
+		}
+		diags = append(diags, Diagnostic{
+			Analyzer: g.Name(), Code: "G002", Pos: pkg.Fset.Position(call.Pos()),
+			Message: fmt.Sprintf("%s %q is never stopped: no %s.Stop() in this function and it does not escape", kind, id.Name, id.Name),
+		})
+		return true
+	})
+	return diags
+}
+
+// stopReachable reports whether obj (a ticker/timer variable) has a
+// <obj>.Stop() mention anywhere in body, or escapes the function by being
+// returned (the caller then owns the Stop).
+func stopReachable(pkg *Package, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	usesObj := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && pkg.Info.Uses[id] == obj
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if n.Sel.Name == "Stop" && usesObj(n.X) {
+				found = true
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if usesObj(r) {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

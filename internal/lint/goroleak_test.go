@@ -1,0 +1,36 @@
+package lint
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestGoroleakFixture pins G001/G002 behavior and the allow-directive
+// interaction for the new codes: a justified allow suppresses (but is
+// counted), a reason-less one is X002, and a stale one is X001.
+func TestGoroleakFixture(t *testing.T) {
+	pkg := loadFixture(t, "goroleak")
+	res := runAnalyzer(t, NewGoroleak(func(string) bool { return true }), pkg)
+	checkGolden(t, "goroleak", formatDiags(res.Active))
+
+	if len(res.Suppressed) != 1 || res.Suppressed[0].Code != "G001" {
+		t.Errorf("suppressed = %v, want exactly one G001", formatDiags(res.Suppressed))
+	}
+	want := fmt.Sprintf("blitzlint: %d diagnostic(s), 1 suppressed (G001 x1)", len(res.Active))
+	if got := res.Summary(); got != want {
+		t.Errorf("summary = %q: suppressed finding must stay visible in the count", got)
+	}
+}
+
+// TestGoroleakOutOfScope pins that the scope predicate gates the analyzer.
+func TestGoroleakOutOfScope(t *testing.T) {
+	pkg := loadFixture(t, "goroleak")
+	a := NewGoroleak(func(string) bool { return false })
+	ds, err := a.Run([]*Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 0 {
+		t.Errorf("out-of-scope package produced %d diagnostics", len(ds))
+	}
+}

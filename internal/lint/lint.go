@@ -1,11 +1,12 @@
 // Package lint is blitzlint: a domain-aware static-analysis suite that
-// mechanically enforces the repo's three hard-won invariants — byte-identical
-// sweep rows at any parallelism, a de-allocated exchange hot path, and a
-// frozen versioned v1 API surface — at compile time, before `make verify`
-// ever runs a simulation.
+// mechanically enforces the repo's hard-won invariants — byte-identical
+// sweep rows at any parallelism, a de-allocated exchange hot path, a frozen
+// versioned v1 API surface, and leak/deadlock-free concurrency in the
+// long-running daemon and cluster packages — at compile time, before
+// `make verify` ever runs a simulation.
 //
 // The suite is stdlib-only (go/ast, go/parser, go/types; packages are loaded
-// through `go list -export` and the gc export-data importer) and ships five
+// through `go list -export` and the gc export-data importer) and ships nine
 // analyzers:
 //
 //	determinism   D001-D003  wall-clock, global math/rand, and order-dependent
@@ -19,6 +20,17 @@
 //	apilock       A001-A002  exported-surface drift of the root package
 //	                         against lint/api_v1.txt without an EngineVersion
 //	                         bump
+//	goroleak      G001-G002  goroutines with no cancellation path; tickers
+//	                         and timers that can never be stopped
+//	ctxflow       C001-C002  uninterruptible blocking in context-aware
+//	                         functions; context.Background() minted below
+//	                         the entry points
+//	lockorder     L001-L003  mutex nesting diffed against the committed
+//	                         lint/lockorder.txt order; blocking while held
+//	errdrop       R001       discarded errors on close/flush/append paths
+//
+// Findings can additionally be rendered as a SARIF 2.1.0 log (WriteSARIF)
+// for CI code scanning, with in-source suppressions preserved.
 //
 // A diagnostic is suppressed by an explicit directive on the offending line
 // or the line immediately above:

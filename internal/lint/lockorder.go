@@ -1,0 +1,603 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LockOrder enforces a committed global mutex-acquisition order. Deadlock
+// freedom in the coordinator/scheduler/trace-bus triangle depends on every
+// nested acquisition following one partial order; that order lives in the
+// lint/lockorder.txt golden as `A -> B` lines and this analyzer diffs the
+// tree against it.
+//
+//	L001  observed nested acquisition `A -> B` not in the golden — either a
+//	      genuine inversion (the reverse edge is committed) or a new nesting
+//	      that must be reviewed and added via `make lint-update`
+//	L002  blocking operation (time.Sleep, select-less channel op, select
+//	      without default, (*http.Client).Do, WaitGroup.Wait) — directly or
+//	      through a call chain — while a mutex is held
+//	L003  golden entry whose nesting no longer occurs anywhere — stale,
+//	      regenerate with `make lint-update`
+//
+// Mutexes are identified structurally as pkg.Type.field (or pkg.var for
+// package-level locks); local mutex variables are invisible to the order.
+// The analysis is a linear walk per function with a held-set — `defer
+// Unlock` pins the mutex to function end — plus a transitive closure over
+// the in-scope call graph. Closure and `go` bodies run on other goroutines
+// (or at unlock-protected call sites) and are excluded.
+type LockOrder struct {
+	goldenDir string
+	scope     func(string) bool
+}
+
+// NewLockOrder returns the analyzer checking packages where scope returns
+// true against goldenDir/lockorder.txt.
+func NewLockOrder(goldenDir string, scope func(string) bool) *LockOrder {
+	return &LockOrder{goldenDir: goldenDir, scope: scope}
+}
+
+func (*LockOrder) Name() string { return "lockorder" }
+
+func (l *LockOrder) goldenPath() string { return filepath.Join(l.goldenDir, "lockorder.txt") }
+
+// lockEdge is one nested acquisition: to locked while from is held.
+type lockEdge struct{ from, to string }
+
+func (e lockEdge) String() string { return e.from + " -> " + e.to }
+
+// lockCall is a call made with locks held; lockBlock a blocking operation.
+// Callees are identified by types.Func.FullName() — stable across the
+// per-package type-checks, unlike object pointers.
+type lockCall struct {
+	callee string // FullName of the callee
+	name   string // short display name
+	held   []string
+	pos    token.Pos
+}
+
+type lockBlock struct {
+	what string
+	held []string
+	pos  token.Pos
+}
+
+// lockFact is the per-function summary the transitive passes consume.
+type lockFact struct {
+	acquires map[string]bool
+	edges    map[lockEdge]token.Pos
+	calls    []lockCall
+	blocks   []lockBlock
+}
+
+type lockAnalysis struct {
+	order []string // deterministic function order (FullName keys)
+	facts map[string]*lockFact
+	pkgs  map[string]*Package
+	trans map[string]map[string]bool // transitive may-acquire sets
+}
+
+func (l *LockOrder) Run(pkgs []*Package) ([]Diagnostic, error) {
+	an := l.analyze(pkgs)
+	edges := an.observedEdges()
+	var diags []Diagnostic
+
+	// L002: blocking while held, directly or through a call chain.
+	blocking := an.transBlocking()
+	for _, fn := range an.order {
+		fact := an.facts[fn]
+		fset := an.pkgs[fn].Fset
+		for _, b := range fact.blocks {
+			if len(b.held) > 0 {
+				diags = append(diags, Diagnostic{
+					Analyzer: l.Name(), Code: "L002", Pos: fset.Position(b.pos),
+					Message: fmt.Sprintf("%s while holding %s", b.what, strings.Join(b.held, ", ")),
+				})
+			}
+		}
+		for _, c := range fact.calls {
+			if len(c.held) == 0 {
+				continue
+			}
+			if desc := an.describeBlocking(blocking, c.callee, map[string]bool{}); desc != "" {
+				diags = append(diags, Diagnostic{
+					Analyzer: l.Name(), Code: "L002", Pos: fset.Position(c.pos),
+					Message: fmt.Sprintf("call to %s blocks (%s) while holding %s", c.name, desc, strings.Join(c.held, ", ")),
+				})
+			}
+		}
+	}
+
+	// Self-edges are deadlocks regardless of any golden.
+	var plain []lockEdge
+	for e := range edges {
+		if e.from == e.to {
+			diags = append(diags, Diagnostic{
+				Analyzer: l.Name(), Code: "L001", Pos: edges[e].pos,
+				Message: fmt.Sprintf("mutex %s re-acquired while already held — self-deadlock", e.from),
+			})
+			continue
+		}
+		plain = append(plain, e)
+	}
+	sort.Slice(plain, func(i, j int) bool { return plain[i].String() < plain[j].String() })
+
+	golden, goldenLines, err := l.readGolden()
+	if os.IsNotExist(err) {
+		if len(plain) > 0 {
+			diags = append(diags, Diagnostic{
+				Analyzer: l.Name(), Code: "L003",
+				Pos:     token.Position{Filename: l.goldenPath(), Line: 1, Column: 1},
+				Message: fmt.Sprintf("missing lockorder golden %s; generate it with `make lint-update`", l.goldenPath()),
+			})
+		}
+		return diags, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range plain {
+		if golden[e] {
+			continue
+		}
+		msg := fmt.Sprintf("undeclared lock-order edge %s; review the nesting and regenerate with `make lint-update`", e)
+		if golden[lockEdge{from: e.to, to: e.from}] {
+			msg = fmt.Sprintf("lock order inversion: %s acquired while holding %s, but the committed order is %s -> %s",
+				e.to, e.from, e.to, e.from)
+		}
+		diags = append(diags, Diagnostic{
+			Analyzer: l.Name(), Code: "L001", Pos: edges[e].pos, Message: msg,
+		})
+	}
+	for _, ge := range goldenLines {
+		if _, ok := edges[ge.edge]; ok && ge.edge.from != ge.edge.to {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Analyzer: l.Name(), Code: "L003",
+			Pos:     token.Position{Filename: l.goldenPath(), Line: ge.line, Column: 1},
+			Message: fmt.Sprintf("stale lockorder golden entry %q: this nesting no longer occurs; regenerate with `make lint-update`", ge.edge),
+		})
+	}
+	return diags, nil
+}
+
+// WriteGolden regenerates lint/lockorder.txt from the observed edges.
+func (l *LockOrder) WriteGolden(pkgs []*Package) error {
+	edges := l.analyze(pkgs).observedEdges()
+	var lines []string
+	for e := range edges {
+		if e.from != e.to {
+			lines = append(lines, e.String())
+		}
+	}
+	sort.Strings(lines)
+	var b strings.Builder
+	b.WriteString("# blitzlint lockorder golden: the committed global mutex acquisition\n")
+	b.WriteString("# order. One `A -> B` line per allowed nested acquisition (B locked while\n")
+	b.WriteString("# A is held). Regenerate with `make lint-update` after a reviewed change.\n")
+	for _, ln := range lines {
+		b.WriteString(ln + "\n")
+	}
+	if err := os.MkdirAll(l.goldenDir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(l.goldenPath(), []byte(b.String()), 0o644)
+}
+
+type goldenEdge struct {
+	edge lockEdge
+	line int
+}
+
+func (l *LockOrder) readGolden() (map[lockEdge]bool, []goldenEdge, error) {
+	data, err := os.ReadFile(l.goldenPath())
+	if err != nil {
+		return nil, nil, err
+	}
+	set := map[lockEdge]bool{}
+	var lines []goldenEdge
+	for i, ln := range strings.Split(string(data), "\n") {
+		ln = strings.TrimSpace(ln)
+		if ln == "" || strings.HasPrefix(ln, "#") {
+			continue
+		}
+		from, to, ok := strings.Cut(ln, " -> ")
+		if !ok {
+			continue
+		}
+		e := lockEdge{from: strings.TrimSpace(from), to: strings.TrimSpace(to)}
+		set[e] = true
+		lines = append(lines, goldenEdge{edge: e, line: i + 1})
+	}
+	return set, lines, nil
+}
+
+// analyze walks every in-scope function once and computes the transitive
+// may-acquire closure over the call graph.
+func (l *LockOrder) analyze(pkgs []*Package) *lockAnalysis {
+	an := &lockAnalysis{
+		facts: map[string]*lockFact{},
+		pkgs:  map[string]*Package{},
+		trans: map[string]map[string]bool{},
+	}
+	for _, pkg := range pkgs {
+		if !l.scope(pkg.Path) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				w := &lockWalker{pkg: pkg, fact: &lockFact{
+					acquires: map[string]bool{},
+					edges:    map[lockEdge]token.Pos{},
+				}}
+				w.stmt(fd.Body)
+				key := fn.FullName()
+				an.order = append(an.order, key)
+				an.facts[key] = w.fact
+				an.pkgs[key] = pkg
+			}
+		}
+	}
+	for fn, fact := range an.facts {
+		set := map[string]bool{}
+		for id := range fact.acquires {
+			set[id] = true
+		}
+		an.trans[fn] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, fact := range an.facts {
+			for _, c := range fact.calls {
+				for id := range an.trans[c.callee] {
+					if !an.trans[fn][id] {
+						an.trans[fn][id] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return an
+}
+
+// edgePos carries the first position an edge was observed at.
+type edgePos struct{ pos token.Position }
+
+// observedEdges merges direct edges with call-derived ones: a call made
+// with H held reaches every mutex the callee may transitively acquire.
+func (an *lockAnalysis) observedEdges() map[lockEdge]edgePos {
+	edges := map[lockEdge]edgePos{}
+	add := func(e lockEdge, p token.Position) {
+		if _, ok := edges[e]; !ok {
+			edges[e] = edgePos{pos: p}
+		}
+	}
+	for _, fn := range an.order {
+		fact := an.facts[fn]
+		fset := an.pkgs[fn].Fset
+		var keys []lockEdge
+		for e := range fact.edges {
+			keys = append(keys, e)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+		for _, e := range keys {
+			add(e, fset.Position(fact.edges[e]))
+		}
+		for _, c := range fact.calls {
+			if len(c.held) == 0 {
+				continue
+			}
+			var tos []string
+			for id := range an.trans[c.callee] {
+				tos = append(tos, id)
+			}
+			sort.Strings(tos)
+			for _, to := range tos {
+				for _, h := range c.held {
+					add(lockEdge{from: h, to: to}, fset.Position(c.pos))
+				}
+			}
+		}
+	}
+	return edges
+}
+
+// transBlocking computes which functions may block, directly or via calls.
+func (an *lockAnalysis) transBlocking() map[string]bool {
+	blocking := map[string]bool{}
+	for fn, fact := range an.facts {
+		if len(fact.blocks) > 0 {
+			blocking[fn] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, fact := range an.facts {
+			if blocking[fn] {
+				continue
+			}
+			for _, c := range fact.calls {
+				if blocking[c.callee] {
+					blocking[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return blocking
+}
+
+// describeBlocking renders the blocking chain rooted at fn ("" if fn cannot
+// block). Deterministic: first direct block, else the first call in body
+// order whose callee blocks.
+func (an *lockAnalysis) describeBlocking(blocking map[string]bool, fn string, seen map[string]bool) string {
+	if !blocking[fn] || seen[fn] {
+		return ""
+	}
+	seen[fn] = true
+	fact := an.facts[fn]
+	if fact == nil {
+		return ""
+	}
+	if len(fact.blocks) > 0 {
+		return fact.blocks[0].what
+	}
+	for _, c := range fact.calls {
+		if d := an.describeBlocking(blocking, c.callee, seen); d != "" {
+			return c.name + ": " + d
+		}
+	}
+	return ""
+}
+
+// lockWalker does the linear per-function walk with a held-set. The walk is
+// flow-insensitive across branches (a lock taken in an if-arm is considered
+// held afterwards) — the tree keeps lock/unlock pairs straight-line, and
+// over-approximating held-ness only adds edges, never hides one.
+type lockWalker struct {
+	pkg  *Package
+	fact *lockFact
+	held []string
+}
+
+func (w *lockWalker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, t := range s.List {
+			w.stmt(t)
+		}
+	case *ast.ExprStmt:
+		w.expr(s.X)
+	case *ast.SendStmt:
+		w.block("blocking channel send", s.Arrow)
+		w.expr(s.Chan)
+		w.expr(s.Value)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.expr(e)
+					}
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		w.deferStmt(s)
+	case *ast.GoStmt:
+		// Spawned body runs on another goroutine with its own held-set.
+	case *ast.IfStmt:
+		w.stmt(s.Init)
+		w.expr(s.Cond)
+		w.stmt(s.Body)
+		w.stmt(s.Else)
+	case *ast.ForStmt:
+		w.stmt(s.Init)
+		w.expr(s.Cond)
+		w.stmt(s.Body)
+		w.stmt(s.Post)
+	case *ast.RangeStmt:
+		if t := exprType(w.pkg, s.X); t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				w.block("blocking range over channel", s.For)
+			}
+		}
+		w.expr(s.X)
+		w.stmt(s.Body)
+	case *ast.SelectStmt:
+		// A select with a default never blocks; without one it parks the
+		// goroutine until a case is ready.
+		hasDefault := false
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CommClause)
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+			for _, t := range cc.Body {
+				w.stmt(t)
+			}
+		}
+		if !hasDefault {
+			w.block("select without default", s.Select)
+		}
+	case *ast.SwitchStmt:
+		w.stmt(s.Init)
+		w.expr(s.Tag)
+		for _, cl := range s.Body.List {
+			for _, t := range cl.(*ast.CaseClause).Body {
+				w.stmt(t)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init)
+		w.stmt(s.Assign)
+		for _, cl := range s.Body.List {
+			for _, t := range cl.(*ast.CaseClause).Body {
+				w.stmt(t)
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e)
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	case *ast.IncDecStmt:
+		w.expr(s.X)
+	}
+}
+
+// expr scans an expression for calls and channel receives, skipping
+// closures.
+func (w *lockWalker) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				w.block("blocking channel receive", n.OpPos)
+			}
+		case *ast.CallExpr:
+			w.call(n)
+		}
+		return true
+	})
+}
+
+// deferStmt: a deferred Unlock pins the mutex to function end (held-set
+// untouched so later acquisitions still order after it); every other defer
+// runs at an unknown point during unwinding and is skipped.
+func (w *lockWalker) deferStmt(s *ast.DeferStmt) {
+	if id, method, ok := w.mutexOp(s.Call); ok && (method == "Unlock" || method == "RUnlock") {
+		_ = id
+		return
+	}
+}
+
+func (w *lockWalker) call(c *ast.CallExpr) {
+	if id, method, ok := w.mutexOp(c); ok {
+		switch method {
+		case "Lock", "RLock":
+			w.acquire(id, c.Pos())
+		case "Unlock", "RUnlock":
+			w.release(id)
+		}
+		return
+	}
+	fn := calleeFunc(w.pkg, c)
+	switch {
+	case fn == nil:
+	case funcIs(fn, "time", "Sleep"):
+		w.block("time.Sleep", c.Pos())
+	case isHTTPDo(fn):
+		w.block("(*http.Client).Do", c.Pos())
+	case isWaitGroupWait(fn):
+		w.block("sync.WaitGroup.Wait", c.Pos())
+	default:
+		w.fact.calls = append(w.fact.calls, lockCall{
+			callee: fn.FullName(), name: fn.Name(),
+			held: append([]string(nil), w.held...), pos: c.Pos(),
+		})
+	}
+}
+
+// mutexOp resolves c as a Lock/Unlock/RLock/RUnlock call on a structurally
+// identifiable sync.Mutex/RWMutex. The identity "" means a mutex we cannot
+// name (a local variable) — those are ignored.
+func (w *lockWalker) mutexOp(c *ast.CallExpr) (id, method string, ok bool) {
+	sel, isSel := ast.Unparen(c.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	t := deref(exprType(w.pkg, sel.X))
+	if !isNamedType(t, "sync", "Mutex") && !isNamedType(t, "sync", "RWMutex") {
+		return "", "", false
+	}
+	return mutexIdentity(w.pkg, sel.X), sel.Sel.Name, true
+}
+
+// mutexIdentity names a mutex expression structurally: owner-type field
+// access becomes pkg.Type.field, a package-level var becomes pkg.var.
+func mutexIdentity(pkg *Package, x ast.Expr) string {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.SelectorExpr:
+		owner, ok := deref(exprType(pkg, x.X)).(*types.Named)
+		if !ok || owner.Obj().Pkg() == nil {
+			return ""
+		}
+		return owner.Obj().Pkg().Name() + "." + owner.Obj().Name() + "." + x.Sel.Name
+	case *ast.Ident:
+		obj := pkg.Info.Uses[x]
+		if obj == nil || obj.Pkg() == nil || obj.Parent() != obj.Pkg().Scope() {
+			return ""
+		}
+		return obj.Pkg().Name() + "." + x.Name
+	}
+	return ""
+}
+
+func (w *lockWalker) acquire(id string, pos token.Pos) {
+	if id == "" {
+		return
+	}
+	for _, h := range w.held {
+		e := lockEdge{from: h, to: id}
+		if _, ok := w.fact.edges[e]; !ok {
+			w.fact.edges[e] = pos
+		}
+	}
+	w.fact.acquires[id] = true
+	w.held = append(w.held, id)
+}
+
+func (w *lockWalker) release(id string) {
+	if id == "" {
+		return
+	}
+	for i := len(w.held) - 1; i >= 0; i-- {
+		if w.held[i] == id {
+			w.held = append(w.held[:i], w.held[i+1:]...)
+			return
+		}
+	}
+}
+
+func (w *lockWalker) block(what string, pos token.Pos) {
+	w.fact.blocks = append(w.fact.blocks, lockBlock{
+		what: what, held: append([]string(nil), w.held...), pos: pos,
+	})
+}

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestLockOrderFixture pins L001 (inversion and undeclared edge), L002
+// (direct and transitive blocking while held), and L003 (stale golden
+// entry) against the fixture's committed lockorder.txt.
+func TestLockOrderFixture(t *testing.T) {
+	pkg := loadFixture(t, "lockorder")
+	goldenDir := filepath.Join("testdata", "src", "lockorder")
+	res := runAnalyzer(t, NewLockOrder(goldenDir, func(string) bool { return true }), pkg)
+	checkGolden(t, "lockorder", formatDiags(res.Active))
+}
+
+// TestLockOrderWriteGolden regenerates the golden from the fixture and
+// re-runs: the order diagnostics (L001/L003) must disappear while the
+// blocking ones (L002) survive — `make lint-update` cannot launder a
+// sleep-under-lock.
+func TestLockOrderWriteGolden(t *testing.T) {
+	pkg := loadFixture(t, "lockorder")
+	tmp := t.TempDir()
+	all := func(string) bool { return true }
+	if err := NewLockOrder(tmp, all).WriteGolden([]*Package{pkg}); err != nil {
+		t.Fatalf("write golden: %v", err)
+	}
+	res := runAnalyzer(t, NewLockOrder(tmp, all), pkg)
+	var l002 int
+	for _, d := range res.Active {
+		switch d.Code {
+		case "L001", "L003":
+			t.Errorf("order diagnostic survived regeneration: %s", d)
+		case "L002":
+			l002++
+		}
+	}
+	if l002 == 0 {
+		t.Error("L002 blocking-while-held findings must survive golden regeneration")
+	}
+}
+
+// TestLockOrderMissingGolden pins the bootstrap diagnostic: observed edges
+// with no committed golden ask for `make lint-update`.
+func TestLockOrderMissingGolden(t *testing.T) {
+	pkg := loadFixture(t, "lockorder")
+	res := runAnalyzer(t, NewLockOrder(t.TempDir(), func(string) bool { return true }), pkg)
+	found := false
+	for _, d := range res.Active {
+		if d.Code == "L003" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing golden not reported; active = %v", formatDiags(res.Active))
+	}
+}

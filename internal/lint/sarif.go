@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// SARIF 2.1.0 output, the format GitHub code scanning ingests. Active
+// diagnostics become error-level results; suppressed ones are included with
+// an in-source suppression record so the dashboard shows them as reviewed
+// rather than silently dropping them.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID       string             `json:"ruleId"`
+	Level        string             `json:"level"`
+	Message      sarifMessage       `json:"message"`
+	Locations    []sarifLocation    `json:"locations"`
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+type sarifSuppression struct {
+	Kind string `json:"kind"`
+}
+
+// sarifRuleDescriptions gives each stable code a one-line description for
+// the rules catalog. Codes missing here still render (the code itself is
+// the description), so a new analyzer cannot break SARIF output.
+var sarifRuleDescriptions = map[string]string{
+	"D001": "wall-clock read in a deterministic simulation package",
+	"D002": "global math/rand use in a deterministic simulation package",
+	"D003": "order-dependent map iteration in a deterministic simulation package",
+	"S001": "sweep trial closure draws randomness not derived from the trial index",
+	"S002": "sweep trial closure captures a stateful RNG across trials",
+	"H001": "new heap escape on the exchange hot path (not in escape_allow.txt)",
+	"H002": "stale escape_allow.txt entry",
+	"E001": "coin budget field written outside internal/coin",
+	"A001": "exported API surface drifted without an EngineVersion bump",
+	"A002": "API golden missing or stale relative to EngineVersion",
+	"G001": "goroutine with no cancellation path (no context, channel, or WaitGroup)",
+	"G002": "time.Ticker/time.Timer created without a reachable Stop",
+	"C001": "blocking call in a function that receives a context it does not consult",
+	"C002": "context.Background()/TODO() minted below the entry points",
+	"L001": "mutex acquisition order diverges from the committed lockorder golden",
+	"L002": "blocking operation while a mutex is held",
+	"L003": "stale lockorder golden entry",
+	"R001": "discarded error from a close/flush/write-path call",
+	"X001": "stale blitzlint:allow directive",
+	"X002": "malformed blitzlint:allow directive",
+}
+
+// WriteSARIF renders res as a SARIF 2.1.0 log. File paths are emitted
+// relative to moduleDir (forward-slashed) so GitHub can anchor annotations
+// to repository files.
+func WriteSARIF(w io.Writer, moduleDir string, res *Result) error {
+	codes := map[string]bool{}
+	for _, d := range res.Active {
+		codes[d.Code] = true
+	}
+	for _, d := range res.Suppressed {
+		codes[d.Code] = true
+	}
+	var rules []sarifRule
+	for code := range codes {
+		desc := sarifRuleDescriptions[code]
+		if desc == "" {
+			desc = code
+		}
+		rules = append(rules, sarifRule{ID: code, ShortDescription: sarifMessage{Text: desc}})
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+
+	results := make([]sarifResult, 0, len(res.Active)+len(res.Suppressed))
+	for _, d := range res.Active {
+		results = append(results, sarifFromDiag(moduleDir, d, nil))
+	}
+	for _, d := range res.Suppressed {
+		results = append(results, sarifFromDiag(moduleDir, d, []sarifSuppression{{Kind: "inSource"}}))
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:  "blitzlint",
+				Rules: rules,
+			}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&log)
+}
+
+func sarifFromDiag(moduleDir string, d Diagnostic, sup []sarifSuppression) sarifResult {
+	uri := d.Pos.Filename
+	if rel, err := filepath.Rel(moduleDir, uri); err == nil && !strings.HasPrefix(rel, "..") {
+		uri = rel
+	}
+	uri = filepath.ToSlash(uri)
+	line := d.Pos.Line
+	if line < 1 {
+		line = 1
+	}
+	level := "error"
+	if len(sup) > 0 {
+		level = "note"
+	}
+	return sarifResult{
+		RuleID:  d.Code,
+		Level:   level,
+		Message: sarifMessage{Text: d.Message + " (" + d.Analyzer + ")"},
+		Locations: []sarifLocation{{
+			PhysicalLocation: sarifPhysicalLocation{
+				ArtifactLocation: sarifArtifactLocation{URI: uri},
+				Region:           sarifRegion{StartLine: line, StartColumn: d.Pos.Column},
+			},
+		}},
+		Suppressions: sup,
+	}
+}

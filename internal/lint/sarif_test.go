@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestWriteSARIF pins the SARIF 2.1.0 shape GitHub code scanning consumes:
+// one run, a rules catalog covering every reported code, error-level
+// results for active diagnostics, and in-source suppression records for
+// allowed ones.
+func TestWriteSARIF(t *testing.T) {
+	res := &Result{
+		Active: []Diagnostic{
+			{Analyzer: "goroleak", Code: "G001", Pos: position("/mod/internal/server/server.go", 12, 3), Message: "leaky goroutine"},
+			{Analyzer: "lockorder", Code: "L001", Pos: position("/mod/internal/cluster/cluster.go", 40, 2), Message: "inverted order"},
+		},
+		Suppressed: []Diagnostic{
+			{Analyzer: "errdrop", Code: "R001", Pos: position("/mod/internal/server/server.go", 99, 2), Message: "dropped encode"},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, "/mod", res); err != nil {
+		t.Fatalf("write sarif: %v", err)
+	}
+
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID       string `json:"ruleId"`
+				Level        string `json:"level"`
+				Suppressions []struct {
+					Kind string `json:"kind"`
+				} `json:"suppressions"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version %q runs %d, want 2.1.0 and 1", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "blitzlint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	gotRules := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		gotRules[r.ID] = true
+	}
+	for _, want := range []string{"G001", "L001", "R001"} {
+		if !gotRules[want] {
+			t.Errorf("rules catalog missing %s", want)
+		}
+	}
+	if len(run.Results) != 3 {
+		t.Fatalf("results = %d, want 3 (2 active + 1 suppressed)", len(run.Results))
+	}
+	for _, r := range run.Results[:2] {
+		if r.Level != "error" || len(r.Suppressions) != 0 {
+			t.Errorf("active result %s: level %q suppressions %d", r.RuleID, r.Level, len(r.Suppressions))
+		}
+	}
+	sup := run.Results[2]
+	if sup.RuleID != "R001" || len(sup.Suppressions) != 1 || sup.Suppressions[0].Kind != "inSource" {
+		t.Errorf("suppressed result mis-rendered: %+v", sup)
+	}
+	loc := run.Results[0].Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/server/server.go" || loc.Region.StartLine != 12 {
+		t.Errorf("location = %q:%d, want module-relative internal/server/server.go:12",
+			loc.ArtifactLocation.URI, loc.Region.StartLine)
+	}
+	if strings.Contains(buf.String(), "/mod/") {
+		t.Error("absolute module paths leaked into the SARIF output")
+	}
+}

@@ -1,0 +1,68 @@
+// Package fixture exercises the ctxflow analyzer: blocking work in a
+// context-receiving function must be interruptible by that context (C001),
+// and no root context may be minted below the entry points (C002).
+package fixture
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// Blind receives a context it never consults: every blocking operation is
+// flagged.
+func Blind(ctx context.Context, ch chan int, client *http.Client, req *http.Request) {
+	ch <- 1
+	<-ch
+	client.Do(req)
+}
+
+// Guarded makes the channel ops interruptible via select: clean.
+func Guarded(ctx context.Context, ch chan int) {
+	select {
+	case ch <- 1:
+	case <-ctx.Done():
+	}
+	select {
+	case <-ch:
+	case <-ctx.Done():
+	}
+}
+
+// Sleepy consults its context elsewhere, but time.Sleep can never be
+// interrupted: still flagged.
+func Sleepy(ctx context.Context) {
+	select {
+	case <-ctx.Done():
+		return
+	default:
+	}
+	time.Sleep(time.Millisecond)
+}
+
+// Drain ranges over a channel it cannot cancel out of.
+func Drain(ctx context.Context, ch chan int) {
+	for range ch {
+	}
+}
+
+// NoCtx has no context parameter: ctxflow has nothing to enforce.
+func NoCtx(ch chan int) {
+	ch <- 1
+	<-ch
+}
+
+// SpawnsWorker blocks only inside a spawned closure, which is a separate
+// execution context (goroleak territory): clean for C001.
+func SpawnsWorker(ctx context.Context, ch chan int) {
+	go func() {
+		<-ch
+	}()
+	<-ctx.Done()
+}
+
+// Mint creates root contexts below the entry points.
+func Mint() context.Context {
+	_ = context.TODO()
+	return context.Background()
+}

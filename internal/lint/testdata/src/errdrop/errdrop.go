@@ -1,0 +1,58 @@
+// Package fixture exercises the errdrop analyzer: statement-position calls
+// that silently discard an error from the close/flush/write paths (R001).
+package fixture
+
+import (
+	"io"
+	"os"
+)
+
+type sink struct{ f *os.File }
+
+// Drop discards the Close error.
+func Drop(s *sink) {
+	s.f.Close()
+}
+
+// Checked handles it: clean.
+func Checked(s *sink) error {
+	return s.f.Close()
+}
+
+// Deliberate uses the documented `_ =` escape hatch: clean.
+func Deliberate(s *sink) {
+	_ = s.f.Close()
+}
+
+// DeferDrop defers a write-side Close: flushing errors vanish.
+func DeferDrop(s *sink) {
+	defer s.f.Close()
+}
+
+// ReadSide defers a Close on an io.ReadCloser: idiomatic cleanup, clean.
+func ReadSide(rc io.ReadCloser) {
+	defer rc.Close()
+}
+
+func emit() error { return nil }
+
+// SoleError drops a call whose only result is an error.
+func SoleError() {
+	emit()
+}
+
+// MultiResult drops a (n, error) call whose name is not watched: clean —
+// only the watched-name set or sole-error calls are flagged.
+func MultiResult(w io.Writer, b []byte) {
+	w.Write(b)
+}
+
+// Allowed is suppressed with a justified directive (counted, not active).
+func Allowed(s *sink) {
+	s.f.Close() //blitzlint:allow R001 fixture: intentional drop to exercise suppression accounting
+}
+
+// SyncDrop discards a watched-name error with multiple callers unaffected.
+func SyncDrop(s *sink) {
+	s.f.Sync()
+}

@@ -1,0 +1,114 @@
+// Package fixture exercises the goroleak analyzer: every spawned goroutine
+// needs a cancellation path (G001) and every ticker/timer needs a reachable
+// Stop (G002). It also exercises the allow-directive machinery against the
+// new codes: a justified allow suppresses, a reason-less one is X002, and a
+// stale one is X001.
+package fixture
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+func work() {}
+
+// Leaky spawns a closure that mentions nothing cancellable.
+func Leaky() {
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
+
+// CtxBound consults a context: clean.
+func CtxBound(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// ChanBound watches a done channel: clean.
+func ChanBound(done chan struct{}) {
+	go func() {
+		<-done
+	}()
+}
+
+// Grouped ties the goroutine to a WaitGroup: clean.
+func Grouped(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// NamedLeak spawns a named function judged by its own body: spin has no
+// cancellation path.
+func NamedLeak() {
+	go spin()
+}
+
+func spin() {
+	for {
+		work()
+	}
+}
+
+// NamedBound spawns a named function whose body waits on a channel: clean.
+func NamedBound(stop chan struct{}) {
+	go waiter(stop)
+}
+
+func waiter(stop chan struct{}) {
+	<-stop
+}
+
+// AllowedLeak is suppressed by a justified directive (counted, not active).
+func AllowedLeak() {
+	//blitzlint:allow G001 fixture: detached by design to exercise suppression accounting
+	go func() {
+		work()
+	}()
+}
+
+// ReasonlessAllow is malformed: no reason after the code (X002). The leak
+// itself stays active.
+func ReasonlessAllow() {
+	//blitzlint:allow G001
+	go func() {
+		work()
+	}()
+}
+
+// StaleAllow allows a G002 that no longer exists on the next line (X001).
+func StaleAllow() {
+	//blitzlint:allow G002 fixture: nothing here creates a ticker any more
+	work()
+}
+
+// TickerLeak never stops its ticker.
+func TickerLeak() {
+	t := time.NewTicker(time.Second)
+	_ = t
+}
+
+// TickerStopped defers the Stop: clean.
+func TickerStopped() {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	<-t.C
+}
+
+// TimerLeak reads the timer but never stops it.
+func TimerLeak() {
+	t := time.NewTimer(time.Second)
+	<-t.C
+}
+
+// TimerEscapes hands ownership to the caller: clean.
+func TimerEscapes() *time.Timer {
+	t := time.NewTimer(time.Second)
+	return t
+}

@@ -1,0 +1,77 @@
+// Package fixture exercises the lockorder analyzer: nested mutex
+// acquisitions must follow the committed lockorder.txt golden (L001/L003)
+// and nothing may block while holding a lock (L002).
+package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+type server struct{ mu sync.Mutex }
+type store struct{ mu sync.Mutex }
+type gauge struct{ mu sync.RWMutex }
+
+type app struct {
+	srv *server
+	st  *store
+	g   *gauge
+}
+
+// LockBoth nests the store lock under the server lock through a helper
+// call — the committed order, clean.
+func (a *app) LockBoth() {
+	a.srv.mu.Lock()
+	defer a.srv.mu.Unlock()
+	a.useStore()
+}
+
+func (a *app) useStore() {
+	a.st.mu.Lock()
+	a.st.mu.Unlock()
+}
+
+// Reversed inverts the committed server -> store order.
+func (a *app) Reversed() {
+	a.st.mu.Lock()
+	a.srv.mu.Lock()
+	a.srv.mu.Unlock()
+	a.st.mu.Unlock()
+}
+
+// Undeclared nests the gauge read-lock under the server lock; the edge is
+// not committed in the golden.
+func (a *app) Undeclared() {
+	a.srv.mu.Lock()
+	a.g.mu.RLock()
+	a.g.mu.RUnlock()
+	a.srv.mu.Unlock()
+}
+
+// Sleepy blocks directly while holding the server lock.
+func (a *app) Sleepy() {
+	a.srv.mu.Lock()
+	time.Sleep(time.Millisecond)
+	a.srv.mu.Unlock()
+}
+
+// TransSleep blocks through a call chain while holding the store lock.
+func (a *app) TransSleep() {
+	a.st.mu.Lock()
+	nap()
+	a.st.mu.Unlock()
+}
+
+func nap() {
+	time.Sleep(time.Millisecond)
+}
+
+// Signal is a select with a default while holding: never parks, clean.
+func (a *app) Signal(ch chan struct{}) {
+	a.srv.mu.Lock()
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+	a.srv.mu.Unlock()
+}

@@ -169,7 +169,11 @@ func New(cfg Config) *Server {
 	if cfg.StreamBuffer == 0 {
 		cfg.StreamBuffer = 256
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	// The server's base context is the one deliberate root in this package:
+	// sweep computations outlive the requests that trigger them (a client
+	// disconnect must not waste a half-done sweep), so they run under the
+	// server's lifetime, cancelled only by Shutdown.
+	ctx, cancel := context.WithCancel(context.Background()) //blitzlint:allow C002 server lifetime root: computations are detached from requests by design and cancelled by Shutdown
 	return &Server{
 		log:        cfg.Logger,
 		run:        cfg.Run,
@@ -342,7 +346,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		done := s.pool.track()
 		go func() {
 			defer done()
-			b, err := s.compute(hash, norm)
+			b, err := s.compute(s.baseCtx, hash, norm)
 			s.flights.complete(hash, f, b, err)
 		}()
 	} else {
@@ -526,13 +530,15 @@ func (s *Server) respondShard(w http.ResponseWriter, r *http.Request, start time
 
 // compute runs one validated request on the bounded pool and caches its
 // marshaled result, appending it to the ledger (and stamping the ledger
-// provenance into the cached bytes) when one is configured.
-func (s *Server) compute(hash string, norm blitzcoin.Request) ([]byte, error) {
-	if err := s.pool.acquire(s.baseCtx); err != nil {
+// provenance into the cached bytes) when one is configured. Callers choose
+// the lifetime: handleSweep passes s.baseCtx to detach the computation from
+// the triggering request.
+func (s *Server) compute(ctx context.Context, hash string, norm blitzcoin.Request) ([]byte, error) {
+	if err := s.pool.acquire(ctx); err != nil {
 		return nil, err
 	}
 	defer s.pool.release()
-	res, err := s.run(s.baseCtx, norm)
+	res, err := s.run(ctx, norm)
 	if err != nil {
 		return nil, err
 	}
@@ -676,7 +682,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v) //nolint:errcheck // client gone is the only failure
+	enc.Encode(v) //blitzlint:allow R001 response encode: the only failure mode is a disconnected client, which the request handler cannot act on
 }
 
 // short abbreviates a hash for log lines.

@@ -107,7 +107,9 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 
 	if _, ok := s.cache.get(hash); ok {
-		writeSSE(w, streamEvent{Type: "sweep-done", Key: hash, OK: true, Cached: true}) //nolint:errcheck
+		if err := writeSSE(w, streamEvent{Type: "sweep-done", Key: hash, OK: true, Cached: true}); err != nil {
+			return // client gone before the synthetic done; nothing to flush
+		}
 		fl.Flush()
 		return
 	}

@@ -1,0 +1,40 @@
+#!/bin/sh
+# lint_smoke.sh — end-to-end check that the wave-2 blitzlint analyzers
+# actually fire. The unit fixtures under internal/lint/testdata pin each
+# analyzer's behavior in isolation; this script instead drives the real
+# binary — loader, scoping config, directive pass, exit status — against the
+# deliberately broken module in scripts/lintsmoke and asserts that every
+# concurrency/resource code is reported exactly once. A silently-disabled
+# analyzer (bad scope list, dropped registration) fails here even though the
+# clean main module would still lint green.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if out=$(go run ./cmd/blitzlint -root scripts/lintsmoke \
+	-analyzers goroleak,ctxflow,lockorder,errdrop ./... 2>&1); then
+	echo "lint_smoke: blitzlint exited 0 against the broken fixture" >&2
+	printf '%s\n' "$out" >&2
+	exit 1
+fi
+
+fail=0
+for code in G001 G002 C001 C002 L001 L002 L003 R001; do
+	n=$(printf '%s\n' "$out" | grep -c " $code: ") || true
+	if [ "$n" != 1 ]; then
+		echo "lint_smoke: code $code fired $n time(s), want exactly 1" >&2
+		fail=1
+	fi
+done
+
+# The total pins that nothing beyond the eight seeded violations fired.
+if ! printf '%s\n' "$out" | grep -q '^blitzlint: 8 diagnostic(s), 0 suppressed$'; then
+	echo "lint_smoke: unexpected summary line" >&2
+	fail=1
+fi
+
+if [ "$fail" != 0 ]; then
+	printf '%s\n' "$out" >&2
+	exit 1
+fi
+echo "lint_smoke: all 8 wave-2 codes fired exactly once"

@@ -1,0 +1,3 @@
+module blitzcoin
+
+go 1.22

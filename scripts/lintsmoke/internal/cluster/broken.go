@@ -1,0 +1,58 @@
+// Package cluster is half of the deliberately broken fixture module that
+// scripts/lint_smoke.sh lints end-to-end. Each function below violates
+// exactly one blitzlint wave-2 rule; the module path mirrors the real repo
+// so the analyzers' package scoping applies. The root build never compiles
+// this module — it is reachable only through `blitzlint -root`.
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+type node struct{ mu sync.Mutex }
+
+type pool struct{ mu sync.Mutex }
+
+// lockBoth nests the two mutexes in the committed order, so the golden's
+// first entry is observed and stays clean.
+func lockBoth(n *node, p *pool) {
+	n.mu.Lock()
+	p.mu.Lock()
+	p.mu.Unlock()
+	n.mu.Unlock()
+}
+
+// inverted acquires the same pair in the opposite order: exactly one L001.
+func inverted(n *node, p *pool) {
+	p.mu.Lock()
+	n.mu.Lock()
+	n.mu.Unlock()
+	p.mu.Unlock()
+}
+
+// sleepHeld blocks while holding a mutex: exactly one L002. It takes no
+// context parameter, so ctxflow stays quiet here.
+func sleepHeld(n *node) {
+	n.mu.Lock()
+	time.Sleep(time.Millisecond)
+	n.mu.Unlock()
+}
+
+// spawn launches a goroutine that mentions no context, channel, or
+// WaitGroup: exactly one G001.
+func spawn() {
+	go func() {
+		for i := 0; i < 1000; i++ {
+			busy(i)
+		}
+	}()
+}
+
+func busy(int) {}
+
+// tick leaks its ticker — no Stop, no escape via return: exactly one G002.
+func tick() {
+	t := time.NewTicker(time.Second)
+	<-t.C
+}

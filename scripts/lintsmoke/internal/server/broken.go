@@ -1,0 +1,27 @@
+// Package server is the request-path half of the broken fixture module; see
+// the cluster half for the goroutine and lock-order rules.
+package server
+
+import (
+	"context"
+	"os"
+	"time"
+)
+
+// stall sleeps inside a context-aware function — uninterruptible even
+// though ctx is consulted afterwards: exactly one C001.
+func stall(ctx context.Context) error {
+	time.Sleep(time.Millisecond)
+	return ctx.Err()
+}
+
+// mint creates a root context below the process entry point: exactly one
+// C002.
+func mint() context.Context {
+	return context.Background()
+}
+
+// drop discards the Close error on a writable file: exactly one R001.
+func drop(f *os.File) {
+	f.Close()
+}
