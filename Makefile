@@ -8,8 +8,8 @@ SHORTSHA := $(shell git rev-parse --short HEAD)
 BENCH_BASELINE ?= BENCH_f33851c.json
 
 .PHONY: build test vet race verify bench benchcheck bench-report figures \
-	server-smoke cluster-smoke chaos-smoke stream-smoke lint fmtcheck \
-	blitzlint lint-update lint-smoke
+	server-smoke cluster-smoke chaos-smoke stream-smoke tenant-smoke \
+	lint fmtcheck blitzlint lint-update lint-smoke
 
 build:
 	$(GO) build ./...
@@ -55,8 +55,8 @@ race:
 # The gate every change must pass: static checks (formatting, vet, the
 # blitzlint domain analyzers plus the broken-fixture lint smoke), the full
 # test suite under the race detector, the hot-path perf gate, and the
-# daemon + cluster + chaos + streaming smoke tests.
-verify: lint lint-smoke race benchcheck server-smoke cluster-smoke chaos-smoke stream-smoke
+# daemon + cluster + chaos + streaming + multi-tenancy smoke tests.
+verify: lint lint-smoke race benchcheck server-smoke cluster-smoke chaos-smoke stream-smoke tenant-smoke
 
 # server-smoke boots a real blitzd on an ephemeral port, runs one exchange
 # request twice through blitzctl, and asserts the repeat is a cache hit.
@@ -82,6 +82,14 @@ chaos-smoke:
 # mid-stream to prove the daemon is unaffected.
 stream-smoke:
 	sh scripts/stream_smoke.sh
+
+# tenant-smoke boots blitzd with a two-tenant key file, a store directory,
+# and a ledger; asserts 401 for keyless clients and 429 + Retry-After for
+# an over-limit tenant while another stays served; then restarts the
+# daemon and asserts the sweep is served from disk byte-identically
+# (ledger-verified) with zero engine executions.
+tenant-smoke:
+	sh scripts/tenant_smoke.sh
 
 # bench snapshots the whole benchmark suite (3 samples each) into
 # BENCH_<sha>.json; commit the file to extend the perf trajectory.

@@ -28,6 +28,12 @@
 // inclusion proof locally — exit 0 only if the daemon's ledger really
 // contains the result that was served.
 //
+// Multi-tenant daemons: `-api-key <key>` (default: the BLITZ_API_KEY
+// environment variable) sends the key as `Authorization: Bearer <key>`
+// on every request. A 401 (missing/unknown key) or 429 (rate limit or
+// quota, with its Retry-After wait) is reported as a clear one-line
+// error instead of a raw response dump.
+//
 // Every request runs under -timeout and is cancelled cleanly by SIGINT/
 // SIGTERM. Exit status is 0 on HTTP 200, 1 otherwise.
 package main
@@ -71,6 +77,7 @@ func main() {
 	verify := flag.Bool("verify", false, "verify the served result against the daemon's ledger")
 	hashFlag := flag.String("hash", "", "with -stream: follow this request hash instead of POSTing a sweep")
 	timeout := flag.Duration("timeout", 10*time.Minute, "request timeout")
+	flag.StringVar(&apiKey, "api-key", os.Getenv("BLITZ_API_KEY"), "API key for multi-tenant daemons (default: $BLITZ_API_KEY)")
 	flag.Parse()
 
 	base := "http://" + strings.TrimPrefix(*addr, "http://")
@@ -141,11 +148,16 @@ func runSweep(ctx context.Context, client *http.Client, base string, body []byte
 	}
 
 	resp, respBody := postCapture(ctx, client, base+"/v1/sweep", body)
-	os.Stdout.Write(respBody) //nolint:errcheck // best effort to a pipe
 	if resp.StatusCode != http.StatusOK {
-		fmt.Fprintf(os.Stderr, "blitzctl: HTTP %s\n", resp.Status)
+		if msg := explainStatus(resp, respBody); msg != "" {
+			fmt.Fprintf(os.Stderr, "blitzctl: %s\n", msg)
+		} else {
+			os.Stdout.Write(respBody) //nolint:errcheck // best effort to a pipe
+			fmt.Fprintf(os.Stderr, "blitzctl: HTTP %s\n", resp.Status)
+		}
 		os.Exit(1)
 	}
+	os.Stdout.Write(respBody) //nolint:errcheck // best effort to a pipe
 
 	if streamDone != nil {
 		select {
@@ -171,6 +183,7 @@ func followStream(ctx context.Context, client *http.Client, base, hash string, c
 		fmt.Fprintf(os.Stderr, "blitzctl: stream: %v\n", err)
 		return
 	}
+	authorize(req)
 	resp, err := client.Do(req)
 	if err != nil {
 		close(connected)
@@ -181,7 +194,11 @@ func followStream(ctx context.Context, client *http.Client, base, hash string, c
 	if resp.StatusCode != http.StatusOK {
 		close(connected)
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		fmt.Fprintf(os.Stderr, "blitzctl: stream: HTTP %s: %s\n", resp.Status, bytes.TrimSpace(body))
+		if msg := explainStatus(resp, body); msg != "" {
+			fmt.Fprintf(os.Stderr, "blitzctl: stream: %s\n", msg)
+		} else {
+			fmt.Fprintf(os.Stderr, "blitzctl: stream: HTTP %s: %s\n", resp.Status, bytes.TrimSpace(body))
+		}
 		return
 	}
 	close(connected)
@@ -303,6 +320,7 @@ func get(ctx context.Context, client *http.Client, url string) {
 	if err != nil {
 		fail(err)
 	}
+	authorize(req)
 	resp, err := client.Do(req)
 	if err != nil {
 		fail(err)
@@ -318,6 +336,7 @@ func postCapture(ctx context.Context, client *http.Client, url string, body []by
 		fail(err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	authorize(req)
 	resp, err := client.Do(req)
 	if err != nil {
 		fail(err)
@@ -328,6 +347,44 @@ func postCapture(ctx context.Context, client *http.Client, url string, body []by
 		fail(err)
 	}
 	return resp, b
+}
+
+// apiKey is the -api-key / BLITZ_API_KEY credential, attached as a
+// Bearer token to every request when non-empty.
+var apiKey string
+
+// authorize attaches the API key, if one was supplied.
+func authorize(req *http.Request) {
+	if apiKey != "" {
+		req.Header.Set("Authorization", "Bearer "+apiKey)
+	}
+}
+
+// explainStatus turns a tenancy rejection into a clear one-line error:
+// 401 names the credential problem, 429 names the limit and its
+// Retry-After wait. Returns "" for statuses that need no translation.
+func explainStatus(resp *http.Response, body []byte) string {
+	var reason struct {
+		Error string `json:"error"`
+	}
+	json.Unmarshal(body, &reason) //nolint:errcheck // best-effort: fall back to the raw status line
+	switch resp.StatusCode {
+	case http.StatusUnauthorized:
+		if reason.Error == "" {
+			reason.Error = "the daemon requires an API key"
+		}
+		return fmt.Sprintf("unauthorized: %s (set -api-key or BLITZ_API_KEY)", reason.Error)
+	case http.StatusTooManyRequests:
+		msg := reason.Error
+		if msg == "" {
+			msg = "rate limit or quota exceeded"
+		}
+		if retry := resp.Header.Get("Retry-After"); retry != "" {
+			return fmt.Sprintf("throttled: %s; retry in %ss", msg, retry)
+		}
+		return "throttled: " + msg
+	}
+	return ""
 }
 
 // fail reports a transport-level error, naming the timeout when the
@@ -341,12 +398,23 @@ func fail(err error) {
 	os.Exit(1)
 }
 
-// emit streams the response body to stdout and exits non-zero on non-200.
+// emit writes the response body to stdout and exits non-zero on non-200;
+// recognized tenancy rejections (401, 429) become one-line errors instead
+// of a body dump.
 func emit(resp *http.Response) {
 	defer resp.Body.Close()
-	io.Copy(os.Stdout, resp.Body) //nolint:errcheck // best effort to a pipe
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fail(err)
+	}
 	if resp.StatusCode != http.StatusOK {
-		fmt.Fprintf(os.Stderr, "blitzctl: HTTP %s\n", resp.Status)
+		if msg := explainStatus(resp, body); msg != "" {
+			fmt.Fprintf(os.Stderr, "blitzctl: %s\n", msg)
+		} else {
+			os.Stdout.Write(body) //nolint:errcheck // best effort to a pipe
+			fmt.Fprintf(os.Stderr, "blitzctl: HTTP %s\n", resp.Status)
+		}
 		os.Exit(1)
 	}
+	os.Stdout.Write(body) //nolint:errcheck // best effort to a pipe
 }

@@ -9,6 +9,8 @@
 //
 //	blitzd [-addr :8425] [-workers 2] [-parallel 0]
 //	       [-cache-entries 256] [-cache-mb 64]
+//	       [-keys keys.json] [-queue-depth 64]
+//	       [-store dir] [-store-max-mb 256]
 //	       [-addrfile path] [-drain-timeout 30s]
 //	       [-ledger path.jsonl] [-ledger-batch 8]
 //	       [-coordinator] [-cluster-workers url,url,...]
@@ -26,6 +28,25 @@
 // gracefully: in-flight sweeps finish (up to -drain-timeout), open SSE
 // streams follow their in-flight sweep to completion, new work is
 // refused with 503 + Retry-After.
+//
+// Multi-tenant mode: `-keys keys.json` loads a tenant key file (names,
+// hashed API keys, token-bucket rates, windowed sweep/byte quotas,
+// priority classes). Clients authenticate with `Authorization: Bearer
+// <key>` (or X-API-Key); keyless requests are served under the file's
+// optional "anonymous" tier or rejected with 401. Rate- or
+// quota-exceeded requests get 429 + Retry-After, and per-class
+// admission queues (bounded by -queue-depth) dequeue interactive work
+// before batch. Without -keys every request maps to one unlimited
+// anonymous tenant — the pre-tenancy behavior.
+//
+// Persistent store: `-store dir` adds a disk tier beneath the in-memory
+// result cache: every computed sweep and shard is persisted
+// (content-addressed by request hash + engine version, checksummed,
+// written atomically), a memory miss consults disk before computing,
+// and a restarted daemon warms its index from the directory in the
+// background — so a populated store serves repeat sweeps byte-identically
+// across restarts with zero re-execution. -store-max-mb bounds the
+// directory; least-recently-used blobs are garbage-collected past it.
 //
 // Ledger mode: `-ledger path` appends every computed result (options
 // hash, engine version, canonical result SHA) to a Merkle-batched
@@ -70,7 +91,9 @@ import (
 	"blitzcoin/internal/cluster"
 	"blitzcoin/internal/ledger"
 	"blitzcoin/internal/server"
+	"blitzcoin/internal/store"
 	"blitzcoin/internal/sweep"
+	"blitzcoin/internal/tenant"
 )
 
 func main() {
@@ -83,6 +106,10 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight sweeps")
 	ledgerPath := flag.String("ledger", "", "append-only results-ledger file (empty disables the ledger)")
 	ledgerBatch := flag.Int("ledger-batch", 0, "appends per Merkle seal (0 = default 8)")
+	keysPath := flag.String("keys", "", "tenant key file (empty = open access, one unlimited anonymous tenant)")
+	queueDepth := flag.Int("queue-depth", 64, "admission-queue bound per priority class")
+	storeDir := flag.String("store", "", "disk-backed result-store directory (empty disables the disk tier)")
+	storeMaxMB := flag.Int("store-max-mb", 256, "result-store size bound in MiB (<=0 disables the bound)")
 
 	coordinator := flag.Bool("coordinator", false, "serve sweeps by sharding them across cluster workers")
 	clusterWorkers := flag.String("cluster-workers", "", "comma-separated static worker base URLs (coordinator mode)")
@@ -114,6 +141,26 @@ func main() {
 		CacheEntries: *cacheEntries,
 		CacheBytes:   int64(*cacheMB) << 20,
 		Logger:       log,
+		QueueDepth:   *queueDepth,
+	}
+	if *keysPath != "" {
+		reg, err := tenant.Load(*keysPath)
+		if err != nil {
+			log.Error("keys", "path", *keysPath, "error", err)
+			os.Exit(1)
+		}
+		cfg.Tenants = reg
+		log.Info("tenants loaded", "path", *keysPath, "tenants", len(reg.Tenants()))
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, blitzcoin.EngineVersion, int64(*storeMaxMB)<<20, log)
+		if err != nil {
+			log.Error("store", "dir", *storeDir, "error", err)
+			os.Exit(1)
+		}
+		defer st.Close()
+		cfg.Store = st
+		log.Info("store open", "dir", *storeDir, "max_mb", *storeMaxMB)
 	}
 	if *ledgerPath != "" {
 		led, err := ledger.Open(*ledgerPath, *ledgerBatch)

@@ -26,6 +26,8 @@ import (
 	"log/slog"
 	"net/http"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -345,6 +347,27 @@ type permanentError struct{ err error }
 
 func (e permanentError) Error() string { return e.err.Error() }
 
+// retryAfterError marks a dispatch failure the worker asked us to retry
+// later — a 429 (rate/quota throttling) or 503 (draining, admission queue
+// full) carrying a Retry-After hint. The scheduler holds the shard back
+// at least that long instead of hammering the throttling worker.
+type retryAfterError struct {
+	err   error
+	after time.Duration
+}
+
+func (e retryAfterError) Error() string { return e.err.Error() }
+
+// parseRetryAfter reads a Retry-After header's delta-seconds form; the
+// HTTP-date form (rare, and never emitted by blitzd) yields zero.
+func parseRetryAfter(h string) time.Duration {
+	secs, err := strconv.Atoi(strings.TrimSpace(h))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
 // postShard performs one POST /v1/shard call under the shard timeout. A
 // transport failure (connection refused, timeout, torn body) demotes the
 // worker so the retry immediately avoids it — unless the caller's context
@@ -380,7 +403,12 @@ func (c *Coordinator) postShard(ctx context.Context, url string, norm blitzcoin.
 	}
 	if resp.StatusCode != http.StatusOK {
 		err := fmt.Errorf("worker returned %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
-		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+		switch {
+		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+			// Throttled or draining — transient by definition, and the
+			// worker says when to come back. Retryable with its hint.
+			return nil, retryAfterError{err, parseRetryAfter(resp.Header.Get("Retry-After"))}
+		case resp.StatusCode >= 400 && resp.StatusCode < 500:
 			// The worker understood us and said no (bad request, options
 			// hash conflict): every worker runs the same code, so retrying
 			// elsewhere cannot succeed.

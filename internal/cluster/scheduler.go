@@ -368,7 +368,13 @@ func (s *sched) complete(st *shardState, id int, url string, shard *blitzcoin.Sh
 		return
 	}
 	s.c.retried.Add(1)
-	st.notBefore = time.Now().Add(fullJitterBackoff(time.Duration(s.c.opts.RetryBackoffMillis)*time.Millisecond, st.attempts))
+	delay := fullJitterBackoff(time.Duration(s.c.opts.RetryBackoffMillis)*time.Millisecond, st.attempts)
+	if ra, ok := err.(retryAfterError); ok && ra.after > delay {
+		// The worker asked for a longer pause than our backoff would give
+		// it (throttling, draining): honor the Retry-After hint.
+		delay = ra.after
+	}
+	st.notBefore = time.Now().Add(delay)
 	s.pending = append(s.pending, st.idx)
 	s.c.queueDepth.Add(1)
 }

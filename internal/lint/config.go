@@ -65,6 +65,8 @@ var concurrencyPackages = []string{
 	"blitzcoin/internal/trace",
 	"blitzcoin/internal/ledger",
 	"blitzcoin/internal/sweep",
+	"blitzcoin/internal/tenant",
+	"blitzcoin/internal/store",
 }
 
 // ctxMintPackages are the packages where minting a fresh root context
@@ -75,14 +77,19 @@ var ctxMintPackages = []string{
 	"blitzcoin/internal/cluster",
 	"blitzcoin/internal/server",
 	"blitzcoin/internal/trace",
+	"blitzcoin/internal/tenant",
+	"blitzcoin/internal/store",
 }
 
 // lockOrderPackages are the packages whose named mutexes participate in the
 // committed global acquisition order (lint/lockorder.txt): the scheduler/
-// coordinator/registry locks and the trace bus they publish into.
+// coordinator/registry locks, the trace bus they publish into, and the
+// tenancy admission/quota locks.
 var lockOrderPackages = []string{
 	"blitzcoin/internal/cluster",
 	"blitzcoin/internal/trace",
+	"blitzcoin/internal/tenant",
+	"blitzcoin/internal/store",
 }
 
 // errDropPackages are the packages where a silently dropped Close/Flush/
@@ -92,6 +99,8 @@ var errDropPackages = []string{
 	"blitzcoin/internal/server",
 	"blitzcoin/internal/ledger",
 	"blitzcoin/internal/trace",
+	"blitzcoin/internal/tenant",
+	"blitzcoin/internal/store",
 }
 
 // inList returns a scope predicate matching exactly the listed paths.

@@ -1,0 +1,80 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"time"
+
+	"blitzcoin/internal/tenant"
+)
+
+// apiKey extracts the client's API key from a request: the standard
+// `Authorization: Bearer <key>` form, or the `X-API-Key` header for
+// clients that cannot set Authorization. Empty means keyless.
+func apiKey(r *http.Request) string {
+	if h := r.Header.Get("Authorization"); h != "" {
+		if key, ok := strings.CutPrefix(h, "Bearer "); ok {
+			return strings.TrimSpace(key)
+		}
+	}
+	return strings.TrimSpace(r.Header.Get("X-API-Key"))
+}
+
+// authed wraps a tenant-facing handler with the multi-tenancy middleware
+// chain: API-key authentication (401), then — when limited — the
+// tenant's token-bucket rate limit and windowed byte quota (429 +
+// Retry-After). The resolved tenant rides the request context so the
+// handler can charge bytes, count hits, and admission-queue at the
+// tenant's priority class.
+func (s *Server) authed(limited bool, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t, err := s.tenants.Authenticate(apiKey(r))
+		if err != nil {
+			s.tenants.CountUnauthenticated()
+			w.Header().Set("WWW-Authenticate", `Bearer realm="blitzd"`)
+			writeJSON(w, http.StatusUnauthorized, errorBody{err.Error()})
+			s.metrics.observeRequest(endpointKind(r), "unauthenticated", 0)
+			s.log.Warn("request rejected", "status", http.StatusUnauthorized, "remote", r.RemoteAddr, "error", err)
+			return
+		}
+		if limited {
+			if retry, err := t.AllowRequest(); err != nil {
+				s.throttle(w, r, t, retry, err)
+				return
+			}
+		}
+		h(w, r.WithContext(tenant.NewContext(r.Context(), t)))
+	}
+}
+
+// throttle writes a 429 with its Retry-After hint — the rate-limit and
+// quota rejection path.
+func (s *Server) throttle(w http.ResponseWriter, r *http.Request, t *tenant.Tenant, retry time.Duration, err error) {
+	w.Header().Set("Retry-After", retryAfterSeconds(retry))
+	writeJSON(w, http.StatusTooManyRequests, errorBody{err.Error()})
+	s.metrics.observeRequest(endpointKind(r), "throttled", 0)
+	s.log.Warn("request throttled",
+		"tenant", t.Name, "status", http.StatusTooManyRequests,
+		"retry_after", retry, "remote", r.RemoteAddr, "error", err)
+}
+
+// retryAfterSeconds renders a wait as the integral seconds form of the
+// Retry-After header, with a one-second floor so clients never busy-spin.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprintf("%d", secs)
+}
+
+// endpointKind labels middleware-level rejections for the request
+// counter, where no request body has been decoded yet.
+func endpointKind(r *http.Request) string {
+	if i := strings.LastIndexByte(r.URL.Path, '/'); i >= 0 && i+1 < len(r.URL.Path) {
+		return r.URL.Path[i+1:]
+	}
+	return r.URL.Path
+}

@@ -7,6 +7,8 @@ import (
 	"sync"
 
 	"blitzcoin/internal/ledger"
+	"blitzcoin/internal/store"
+	"blitzcoin/internal/tenant"
 	"blitzcoin/internal/trace"
 )
 
@@ -141,9 +143,10 @@ func (m *metrics) inflightNow() int64 {
 }
 
 // write renders the catalog in Prometheus text exposition format, in a
-// deterministic order. bus and led are sampled at scrape time; led may be
-// nil (no ledger configured — its gauges read zero).
-func (m *metrics) write(w io.Writer, c *cache, p *pool, bus *trace.Bus, led *ledger.Ledger) {
+// deterministic order. bus, led, st, and reg are sampled at scrape time;
+// led and st may be nil (not configured — their sections read zero or are
+// omitted).
+func (m *metrics) write(w io.Writer, c *cache, p *pool, bus *trace.Bus, led *ledger.Ledger, st *store.Store, reg *tenant.Registry) {
 	m.mu.Lock()
 	type labeled struct {
 		kind, status string
@@ -226,7 +229,13 @@ func (m *metrics) write(w io.Writer, c *cache, p *pool, bus *trace.Bus, led *led
 	fmt.Fprintf(w, "blitzd_inflight_requests %d\n", inflight)
 	fmt.Fprintln(w, "# HELP blitzd_queue_depth Computations waiting for a worker slot.")
 	fmt.Fprintln(w, "# TYPE blitzd_queue_depth gauge")
-	fmt.Fprintf(w, "blitzd_queue_depth %d\n", p.queued.Load())
+	fmt.Fprintf(w, "blitzd_queue_depth %d\n", p.queuedNow())
+	fmt.Fprintln(w, "# HELP blitzd_admission_queue_depth Waiting computations by admission class.")
+	fmt.Fprintln(w, "# TYPE blitzd_admission_queue_depth gauge")
+	depths := p.queueDepths()
+	for class, depth := range depths {
+		fmt.Fprintf(w, "blitzd_admission_queue_depth{class=%q} %d\n", tenant.Class(class).String(), depth)
+	}
 	fmt.Fprintln(w, "# HELP blitzd_workers_busy Worker slots currently computing.")
 	fmt.Fprintln(w, "# TYPE blitzd_workers_busy gauge")
 	fmt.Fprintf(w, "blitzd_workers_busy %d\n", p.busy.Load())
@@ -260,4 +269,90 @@ func (m *metrics) write(w io.Writer, c *cache, p *pool, bus *trace.Bus, led *led
 	fmt.Fprintf(w, "blitzd_ledger_append_seconds_bucket{le=\"+Inf\"} %d\n", ledgerAppends.count)
 	fmt.Fprintf(w, "blitzd_ledger_append_seconds_sum %g\n", ledgerAppends.sum)
 	fmt.Fprintf(w, "blitzd_ledger_append_seconds_count %d\n", ledgerAppends.count)
+
+	writeStoreMetrics(w, st)
+	writeTenantMetrics(w, reg)
+}
+
+// writeStoreMetrics renders the disk-tier section; nil means no store is
+// configured and the section is omitted entirely (absent, not zero, so
+// dashboards can tell "no disk tier" from "idle disk tier").
+func writeStoreMetrics(w io.Writer, st *store.Store) {
+	if st == nil {
+		return
+	}
+	s := st.Stats()
+	warmed := 0
+	if s.Warmed {
+		warmed = 1
+	}
+	fmt.Fprintln(w, "# HELP blitzd_store_hits_total Results served from the disk tier.")
+	fmt.Fprintln(w, "# TYPE blitzd_store_hits_total counter")
+	fmt.Fprintf(w, "blitzd_store_hits_total %d\n", s.Hits)
+	fmt.Fprintln(w, "# HELP blitzd_store_misses_total Disk-tier lookups that found nothing.")
+	fmt.Fprintln(w, "# TYPE blitzd_store_misses_total counter")
+	fmt.Fprintf(w, "blitzd_store_misses_total %d\n", s.Misses)
+	fmt.Fprintln(w, "# HELP blitzd_store_writes_total Results persisted to the disk tier.")
+	fmt.Fprintln(w, "# TYPE blitzd_store_writes_total counter")
+	fmt.Fprintf(w, "blitzd_store_writes_total %d\n", s.Writes)
+	fmt.Fprintln(w, "# HELP blitzd_store_evictions_total Blobs evicted by the size bound.")
+	fmt.Fprintln(w, "# TYPE blitzd_store_evictions_total counter")
+	fmt.Fprintf(w, "blitzd_store_evictions_total %d\n", s.Evictions)
+	fmt.Fprintln(w, "# HELP blitzd_store_corrupt_total Blobs dropped for failing checksum verification.")
+	fmt.Fprintln(w, "# TYPE blitzd_store_corrupt_total counter")
+	fmt.Fprintf(w, "blitzd_store_corrupt_total %d\n", s.Corrupt)
+	fmt.Fprintln(w, "# HELP blitzd_store_errors_total Disk-tier I/O failures (reads and writes).")
+	fmt.Fprintln(w, "# TYPE blitzd_store_errors_total counter")
+	fmt.Fprintf(w, "blitzd_store_errors_total %d\n", s.Errors)
+	fmt.Fprintln(w, "# HELP blitzd_store_entries Blobs currently indexed in the disk tier.")
+	fmt.Fprintln(w, "# TYPE blitzd_store_entries gauge")
+	fmt.Fprintf(w, "blitzd_store_entries %d\n", s.Entries)
+	fmt.Fprintln(w, "# HELP blitzd_store_bytes Blob bytes currently indexed in the disk tier.")
+	fmt.Fprintln(w, "# TYPE blitzd_store_bytes gauge")
+	fmt.Fprintf(w, "blitzd_store_bytes %d\n", s.Bytes)
+	fmt.Fprintln(w, "# HELP blitzd_store_warmed Whether the boot index scan has completed.")
+	fmt.Fprintln(w, "# TYPE blitzd_store_warmed gauge")
+	fmt.Fprintf(w, "blitzd_store_warmed %d\n", warmed)
+}
+
+// writeTenantMetrics renders the per-tenant serving counters.
+func writeTenantMetrics(w io.Writer, reg *tenant.Registry) {
+	if reg == nil {
+		return
+	}
+	tenants := reg.Tenants()
+	snaps := make([]tenant.Counters, len(tenants))
+	for i, t := range tenants {
+		snaps[i] = t.Snapshot()
+	}
+	fmt.Fprintln(w, "# HELP blitzd_tenant_requests_total Admitted requests by tenant.")
+	fmt.Fprintln(w, "# TYPE blitzd_tenant_requests_total counter")
+	for i, t := range tenants {
+		fmt.Fprintf(w, "blitzd_tenant_requests_total{tenant=%q} %d\n", t.Name, snaps[i].Requests)
+	}
+	fmt.Fprintln(w, "# HELP blitzd_tenant_cache_hits_total Requests served from a cache tier, by tenant.")
+	fmt.Fprintln(w, "# TYPE blitzd_tenant_cache_hits_total counter")
+	for i, t := range tenants {
+		fmt.Fprintf(w, "blitzd_tenant_cache_hits_total{tenant=%q} %d\n", t.Name, snaps[i].CacheHits)
+	}
+	fmt.Fprintln(w, "# HELP blitzd_tenant_sweeps_total Uncached sweep computations charged, by tenant.")
+	fmt.Fprintln(w, "# TYPE blitzd_tenant_sweeps_total counter")
+	for i, t := range tenants {
+		fmt.Fprintf(w, "blitzd_tenant_sweeps_total{tenant=%q} %d\n", t.Name, snaps[i].Sweeps)
+	}
+	fmt.Fprintln(w, "# HELP blitzd_tenant_bytes_total Result bytes served, by tenant.")
+	fmt.Fprintln(w, "# TYPE blitzd_tenant_bytes_total counter")
+	for i, t := range tenants {
+		fmt.Fprintf(w, "blitzd_tenant_bytes_total{tenant=%q} %d\n", t.Name, snaps[i].BytesServed)
+	}
+	fmt.Fprintln(w, "# HELP blitzd_tenant_rejects_total Rejected requests by tenant and reason.")
+	fmt.Fprintln(w, "# TYPE blitzd_tenant_rejects_total counter")
+	for i, t := range tenants {
+		fmt.Fprintf(w, "blitzd_tenant_rejects_total{tenant=%q,reason=\"rate\"} %d\n", t.Name, snaps[i].RejectRate)
+		fmt.Fprintf(w, "blitzd_tenant_rejects_total{tenant=%q,reason=\"quota\"} %d\n", t.Name, snaps[i].RejectQuota)
+		fmt.Fprintf(w, "blitzd_tenant_rejects_total{tenant=%q,reason=\"queue\"} %d\n", t.Name, snaps[i].RejectedQueue)
+	}
+	fmt.Fprintln(w, "# HELP blitzd_unauthenticated_total Requests rejected with 401.")
+	fmt.Fprintln(w, "# TYPE blitzd_unauthenticated_total counter")
+	fmt.Fprintf(w, "blitzd_unauthenticated_total %d\n", reg.Unauthenticated())
 }

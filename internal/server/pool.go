@@ -4,43 +4,54 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+
+	"blitzcoin/internal/tenant"
 )
 
 // pool bounds how many sweep computations run at once. Admission is a
-// counting semaphore; queued and busy are exported as gauges so /metrics
-// shows back-pressure building before latency does.
+// priority controller from the tenant package: each class (interactive,
+// batch) has its own bounded wait queue, releases grant interactive
+// waiters first, and a class at its queue bound rejects immediately
+// (surfaced as 503 + Retry-After) instead of growing an unbounded
+// backlog. queued and busy are exported as gauges so /metrics shows
+// back-pressure building before latency does.
 type pool struct {
-	sem    chan struct{}
-	queued atomic.Int64
-	busy   atomic.Int64
-	wg     sync.WaitGroup
+	adm  *tenant.Admission
+	busy atomic.Int64
+	wg   sync.WaitGroup
 }
 
-func newPool(workers int) *pool {
+func newPool(workers, queueBound int) *pool {
 	if workers < 1 {
 		workers = 1
 	}
-	return &pool{sem: make(chan struct{}, workers)}
+	if queueBound < 1 {
+		queueBound = 1
+	}
+	return &pool{adm: tenant.NewAdmission(workers, queueBound)}
 }
 
-// acquire blocks until a worker slot frees or ctx ends.
-func (p *pool) acquire(ctx context.Context) error {
-	p.queued.Add(1)
-	defer p.queued.Add(-1)
-	select {
-	case p.sem <- struct{}{}:
-		p.busy.Add(1)
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
+// acquire blocks until a worker slot frees or ctx ends; a class queue at
+// its bound fails fast with tenant.ErrQueueFull.
+func (p *pool) acquire(ctx context.Context, class tenant.Class) error {
+	if err := p.adm.Acquire(ctx, class); err != nil {
+		return err
 	}
+	p.busy.Add(1)
+	return nil
 }
 
 // release frees the slot taken by acquire.
 func (p *pool) release() {
 	p.busy.Add(-1)
-	<-p.sem
+	p.adm.Release()
 }
+
+// queuedNow is the total number of computations waiting for a slot.
+func (p *pool) queuedNow() int64 { return p.adm.QueueTotal() }
+
+// queueDepths is the per-class waiter count for the admission gauges.
+func (p *pool) queueDepths() [tenant.NumClasses]int { return p.adm.Depths() }
 
 // track registers a computation goroutine for drain.
 func (p *pool) track() func() {

@@ -15,6 +15,8 @@ import (
 
 	"blitzcoin"
 	"blitzcoin/internal/ledger"
+	"blitzcoin/internal/store"
+	"blitzcoin/internal/tenant"
 	"blitzcoin/internal/trace"
 )
 
@@ -96,6 +98,20 @@ type Config struct {
 	// a subscriber that falls further behind loses its oldest events.
 	// Default 256.
 	StreamBuffer int
+	// Tenants authenticates and limits API clients. Default: an open
+	// registry (every request maps to one unlimited anonymous tenant),
+	// which is byte-for-byte the pre-tenancy behavior.
+	Tenants *tenant.Registry
+	// Store, when non-nil, is the disk tier beneath the in-memory result
+	// cache: computed results (sweeps and shards) are persisted there and
+	// a memory miss consults it before computing, so the cache survives
+	// restarts and can be shared across cluster workers. Nil disables the
+	// tier.
+	Store *store.Store
+	// QueueDepth bounds each admission class's wait queue; an over-full
+	// class is refused with 503 + Retry-After instead of queueing without
+	// bound. Default 64.
+	QueueDepth int
 }
 
 // Server is the blitzd request engine: coalescing, caching, bounded
@@ -111,6 +127,8 @@ type Server struct {
 	cluster ClusterBackend
 	bus     *trace.Bus
 	ledger  *ledger.Ledger
+	tenants *tenant.Registry
+	store   *store.Store
 
 	streamBuf int
 
@@ -131,11 +149,14 @@ type Server struct {
 // canonical request are byte-identical in everything but the serving
 // annotations (cached, coalesced, elapsed).
 type Response struct {
-	Version       string          `json:"version"`
-	Kind          string          `json:"kind"`
-	RequestHash   string          `json:"request_hash"`
-	EngineVersion string          `json:"engine_version"`
-	Cached        bool            `json:"cached"`
+	Version       string `json:"version"`
+	Kind          string `json:"kind"`
+	RequestHash   string `json:"request_hash"`
+	EngineVersion string `json:"engine_version"`
+	Cached        bool   `json:"cached"`
+	// Tier names the cache tier a hit was served from: "memory" or
+	// "disk". Empty on computed (uncached) responses.
+	Tier          string          `json:"tier,omitempty"`
 	Coalesced     bool            `json:"coalesced"`
 	ElapsedMicros int64           `json:"elapsed_micros"`
 	Result        json.RawMessage `json:"result"`
@@ -169,6 +190,12 @@ func New(cfg Config) *Server {
 	if cfg.StreamBuffer == 0 {
 		cfg.StreamBuffer = 256
 	}
+	if cfg.Tenants == nil {
+		cfg.Tenants = tenant.Open()
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 64
+	}
 	// The server's base context is the one deliberate root in this package:
 	// sweep computations outlive the requests that trigger them (a client
 	// disconnect must not waste a half-done sweep), so they run under the
@@ -179,11 +206,13 @@ func New(cfg Config) *Server {
 		run:        cfg.Run,
 		cache:      newCache(cfg.CacheEntries, cfg.CacheBytes),
 		flights:    newFlightGroup(),
-		pool:       newPool(cfg.Workers),
+		pool:       newPool(cfg.Workers, cfg.QueueDepth),
 		metrics:    newMetrics(),
 		cluster:    cfg.Cluster,
 		bus:        cfg.Bus,
 		ledger:     cfg.Ledger,
+		tenants:    cfg.Tenants,
+		store:      cfg.Store,
 		streamBuf:  cfg.StreamBuffer,
 		baseCtx:    ctx,
 		baseCancel: cancel,
@@ -216,10 +245,16 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 //	     /debug/pprof       — the standard profiles
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/sweep", s.instrument("sweep", s.handleSweep))
+	// Tenant-facing endpoints run behind the auth middleware: /v1/sweep
+	// with the full rate-limit + quota chain, /v1/stream with auth only
+	// (subscriptions are long-lived, not per-request work). /v1/shard and
+	// /v1/cluster/* are cluster-internal — workers sit behind the
+	// deployment's trust boundary and authenticate tenants at the
+	// coordinator's edge — and observability endpoints stay open.
+	mux.HandleFunc("/v1/sweep", s.instrument("sweep", s.authed(true, s.handleSweep)))
 	mux.HandleFunc("/v1/shard", s.instrument("shard", s.handleShard))
 	mux.HandleFunc("/v1/figures", s.instrument("figures", s.handleFigures))
-	mux.HandleFunc("/v1/stream", s.instrument("stream", s.handleStream))
+	mux.HandleFunc("/v1/stream", s.instrument("stream", s.authed(false, s.handleStream)))
 	mux.HandleFunc("/v1/ledger/proof", s.instrument("ledger-proof", s.handleLedgerProof))
 	mux.HandleFunc("/v1/ledger/root", s.instrument("ledger-root", s.handleLedgerRoot))
 	if s.cluster != nil {
@@ -232,7 +267,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/readyz", s.instrument("readyz", s.handleReady))
 	mux.HandleFunc("/metrics", s.instrument("metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		s.metrics.write(w, s.cache, s.pool, s.bus, s.ledger)
+		s.metrics.write(w, s.cache, s.pool, s.bus, s.ledger, s.store, s.tenants)
 		if s.cluster != nil {
 			s.cluster.WriteMetrics(w)
 		}
@@ -254,7 +289,7 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 		Status:        "ready",
 		EngineVersion: blitzcoin.EngineVersion,
 		Draining:      s.draining.Load(),
-		QueuedSweeps:  s.pool.queued.Load(),
+		QueuedSweeps:  s.pool.queuedNow(),
 		BusySweeps:    s.pool.busy.Load(),
 	}
 	ready := !body.Draining
@@ -328,13 +363,36 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	kind := string(norm.Kind)
+	t := tenant.FromContext(r.Context())
 
 	if b, ok := s.cache.get(hash); ok {
-		s.respond(w, r, start, norm, hash, b, true, false)
+		t.CountHit()
+		t.ChargeBytes(len(b))
+		s.respond(w, r, start, norm, hash, b, true, false, "memory")
 		return
+	}
+	// The disk tier sits beneath the memory cache and, like it, is
+	// consulted before the drain check: serving already-computed bytes is
+	// cheap and a draining daemon keeps doing it until Shutdown. A disk
+	// hit is promoted into memory so the next asker skips the read.
+	if s.store != nil {
+		if b, ok := s.store.Get(hash); ok {
+			s.cache.put(hash, kind, b)
+			t.CountHit()
+			t.ChargeBytes(len(b))
+			s.respond(w, r, start, norm, hash, b, true, false, "disk")
+			return
+		}
 	}
 	if s.draining.Load() {
 		s.finish(w, r, start, kind, http.StatusServiceUnavailable, errors.New("server draining"))
+		return
+	}
+	// Past every cache tier: this request triggers (or joins) a real
+	// computation, which is what the sweep quota meters. Hits above never
+	// reach this line, so cached serving stays free.
+	if retry, err := t.AllowSweep(); err != nil {
+		s.throttle(w, r, t, retry, err)
 		return
 	}
 
@@ -344,9 +402,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		// from this request: if the client disconnects mid-sweep, the
 		// result still lands in the cache for the next asker.
 		done := s.pool.track()
+		class := t.PriorityClass()
 		go func() {
 			defer done()
-			b, err := s.compute(s.baseCtx, hash, norm)
+			b, err := s.compute(s.baseCtx, hash, norm, class)
 			s.flights.complete(hash, f, b, err)
 		}()
 	} else {
@@ -365,10 +424,18 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(f.err, context.Canceled) {
 			status = http.StatusServiceUnavailable
 		}
+		if errors.Is(f.err, tenant.ErrQueueFull) {
+			// The admission queue for the tenant's class is at its bound —
+			// shed load now rather than let the backlog grow. finish sets
+			// Retry-After on every 503.
+			status = http.StatusServiceUnavailable
+			t.CountQueueReject()
+		}
 		s.finish(w, r, start, kind, status, f.err)
 		return
 	}
-	s.respond(w, r, start, norm, hash, f.bytes, false, !leader)
+	t.ChargeBytes(len(f.bytes))
+	s.respond(w, r, start, norm, hash, f.bytes, false, !leader, "")
 }
 
 // ShardResponse is the envelope of POST /v1/shard: a marshaled
@@ -441,6 +508,16 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 		s.respondShard(w, r, start, norm, hash, sr.Lo, sr.Hi, b, true, false)
 		return
 	}
+	// Workers sharing a store directory consult it before executing: a
+	// shard another worker (or a previous life of this one) already
+	// computed is served from disk instead of re-run.
+	if s.store != nil {
+		if b, ok := s.store.Get(key); ok {
+			s.cache.put(key, string(norm.Kind)+"-shard", b)
+			s.respondShard(w, r, start, norm, hash, sr.Lo, sr.Hi, b, true, false)
+			return
+		}
+	}
 	if s.draining.Load() {
 		s.finish(w, r, start, "shard", http.StatusServiceUnavailable, errors.New("server draining"))
 		return
@@ -471,7 +548,7 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 	}
 	if f.err != nil {
 		status := http.StatusInternalServerError
-		if errors.Is(f.err, context.Canceled) {
+		if errors.Is(f.err, context.Canceled) || errors.Is(f.err, tenant.ErrQueueFull) {
 			status = http.StatusServiceUnavailable
 		}
 		s.finish(w, r, start, "shard", status, f.err)
@@ -484,7 +561,7 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 // marshaled ShardResult under the range-extended key. ctx is the flight
 // context: it dies with the last interested client.
 func (s *Server) computeShard(ctx context.Context, key string, norm blitzcoin.Request, lo, hi int) ([]byte, error) {
-	if err := s.pool.acquire(ctx); err != nil {
+	if err := s.pool.acquire(ctx, tenant.ClassInteractive); err != nil {
 		return nil, err
 	}
 	defer s.pool.release()
@@ -497,6 +574,7 @@ func (s *Server) computeShard(ctx context.Context, key string, norm blitzcoin.Re
 		return nil, fmt.Errorf("encoding shard result: %w", err)
 	}
 	s.cache.put(key, string(norm.Kind)+"-shard", b)
+	s.storePut(key, string(norm.Kind)+"-shard", b)
 	return b, nil
 }
 
@@ -533,8 +611,8 @@ func (s *Server) respondShard(w http.ResponseWriter, r *http.Request, start time
 // provenance into the cached bytes) when one is configured. Callers choose
 // the lifetime: handleSweep passes s.baseCtx to detach the computation from
 // the triggering request.
-func (s *Server) compute(ctx context.Context, hash string, norm blitzcoin.Request) ([]byte, error) {
-	if err := s.pool.acquire(ctx); err != nil {
+func (s *Server) compute(ctx context.Context, hash string, norm blitzcoin.Request, class tenant.Class) ([]byte, error) {
+	if err := s.pool.acquire(ctx, class); err != nil {
 		return nil, err
 	}
 	defer s.pool.release()
@@ -549,7 +627,20 @@ func (s *Server) compute(ctx context.Context, hash string, norm blitzcoin.Reques
 	b = s.stampLedger(hash, b)
 	s.metrics.addSweepRows(resultRows(res))
 	s.cache.put(hash, string(norm.Kind), b)
+	s.storePut(hash, string(norm.Kind), b)
 	return b, nil
+}
+
+// storePut persists computed bytes to the disk tier. Persistence failures
+// degrade to memory-only caching — a full or broken disk never fails the
+// sweep that produced the result.
+func (s *Server) storePut(key, kind string, b []byte) {
+	if s.store == nil {
+		return
+	}
+	if err := s.store.Put(key, kind, b); err != nil {
+		s.log.Warn("store put failed", "key", short(key), "error", err)
+	}
 }
 
 // stampLedger appends the result to the ledger and returns the bytes with
@@ -602,8 +693,10 @@ func resultRows(res *blitzcoin.Result) int {
 	return 0
 }
 
-// respond writes the success envelope and the structured log line.
-func (s *Server) respond(w http.ResponseWriter, r *http.Request, start time.Time, norm blitzcoin.Request, hash string, result []byte, cached, coalesced bool) {
+// respond writes the success envelope and the structured log line. tier
+// names the cache tier that served a hit ("memory" or "disk"); empty for
+// freshly computed results.
+func (s *Server) respond(w http.ResponseWriter, r *http.Request, start time.Time, norm blitzcoin.Request, hash string, result []byte, cached, coalesced bool, tier string) {
 	elapsed := time.Since(start)
 	resp := Response{
 		Version:       blitzcoin.APIVersion,
@@ -611,6 +704,7 @@ func (s *Server) respond(w http.ResponseWriter, r *http.Request, start time.Time
 		RequestHash:   hash,
 		EngineVersion: blitzcoin.EngineVersion,
 		Cached:        cached,
+		Tier:          tier,
 		Coalesced:     coalesced,
 		ElapsedMicros: elapsed.Microseconds(),
 		Result:        result,
@@ -622,6 +716,7 @@ func (s *Server) respond(w http.ResponseWriter, r *http.Request, start time.Time
 		"hash", short(hash),
 		"status", http.StatusOK,
 		"cached", cached,
+		"tier", tier,
 		"coalesced", coalesced,
 		"elapsed", elapsed,
 		"remote", r.RemoteAddr,
